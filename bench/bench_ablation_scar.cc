@@ -1,0 +1,62 @@
+// Ablation: lookup strategy vs value size — where is the SCAR/2xR
+// crossover, and how far behind is the RPC fallback?
+//
+// Extends Figs 7/12: SCAR wins at small values (one round trip, tiny
+// redundant transfer); 2xR wins at large values under R=3.2 (one copy of
+// the datum instead of three); RPC trails both until values get so large
+// that transfer time dominates everything.
+#include "bench_util.h"
+
+namespace cm::bench {
+namespace {
+
+using namespace cm::cliquemap;
+
+double MedianGetUs(LookupStrategy strategy, uint32_t value_bytes) {
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 3;
+  o.mode = ReplicationMode::kR32;
+  o.backend.data_initial_bytes = 8 << 20;
+  o.backend.data_max_bytes = 64 << 20;
+  o.backend.slab.slab_bytes = 512 * 1024;
+  Cell cell(sim, std::move(o));
+  cell.Start();
+  ClientConfig cc;
+  cc.strategy = strategy;
+  Client* client = cell.AddClient(cc);
+  (void)RunOp(sim, client->Connect());
+  const std::string key = "xover";
+  Status s = RunOp(sim, client->Set(key, Bytes(value_bytes, std::byte{5})));
+  if (!s.ok()) return -1;
+  (void)RunOp(sim, client->Get(key));
+  return double(MeasureGets(sim, client, key, 400).Percentile(0.5)) / 1000.0;
+}
+
+}  // namespace
+}  // namespace cm::bench
+
+int main() {
+  using namespace cm::bench;
+  using cm::cliquemap::LookupStrategy;
+  Banner("Ablation: lookup strategy vs value size (R=3.2, median GET us)");
+
+  std::printf("%10s %10s %10s %10s   %s\n", "value", "SCAR", "2xR", "RPC",
+              "winner");
+  for (uint32_t size : {64u, 512u, 4096u, 16384u, 65536u, 262144u}) {
+    const double scar = MedianGetUs(LookupStrategy::kScar, size);
+    const double two_r = MedianGetUs(LookupStrategy::kTwoR, size);
+    const double rpc = MedianGetUs(LookupStrategy::kRpc, size);
+    const char* winner = scar <= two_r && scar <= rpc ? "SCAR"
+                         : two_r <= rpc              ? "2xR"
+                                                     : "RPC";
+    std::printf("%9uB %9.1f %9.1f %9.1f   %s\n", size, scar, two_r, rpc,
+                winner);
+  }
+  std::printf(
+      "\nTakeaway check: SCAR wins while values are small relative to NIC\n"
+      "speed; the 3-copy incast hands large values to 2xR (the Fig 12\n"
+      "effect); the RPC path trails until transfer time dominates. 'There\n"
+      "is no single optimal lookup method' (§7.2.4).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 3: memory reshaping and subsequent DRAM savings.
+//
+// Timeline reproduced (scaled down from 13 weeks / 512TB to simulated
+// "weeks" over a small cell):
+//   weeks 1-3:  pre-reshaping — every backend pre-allocates for peak.
+//   week  4:    memory reshaping launches — backends restart with
+//               on-demand data regions and grow only as the corpus needs
+//               (~10% immediate savings at launch in production).
+//   week  8+:   the corpus itself shrinks; without any human intervention
+//               aggregate DRAM drops further (50% in production). Data
+//               regions downsize via non-disruptive restart (§4.1).
+#include "bench_util.h"
+
+namespace cm::bench {
+namespace {
+
+using namespace cm::cliquemap;
+
+constexpr uint64_t kPeakBytes = 4ull << 20;  // per-backend "machine" capacity
+
+CellOptions BaseOptions(bool reshaping_enabled) {
+  CellOptions o;
+  o.num_shards = 8;
+  o.mode = ReplicationMode::kR1;
+  o.backend.initial_buckets = 512;
+  o.backend.data_max_bytes = kPeakBytes;
+  // Pre-reshaping deployments provisioned for peak on startup; reshaping
+  // deployments start small and grow on demand (gentle 1.3x steps so the
+  // populated size tracks the corpus rather than overshooting to peak).
+  o.backend.data_initial_bytes = reshaping_enabled ? (256 << 10) : kPeakBytes;
+  o.backend.data_grow_factor = reshaping_enabled ? 1.3 : 2.0;
+  return o;
+}
+
+}  // namespace
+}  // namespace cm::bench
+
+int main() {
+  using namespace cm;
+  using namespace cm::bench;
+  using namespace cm::cliquemap;
+  Banner("Figure 3: memory reshaping and DRAM savings over 13 'weeks'\n"
+         "(8 backends; corpus grows, reshaping launches week 4, corpus\n"
+         " shrinks from week 8; footprint = index + populated data regions)");
+
+  sim::Simulator sim;
+  std::unique_ptr<Cell> cell =
+      std::make_unique<Cell>(sim, BaseOptions(/*reshaping_enabled=*/false));
+  cell->Start();
+  Client* client = cell->AddClient();
+  (void)RunOp(sim, client->Connect());
+
+  cm::Rng rng(7);
+  int corpus_size = 0;
+  auto set_key = [&](int i, uint32_t bytes) {
+    Status s = RunOp(sim, client->Set("corpus-" + std::to_string(i),
+                                      Bytes(bytes, std::byte{1})));
+    if (!s.ok()) std::fprintf(stderr, "set failed: %s\n", s.ToString().c_str());
+  };
+
+  std::printf("%6s %16s %14s %s\n", "week", "memory_used(MB)", "corpus_keys",
+              "event");
+  for (int week = 1; week <= 13; ++week) {
+    const char* event = "";
+    if (week == 4) {
+      // Reshaping launch: rolling restart into on-demand data regions. The
+      // corpus reloads from clients/system-of-record (scaled: re-SET all).
+      event = "<- memory reshaping launched";
+      cell = std::make_unique<Cell>(sim, BaseOptions(true));
+      cell->Start();
+      client = cell->AddClient();
+      (void)RunOp(sim, client->Connect());
+      for (int i = 0; i < corpus_size; ++i) {
+        set_key(i, 2048 + uint32_t(rng.NextBounded(4096)));
+      }
+    }
+    if (week <= 7) {
+      // Corpus grows ~400 keys/week.
+      for (int n = 0; n < 400; ++n) {
+        set_key(corpus_size++, 2048 + uint32_t(rng.NextBounded(4096)));
+      }
+    } else {
+      // The underlying corpus shrinks (~20%/week): erase + periodic
+      // non-disruptive restarts let each backend downsize independently.
+      const int target = corpus_size * 4 / 5;
+      while (corpus_size > target) {
+        (void)RunOp(sim, client->Erase("corpus-" + std::to_string(--corpus_size)));
+      }
+      if (week == 8) event = "<- corpus begins shrinking";
+      // Rolling non-disruptive restarts (data region downsizing, §4.1).
+      for (uint32_t s = 0; s < cell->num_shards(); ++s) {
+        (void)RunOp(sim, cell->CrashAndRestart(s, sim::Seconds(1)));
+        // Reload this shard's live keys (the paper's R=1 restart relies on
+        // repair/spares; with R=1 here the client simply re-populates).
+        for (int i = 0; i < corpus_size; ++i) {
+          const std::string key = "corpus-" + std::to_string(i);
+          if (PrimaryShard(cm::HashKey(key), cell->num_shards()) == s) {
+            set_key(i, 2048 + uint32_t(rng.NextBounded(4096)));
+          }
+        }
+      }
+    }
+    sim.RunUntil(sim.now() + sim::Seconds(10));  // one scaled "week"
+    std::printf("%6d %16.2f %14d %s\n", week,
+                double(cell->TotalMemoryFootprint()) / (1 << 20), corpus_size,
+                event);
+  }
+  std::printf(
+      "\nTakeaway check: a step drop at the reshaping launch (week 4), then\n"
+      "further automatic decline as the corpus shrinks — no intervention.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 9: the Geo (road-traffic prediction) workload over a scaled week.
+//
+// Geo (§7.1): highly diurnal GET traffic (~3x swing) over compact road
+// segment records, mixed with a steady background corpus update rate from
+// separate writer jobs. The reproduction target: despite the 3x GET-rate
+// variation, tail latency varies minimally.
+#include "bench_util.h"
+
+int main() {
+  using namespace cm;
+  using namespace cm::bench;
+  using namespace cm::cliquemap;
+  using namespace cm::workload;
+  Banner("Figure 9: Geo workload ('1 week' = 7 x 4s days, scaled rates)");
+
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 6;
+  o.mode = ReplicationMode::kR32;
+  o.backend.initial_buckets = 1024;
+  o.backend.data_initial_bytes = 16 << 20;
+  o.backend.data_max_bytes = 256 << 20;
+  o.backend.slab.slab_bytes = 2 * 1024 * 1024;
+  Cell cell(sim, std::move(o));
+  cell.Start();
+
+  WorkloadProfile readers = WorkloadProfile::Geo();
+  readers.num_keys = 6000;
+  readers.get_fraction = 1.0;  // reader jobs only GET
+  WorkloadProfile writers = WorkloadProfile::Geo();
+  writers.num_keys = 6000;
+  writers.get_fraction = 0.0;  // the model-update job only SETs
+  writers.batches = BatchDistribution::Single();
+
+  const sim::Duration kDay = sim::Seconds(4);
+  DiurnalRate diurnal(3.0, kDay);  // the 3x daily swing
+
+  std::vector<std::unique_ptr<LoadDriver>> drivers;
+  std::vector<sim::Task<void>> tasks;
+  // Three diurnal reader jobs.
+  for (int c = 0; c < 3; ++c) {
+    ClientConfig cc;
+    cc.client_id = uint32_t(c + 1);
+    Client* client = cell.AddClient(cc);
+    LoadDriver::Options opts;
+    opts.qps = 400;
+    opts.duration = 7 * kDay;
+    opts.window = kDay / 4;
+    opts.seed = uint64_t(c + 1);
+    opts.rate_multiplier = [diurnal](sim::Time t) {
+      return diurnal.MultiplierAt(t);
+    };
+    drivers.push_back(std::make_unique<LoadDriver>(*client, readers, opts));
+    tasks.push_back([](Client* client, LoadDriver* d, bool preload) -> sim::Task<void> {
+      (void)co_await client->Connect();
+      if (preload) (void)co_await d->Preload();
+      co_await d->Run();
+    }(client, drivers.back().get(), c == 0));
+  }
+  // One steady background updater (flat rate: the model retrains all day).
+  {
+    ClientConfig cc;
+    cc.client_id = 100;
+    Client* client = cell.AddClient(cc);
+    LoadDriver::Options opts;
+    opts.qps = 250;
+    opts.duration = 7 * kDay;
+    opts.window = kDay / 4;
+    opts.seed = 999;
+    drivers.push_back(std::make_unique<LoadDriver>(*client, writers, opts));
+    tasks.push_back([](Client* client, LoadDriver* d) -> sim::Task<void> {
+      (void)co_await client->Connect();
+      co_await d->Run();
+    }(client, drivers.back().get()));
+  }
+  RunAll(sim, std::move(tasks));
+
+  size_t max_windows = 0;
+  for (const auto& d : drivers) max_windows = std::max(max_windows, d->windows().size());
+  std::printf("%7s %10s %9s %9s %9s %9s\n", "day", "GET/s", "SET/s", "p50_us",
+              "p99_us", "p999_us");
+  double min_p999 = 1e18, max_p999 = 0, min_rate = 1e18, max_rate = 0;
+  for (size_t w = 0; w + 1 < max_windows; ++w) {  // drop ragged last window
+    Histogram get_ns;
+    int64_t gets = 0, sets = 0;
+    sim::Time start = 0;
+    for (const auto& d : drivers) {
+      if (w >= d->windows().size()) continue;
+      const WindowStats& ws = d->windows()[w];
+      get_ns.Merge(ws.get_ns);
+      gets += ws.gets;
+      sets += ws.sets;
+      start = std::max(start, ws.start);
+    }
+    const double secs = sim::ToSeconds(kDay / 4);
+    const double rate = double(gets) / secs;
+    const double p999 = get_ns.Percentile(0.999) / 1000.0;
+    std::printf("%7.2f %10.0f %9.0f %9.1f %9.1f %9.1f\n",
+                sim::ToSeconds(start) / sim::ToSeconds(kDay), rate,
+                double(sets) / secs, get_ns.Percentile(0.50) / 1000.0,
+                get_ns.Percentile(0.99) / 1000.0, p999);
+    if (gets > 0) {
+      min_rate = std::min(min_rate, rate);
+      max_rate = std::max(max_rate, rate);
+      min_p999 = std::min(min_p999, p999);
+      max_p999 = std::max(max_p999, p999);
+    }
+  }
+  std::printf("\nGET rate swing: %.1fx   p99.9 swing: %.1fx\n",
+              max_rate / min_rate, max_p999 / std::max(min_p999, 1e-9));
+  std::printf("Takeaway check: ~3x diurnal GET swing, yet 99.9p latency\n"
+              "varies minimally; background SET rate steady.\n");
+  return 0;
+}

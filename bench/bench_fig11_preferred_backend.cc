@@ -1,0 +1,96 @@
+// Figure 11: preferred-backend selection benefits under server load.
+//
+// Paper setup (§7.2.1): a 3-backend R=3.2 cell using 2xR; clients GET the
+// same 4KB KV pair; one backend is put under ~95Gbps of competing NIC
+// demand from an antagonist. Reported: median and p99 latency, normalized
+// to the unloaded case, for R=3.2 and R=1.
+//
+// Expected shape: R=3.2 is nearly flat under load (first-responder
+// preference + quorum ignore the slow replica); R=1 is obliged to use the
+// overloaded backend, so both median and tail inflate.
+#include "bench_util.h"
+
+namespace cm::bench {
+namespace {
+
+using namespace cm::cliquemap;
+
+Histogram RunScenario(ReplicationMode mode, bool external_load) {
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 3;
+  o.mode = mode;
+  o.transport = TransportKind::kSoftNic;
+  o.backend.initial_buckets = 64;
+  Cell cell(sim, std::move(o));
+  cell.Start();
+  ClientConfig cc;
+  cc.strategy = LookupStrategy::kTwoR;  // paper: "configured to use 2xR"
+  Client* client = cell.AddClient(cc);
+  (void)RunOp(sim, client->Connect());
+
+  // One 4KB key; find one whose replica set covers all three backends
+  // (with 3 shards and R=3, every key does).
+  const std::string key = "fig11-key";
+  (void)RunOp(sim, client->Set(key, Bytes(4096, std::byte{7})));
+  (void)RunOp(sim, client->Get(key));  // warm connections
+
+  if (external_load) {
+    // ~95Gbps of competing demand through one backend's NIC (both
+    // directions, as a co-located antagonist would generate). The shallow
+    // backlog cap approximates the per-flow fairness/pacing of production
+    // datacenter NICs: victim traffic queues behind a bounded share of the
+    // antagonist, not an unbounded FIFO.
+    const uint32_t loaded_shard =
+        ReplicaShard(PrimaryShard(HashKey(key), 3), 0, 3);
+    cell.fabric().StartAntagonist(cell.backend(loaded_shard).host(), 95.0,
+                                  /*tx=*/true, /*rx=*/true,
+                                  /*max_backlog=*/sim::Microseconds(15));
+    sim.RunUntil(sim.now() + sim::Milliseconds(2));
+  }
+
+  return MeasureGets(sim, client, key, 2000);
+}
+
+}  // namespace
+}  // namespace cm::bench
+
+int main() {
+  using namespace cm::bench;
+  Banner("Figure 11: preferred backend selection under external load\n"
+         "(3-backend cell, 2xR, 4KB value, ~95Gbps antagonist on one backend;\n"
+         " normalized to the matching no-load configuration)");
+
+  struct Config {
+    const char* name;
+    cm::cliquemap::ReplicationMode mode;
+    bool load;
+  };
+  const Config configs[] = {
+      {"R=3.2 no external load", cm::cliquemap::ReplicationMode::kR32, false},
+      {"R=3.2 with external load", cm::cliquemap::ReplicationMode::kR32, true},
+      {"R=1   no external load", cm::cliquemap::ReplicationMode::kR1, false},
+      {"R=1   with external load", cm::cliquemap::ReplicationMode::kR1, true},
+  };
+
+  double base_p50[2] = {0, 0};
+  double base_p99[2] = {0, 0};
+  std::printf("%-28s %12s %12s %12s %12s\n", "config", "p50(us)", "p99(us)",
+              "norm p50", "norm p99");
+  for (int i = 0; i < 4; ++i) {
+    cm::Histogram h = RunScenario(configs[i].mode, configs[i].load);
+    const double p50 = h.Percentile(0.50) / 1000.0;
+    const double p99 = h.Percentile(0.99) / 1000.0;
+    const int base = i / 2;
+    if (!configs[i].load) {
+      base_p50[base] = p50;
+      base_p99[base] = p99;
+    }
+    std::printf("%-28s %12.1f %12.1f %12.2f %12.2f\n", configs[i].name, p50,
+                p99, p50 / base_p50[base], p99 / base_p99[base]);
+  }
+  std::printf(
+      "\nTakeaway check: R=3.2 normalized latencies stay ~1.0x under load;\n"
+      "R=1 inflates at both median and tail.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 14: unplanned maintenance (crash) and en-masse repairs.
+//
+// §7.2.3: a backend is forcibly crashed at a known time; the replacement
+// restarts ~90s later and a burst of repair RPC traffic restores its shard
+// from the cohort. Latency fluctuates only slightly — and can even trend
+// down while the cell is degraded, because clients send only two of three
+// per-GET operations while a replica is down.
+#include "bench_util.h"
+
+int main() {
+  using namespace cm;
+  using namespace cm::bench;
+  using namespace cm::cliquemap;
+  using namespace cm::workload;
+  Banner("Figure 14: unplanned crash + repairs\n"
+         "(R=3.2; crash at t=60s, restart at t=150s, cohort repairs)");
+
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 6;
+  o.mode = ReplicationMode::kR32;
+  o.backend.initial_buckets = 512;
+  o.backend.data_initial_bytes = 8 << 20;
+  o.backend.data_max_bytes = 64 << 20;
+  Cell cell(sim, std::move(o));
+  cell.Start();
+
+  WorkloadProfile profile = WorkloadProfile::Uniform(3000, 1024, 1.0);
+  constexpr int kClients = 5;
+  auto loaded = std::make_shared<sim::Notification>(sim);
+  std::vector<std::unique_ptr<LoadDriver>> drivers;
+  std::vector<sim::Task<void>> tasks;
+  for (int c = 0; c < kClients; ++c) {
+    ClientConfig cc;
+    cc.client_id = uint32_t(c + 1);
+    Client* client = cell.AddClient(cc);
+    LoadDriver::Options opts;
+    opts.qps = 2000;
+    opts.duration = sim::Seconds(240);
+    opts.window = sim::Seconds(10);
+    opts.seed = uint64_t(c + 1);
+    drivers.push_back(std::make_unique<LoadDriver>(*client, profile, opts));
+    tasks.push_back([](Client* client, LoadDriver* d, bool preload,
+                       std::shared_ptr<sim::Notification> loaded) -> sim::Task<void> {
+      (void)co_await client->Connect();
+      if (preload) {
+        Status s = co_await d->Preload();
+        if (!s.ok()) std::printf("preload: %s\n", s.ToString().c_str());
+        loaded->Notify();
+      } else {
+        co_await loaded->Wait();
+      }
+      co_await d->Run();
+    }(client, drivers.back().get(), c == 0, loaded));
+  }
+  // Crash at 60s; replacement restarts 90s later and recovers via repair.
+  tasks.push_back([](sim::Simulator& sim, Cell* cell) -> sim::Task<void> {
+    co_await sim.Delay(sim::Seconds(60));
+    cell->CrashShard(0);
+    co_await sim.Delay(sim::Seconds(90));
+    // Restart + en-masse recovery from the two healthy cohort members.
+    Status s = co_await cell->CrashAndRestart(0, 0);
+    if (!s.ok()) std::printf("restart failed: %s\n", s.ToString().c_str());
+  }(sim, &cell));
+
+  auto rpc_series = std::make_shared<std::vector<int64_t>>();
+  tasks.push_back([](sim::Simulator& sim, Cell* cell,
+                     std::shared_ptr<std::vector<int64_t>> out) -> sim::Task<void> {
+    for (int w = 0; w < 24; ++w) {
+      co_await sim.Delay(sim::Seconds(10));
+      out->push_back(cell->TotalRpcBytes());
+    }
+  }(sim, &cell, rpc_series));
+
+  RunAll(sim, std::move(tasks));
+
+  std::printf("%7s %9s %9s %9s %9s %9s %14s\n", "t(s)", "GET/s", "p50_us",
+              "p99_us", "p999_us", "errors", "RPC_bytes/s");
+  int64_t prev_bytes = 0;
+  size_t max_windows = 0;
+  for (const auto& d : drivers) max_windows = std::max(max_windows, d->windows().size());
+  for (size_t w = 0; w < max_windows; ++w) {
+    Histogram get_ns;
+    int64_t gets = 0, errors = 0, misses = 0;
+    for (const auto& d : drivers) {
+      if (w >= d->windows().size()) continue;
+      get_ns.Merge(d->windows()[w].get_ns);
+      gets += d->windows()[w].gets;
+      errors += d->windows()[w].get_errors;
+      misses += d->windows()[w].misses;
+    }
+    int64_t bytes = w < rpc_series->size() ? (*rpc_series)[w] : prev_bytes;
+    const char* note = "";
+    if (w == 6) note = "  <- crash";
+    if (w == 15) note = "  <- restart + repairs";
+    std::printf("%7zu %9.0f %9.1f %9.1f %9.1f %9lld %14.0f%s\n", w * 10,
+                double(gets) / 10.0, get_ns.Percentile(0.50) / 1000.0,
+                get_ns.Percentile(0.99) / 1000.0,
+                get_ns.Percentile(0.999) / 1000.0,
+                static_cast<long long>(errors + misses),
+                double(bytes - prev_bytes) / 10.0, note);
+    prev_bytes = bytes;
+  }
+  std::printf(
+      "\nTakeaway check: a repair-RPC burst right after the restart window;\n"
+      "GETs keep succeeding via the 2/3 quorum while degraded; latency\n"
+      "fluctuates only slightly.\n");
+  return 0;
+}

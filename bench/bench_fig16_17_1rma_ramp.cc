@@ -1,0 +1,94 @@
+// Figures 16 + 17: 1RMA (all-hardware transport) load ramp.
+//
+// §7.2.4: with 1RMA there is no SCAR, so each GET uses 2xR and two fabric
+// RTTs — but the serving path is entirely hardware, so:
+//   Fig 16: NIC-emitted fabric+PCIe latency rises only marginally with
+//           load (the 4KB x peak rate demands only a fraction of PCIe).
+//   Fig 17: end-to-end GET latency is dominated by client CPU and stays
+//           insensitive to load — and is *highest at the lowest load*,
+//           because idle cores pay C-state wake penalties.
+#include "bench_util.h"
+
+#include "rma/hwrma.h"
+
+int main() {
+  using namespace cm;
+  using namespace cm::bench;
+  using namespace cm::cliquemap;
+  using namespace cm::workload;
+  Banner("Figures 16+17: 1RMA load ramp (2xR, 4KB values, hardware path)\n"
+         "(Fig 16: NIC fabric+PCIe timestamps; Fig 17: end-to-end GETs)");
+
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 8;
+  o.mode = ReplicationMode::kR1;
+  o.transport = TransportKind::kOneRma;
+  o.backend.initial_buckets = 512;
+  o.backend.data_initial_bytes = 16 << 20;
+  o.backend.data_max_bytes = 64 << 20;
+  // C-state modeling on all hosts: idle cores pay a wake penalty.
+  o.backend_host.cpu.cstate_wake_penalty = sim::Microseconds(8);
+  o.backend_host.cpu.cstate_idle_threshold = sim::Microseconds(300);
+  o.client_host.cpu.cstate_wake_penalty = sim::Microseconds(8);
+  o.client_host.cpu.cstate_idle_threshold = sim::Microseconds(300);
+  Cell cell(sim, std::move(o));
+  cell.Start();
+
+  constexpr int kClients = 16;
+  std::vector<Client*> clients;
+  for (int c = 0; c < kClients; ++c) {
+    ClientConfig cc;
+    cc.client_id = uint32_t(c + 1);
+    clients.push_back(cell.AddClient(cc));
+    (void)RunOp(sim, clients.back()->Connect());
+  }
+  Preload(sim, clients[0], "onerma-", 2000, 4096);
+
+  std::printf("%16s | %9s %9s %9s | %9s %9s %9s\n", "", "fig16", "fabric+",
+              "PCIe", "fig17", "GET", "e2e");
+  std::printf("%16s | %9s %9s %9s | %9s %9s %9s\n", "rate(GET/s)", "p50_us",
+              "p90_us", "p99_us", "p50_us", "p90_us", "p99_us");
+  double base_hw_p50 = 0;
+  for (double per_client_rate : {100.0, 500.0, 2000.0, 8000.0, 20000.0,
+                                 40000.0}) {
+    cell.hwrma()->ResetHwTimestamps();
+    WorkloadProfile profile = WorkloadProfile::Uniform(2000, 4096, 1.0);
+    profile.name = "onerma";
+    std::vector<std::unique_ptr<LoadDriver>> drivers;
+    std::vector<sim::Task<void>> tasks;
+    for (size_t c = 0; c < clients.size(); ++c) {
+      LoadDriver::Options opts;
+      opts.qps = per_client_rate;
+      opts.duration = sim::Seconds(2);
+      opts.window = sim::Seconds(2);
+      opts.seed = c + 17;
+      drivers.push_back(
+          std::make_unique<LoadDriver>(*clients[c], profile, opts));
+      tasks.push_back(drivers.back()->Run());
+    }
+    RunAll(sim, std::move(tasks));
+    Histogram get_ns;
+    int64_t gets = 0;
+    for (const auto& d : drivers) {
+      for (const auto& w : d->windows()) {
+        get_ns.Merge(w.get_ns);
+        gets += w.gets;
+      }
+    }
+    const Histogram& hw = cell.hwrma()->hw_timestamps();
+    if (base_hw_p50 == 0) base_hw_p50 = double(hw.Percentile(0.5));
+    std::printf("%16.0f | %9.2f %9.2f %9.2f | %9.1f %9.1f %9.1f\n",
+                double(gets) / 2.0, hw.Percentile(0.50) / 1000.0,
+                hw.Percentile(0.90) / 1000.0, hw.Percentile(0.99) / 1000.0,
+                get_ns.Percentile(0.50) / 1000.0,
+                get_ns.Percentile(0.90) / 1000.0,
+                get_ns.Percentile(0.99) / 1000.0);
+  }
+  std::printf(
+      "\nTakeaway check (16): fabric+PCIe latency rises only marginally with\n"
+      "load. (17): end-to-end latency is flat-to-improving as load rises —\n"
+      "the highest tail is at the LOWEST load (C-state wake penalties), and\n"
+      "no software bottleneck appears on the serving side.\n");
+  return 0;
+}

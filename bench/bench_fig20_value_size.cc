@@ -1,0 +1,71 @@
+// Figure 20: performance under varying value sizes (32B .. 16KB).
+//
+// §7.2.5: for the sizes common in production, per-op fixed costs dominate
+// — GET and SET latencies are nearly flat until values become large enough
+// for serialization (bytes-per-op) to matter.
+#include "bench_util.h"
+
+int main() {
+  using namespace cm;
+  using namespace cm::bench;
+  using namespace cm::cliquemap;
+  using namespace cm::workload;
+  Banner("Figure 20: value size sweep at fixed GET rate (R=3.2)");
+
+  std::printf("%8s | %9s %9s | %9s %9s\n", "size", "GET_p50us", "GET_p99us",
+              "SET_p50us", "SET_p99us");
+  for (uint32_t size : {32u, 256u, 2048u, 16384u}) {
+    sim::Simulator sim;
+    CellOptions o;
+    o.num_shards = 6;
+    o.mode = ReplicationMode::kR32;
+    o.backend.initial_buckets = 512;
+    o.backend.data_initial_bytes = 16 << 20;
+    o.backend.data_max_bytes = 128 << 20;
+    Cell cell(sim, std::move(o));
+    cell.Start();
+
+    constexpr int kClients = 4;
+    WorkloadProfile profile = WorkloadProfile::Uniform(1500, size, 0.90);
+    std::vector<std::unique_ptr<LoadDriver>> drivers;
+    std::vector<sim::Task<void>> tasks;
+    std::vector<Client*> clients;
+    for (int c = 0; c < kClients; ++c) {
+      ClientConfig cc;
+      cc.client_id = uint32_t(c + 1);
+      clients.push_back(cell.AddClient(cc));
+      (void)RunOp(sim, clients.back()->Connect());
+    }
+    Preload(sim, clients[0], "uniform/", 1500, size);
+
+    for (int c = 0; c < kClients; ++c) {
+      LoadDriver::Options opts;
+      opts.qps = 1500;
+      opts.duration = sim::Seconds(4);
+      opts.window = sim::Seconds(4);
+      opts.seed = uint64_t(c + 31);
+      drivers.push_back(
+          std::make_unique<LoadDriver>(*clients[size_t(c)], profile, opts));
+      tasks.push_back(drivers.back()->Run());
+    }
+    RunAll(sim, std::move(tasks));
+
+    Histogram get_ns, set_ns;
+    for (const auto& d : drivers) {
+      for (const auto& w : d->windows()) {
+        get_ns.Merge(w.get_ns);
+        set_ns.Merge(w.set_ns);
+      }
+    }
+    std::printf("%7uB | %9.1f %9.1f | %9.1f %9.1f\n", size,
+                get_ns.Percentile(0.50) / 1000.0,
+                get_ns.Percentile(0.99) / 1000.0,
+                set_ns.Percentile(0.50) / 1000.0,
+                set_ns.Percentile(0.99) / 1000.0);
+  }
+  std::printf(
+      "\nTakeaway check: latencies nearly flat through the production-common\n"
+      "sizes (fixed per-op costs dominate); only the largest values bend the\n"
+      "curve upward.\n");
+  return 0;
+}

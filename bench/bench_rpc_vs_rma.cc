@@ -1,0 +1,121 @@
+// Supporting microbenchmark for §1/§2.1/§6.5 claims (google-benchmark):
+//
+//  * "even an empty RPC often costs >50 CPU-us in framework and transport
+//    code across client and server"
+//  * an RMA read costs ~2 orders of magnitude less CPU
+//  * CliqueMap GETs vs MemcacheG GETs: latency and total CPU per op
+#include <benchmark/benchmark.h>
+
+#include "baseline/memcacheg.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace cm;
+using namespace cm::bench;
+using namespace cm::cliquemap;
+
+// CPU-us consumed by one empty RPC across client and server.
+void BM_EmptyRpcCpu(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim, net::FabricConfig{});
+  rpc::RpcNetwork network(fabric);
+  net::HostId ch = fabric.AddHost(net::HostConfig{});
+  net::HostId sh = fabric.AddHost(net::HostConfig{});
+  rpc::RpcServer server(network, sh);
+  server.RegisterMethod("nop", [](ByteSpan) -> sim::Task<StatusOr<Bytes>> {
+    co_return Bytes{};
+  });
+  rpc::RpcChannel channel(network, ch, sh);
+
+  int64_t ops = 0;
+  for (auto _ : state) {
+    (void)RunOp(sim, channel.Call("nop", {}, sim::Milliseconds(10)));
+    ++ops;
+  }
+  const double total_cpu_us =
+      double(fabric.host(ch).cpu().total_busy_ns() +
+             fabric.host(sh).cpu().total_busy_ns()) /
+      1000.0;
+  state.counters["cpu_us_per_op"] = total_cpu_us / double(ops);
+}
+BENCHMARK(BM_EmptyRpcCpu)->Iterations(2000);
+
+// NIC-engine ns consumed by one 64B RMA read (no host CPU at all).
+void BM_RmaReadCpu(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim, net::FabricConfig{});
+  rma::RmaNetwork rma_network;
+  rma::SoftNicTransport nic(fabric, rma_network);
+  net::HostId ch = fabric.AddHost(net::HostConfig{});
+  net::HostId sh = fabric.AddHost(net::HostConfig{});
+  std::vector<std::byte> memory(4096, std::byte{1});
+  rma::VectorSource source(&memory);
+  rma::MemoryRegistry registry;
+  rma::RegionId region = registry.Register(&source, memory.size());
+  rma_network.Attach(sh, &registry);
+
+  int64_t ops = 0;
+  for (auto _ : state) {
+    (void)RunOp(sim, nic.Read(ch, sh, region, 0, 64));
+    ++ops;
+  }
+  state.counters["nic_ns_per_op"] =
+      double(nic.stats().initiator_nic_ns + nic.stats().target_nic_ns) /
+      double(ops);
+  state.counters["server_host_cpu_ns"] =
+      double(fabric.host(sh).cpu().total_busy_ns());
+}
+BENCHMARK(BM_RmaReadCpu)->Iterations(2000);
+
+// End-to-end 4KB GET latency: CliqueMap (SCAR) vs MemcacheG (full RPC).
+void BM_CliqueMapGet(benchmark::State& state) {
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 3;
+  o.mode = ReplicationMode::kR32;
+  Cell cell(sim, std::move(o));
+  cell.Start();
+  Client* client = cell.AddClient();
+  (void)RunOp(sim, client->Connect());
+  (void)RunOp(sim, client->Set("k", Bytes(4096, std::byte{1})));
+  (void)RunOp(sim, client->Get("k"));
+
+  Histogram lat;
+  for (auto _ : state) {
+    sim::Time t0 = sim.now();
+    (void)RunOp(sim, client->Get("k"));
+    lat.Record(sim.now() - t0);
+  }
+  state.counters["sim_p50_us"] = double(lat.Percentile(0.5)) / 1000.0;
+}
+BENCHMARK(BM_CliqueMapGet)->Iterations(2000);
+
+void BM_MemcachegGet(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim, net::FabricConfig{});
+  rpc::RpcNetwork network(fabric);
+  std::vector<net::HostId> hosts;
+  std::vector<std::unique_ptr<baseline::MemcachegServer>> servers;
+  for (int i = 0; i < 3; ++i) {
+    hosts.push_back(fabric.AddHost(net::HostConfig{}));
+    servers.push_back(
+        std::make_unique<baseline::MemcachegServer>(network, hosts.back()));
+  }
+  baseline::MemcachegClient client(network, fabric.AddHost(net::HostConfig{}),
+                                   hosts);
+  (void)RunOp(sim, client.Set("k", Bytes(4096, std::byte{1})));
+
+  Histogram lat;
+  for (auto _ : state) {
+    sim::Time t0 = sim.now();
+    (void)RunOp(sim, client.Get("k"));
+    lat.Record(sim.now() - t0);
+  }
+  state.counters["sim_p50_us"] = double(lat.Percentile(0.5)) / 1000.0;
+}
+BENCHMARK(BM_MemcachegGet)->Iterations(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary prints the rows/series of one paper table or figure
+// (see DESIGN.md §3 for the experiment index). Absolute numbers come from
+// the simulator's cost models; the claims under reproduction are the
+// *shapes*: orderings, ratios, crossovers, and flat-vs-degrading curves.
+#ifndef CM_BENCH_BENCH_UTIL_H_
+#define CM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cliquemap/cell.h"
+#include "workload/workload.h"
+
+namespace cm::bench {
+
+// Runs one client coroutine to completion on the simulator. Unlike
+// sim.Run(), this stops as soon as the op resolves, so perpetual background
+// actors (antagonists, repair loops, touch flushers) don't spin forever.
+template <typename T>
+T RunOp(sim::Simulator& sim, sim::Task<T> task) {
+  auto out = std::make_shared<std::optional<T>>();
+  sim.Spawn([](sim::Task<T> t,
+               std::shared_ptr<std::optional<T>> out) -> sim::Task<void> {
+    *out = co_await std::move(t);
+  }(std::move(task), out));
+  while (!out->has_value() && !sim.empty()) {
+    sim.RunSteps(1);  // single-step: stop exactly at completion so now() is exact
+  }
+  return **out;
+}
+
+inline void RunAll(sim::Simulator& sim, std::vector<sim::Task<void>> tasks) {
+  auto done = std::make_shared<bool>(false);
+  sim.Spawn([](sim::Simulator& sim, std::vector<sim::Task<void>> tasks,
+               std::shared_ptr<bool> done) -> sim::Task<void> {
+    co_await sim::JoinAll(sim, std::move(tasks));
+    *done = true;
+  }(sim, std::move(tasks), done));
+  while (!*done && !sim.empty()) {
+    sim.RunSteps(1);
+  }
+}
+
+// Preloads `count` fixed-size values through a client.
+inline void Preload(sim::Simulator& sim, cliquemap::Client* client,
+                    const std::string& prefix, int count, uint32_t bytes) {
+  for (int i = 0; i < count; ++i) {
+    Status s = RunOp(sim, client->Set(prefix + std::to_string(i),
+                                      Bytes(bytes, std::byte{0x42})));
+    if (!s.ok()) {
+      std::fprintf(stderr, "preload failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+struct LatencyRow {
+  Histogram hist;  // ns
+
+  void Print(const char* label) const {
+    std::printf("%-28s p50=%8.1fus p90=%8.1fus p99=%8.1fus p99.9=%8.1fus n=%lld\n",
+                label, hist.Percentile(0.50) / 1000.0,
+                hist.Percentile(0.90) / 1000.0,
+                hist.Percentile(0.99) / 1000.0,
+                hist.Percentile(0.999) / 1000.0,
+                static_cast<long long>(hist.count()));
+  }
+};
+
+// Issues `n` sequential GETs of one key and records latency.
+inline Histogram MeasureGets(sim::Simulator& sim, cliquemap::Client* client,
+                             const std::string& key, int n) {
+  Histogram h;
+  for (int i = 0; i < n; ++i) {
+    sim::Time start = sim.now();
+    auto r = RunOp(sim, client->Get(key));
+    if (r.ok()) h.Record(sim.now() - start);
+  }
+  return h;
+}
+
+inline void Banner(const char* what) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace cm::bench
+
+#endif  // CM_BENCH_BENCH_UTIL_H_

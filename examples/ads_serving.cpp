@@ -1,0 +1,92 @@
+// Ads-style serving (§7.1): an auction front-end fetches a batch of topic-
+// keyed advertising candidates from an R=3.2 CliqueMap cell under a strict
+// response deadline — late responses forfeit the auction (and revenue).
+//
+// Demonstrates: batched MultiGet, deadline accounting, and why GET tail
+// latency is the metric that matters for this workload.
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "cliquemap/cell.h"
+#include "workload/workload.h"
+
+using namespace cm;
+using namespace cm::cliquemap;
+using namespace cm::workload;
+
+template <typename T>
+T Run(sim::Simulator& sim, sim::Task<T> task) {
+  auto out = std::make_shared<std::optional<T>>();
+  sim.Spawn([](sim::Task<T> t,
+               std::shared_ptr<std::optional<T>> out) -> sim::Task<void> {
+    *out = co_await std::move(t);
+  }(std::move(task), out));
+  while (!out->has_value() && !sim.empty()) sim.RunSteps(1);
+  return **out;
+}
+
+int main() {
+  std::printf("Ads auction serving on CliqueMap\n"
+              "================================\n\n");
+  sim::Simulator sim;
+  CellOptions options;
+  options.num_shards = 6;
+  options.mode = ReplicationMode::kR32;
+  options.backend.data_initial_bytes = 16 << 20;
+  options.backend.data_max_bytes = 128 << 20;
+  options.backend.slab.slab_bytes = 1 << 20;
+  Cell cell(sim, options);
+  cell.Start();
+  Client* client = cell.AddClient();
+  (void)Run(sim, client->Connect());
+
+  // Load the ad-candidate corpus, keyed by topic.
+  constexpr int kTopics = 3000;
+  Rng rng(42);
+  SizeDistribution sizes = SizeDistribution::Ads();
+  std::printf("loading %d topic-keyed candidate lists...\n", kTopics);
+  for (int t = 0; t < kTopics; ++t) {
+    Status s = Run(sim, client->Set("topic/" + std::to_string(t),
+                                    Bytes(sizes.Sample(rng), std::byte{0xAD})));
+    if (!s.ok()) {
+      std::printf("load failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Run auctions: each fetches a batch of topics under a 5ms deadline.
+  constexpr int kAuctions = 500;
+  const sim::Duration kAuctionDeadline = sim::Milliseconds(5);
+  BatchDistribution batches(24, 300);
+  ZipfSampler zipf(kTopics, 0.99);
+  Histogram batch_latency;
+  int on_time = 0, late = 0;
+  int64_t fetched = 0;
+  for (int a = 0; a < kAuctions; ++a) {
+    const uint32_t batch = batches.Sample(rng);
+    std::vector<std::string> keys;
+    keys.reserve(batch);
+    for (uint32_t i = 0; i < batch; ++i) {
+      keys.push_back("topic/" + std::to_string(zipf.Sample(rng)));
+    }
+    const sim::Time start = sim.now();
+    auto results = Run(sim, client->MultiGet(std::move(keys)));
+    const sim::Duration took = sim.now() - start;
+    batch_latency.Record(took);
+    for (const auto& r : results) {
+      if (r.ok()) ++fetched;
+    }
+    (took <= kAuctionDeadline ? on_time : late)++;
+  }
+
+  std::printf("\n%d auctions, %lld candidates fetched\n", kAuctions,
+              (long long)fetched);
+  std::printf("auction batch latency: %s\n",
+              batch_latency.Summary(1000.0, "us").c_str());
+  std::printf("on-time: %d   late (revenue lost): %d\n", on_time, late);
+  std::printf("\nNote the tail: large batches incast the client — the paper's\n"
+              "Ads deployment sees 99.9p batch latency near 5ms for the same\n"
+              "reason (§7.1), while the median stays tens of microseconds.\n");
+  return 0;
+}

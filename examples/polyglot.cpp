@@ -1,0 +1,88 @@
+// Polyglot access (§6.2): the same corpus reached from C++, Java, Go, and
+// Python via language shims — each shim speaking the framed pipe protocol
+// to a C++ client "subprocess", so nobody reimplements the RMA client.
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "cliquemap/cell.h"
+#include "cliquemap/shim.h"
+
+using namespace cm;
+using namespace cm::cliquemap;
+
+template <typename T>
+T Run(sim::Simulator& sim, sim::Task<T> task) {
+  auto out = std::make_shared<std::optional<T>>();
+  sim.Spawn([](sim::Task<T> t,
+               std::shared_ptr<std::optional<T>> out) -> sim::Task<void> {
+    *out = co_await std::move(t);
+  }(std::move(task), out));
+  while (!out->has_value() && !sim.empty()) sim.RunSteps(1);
+  return **out;
+}
+
+int main() {
+  std::printf("Polyglot CliqueMap access\n=========================\n\n");
+  sim::Simulator sim;
+  CellOptions options;
+  options.num_shards = 3;
+  options.mode = ReplicationMode::kR32;
+  Cell cell(sim, options);
+  cell.Start();
+
+  // One client subprocess per language shim (as the real shims launch).
+  struct Binding {
+    ShimLanguage lang;
+    Client* client;
+    std::unique_ptr<LanguageShim> shim;
+  };
+  std::vector<Binding> bindings;
+  for (ShimLanguage lang : {ShimLanguage::kCpp, ShimLanguage::kJava,
+                            ShimLanguage::kGo, ShimLanguage::kPython}) {
+    ClientConfig cc;
+    cc.client_id = uint32_t(bindings.size() + 1);
+    Client* client = cell.AddClient(cc);
+    (void)Run(sim, client->Connect());
+    bindings.push_back(Binding{lang, client, nullptr});
+    bindings.back().shim = std::make_unique<LanguageShim>(client, lang);
+  }
+
+  // Each language writes a key; every other language reads it back — one
+  // corpus, many runtimes, no per-language RMA code.
+  for (auto& writer : bindings) {
+    const std::string key =
+        std::string("written-by-") + std::string(ShimLanguageName(writer.lang));
+    Status s = Run(sim, writer.shim->Set(
+                            key, ToBytes("hello from " +
+                                         std::string(ShimLanguageName(
+                                             writer.lang)))));
+    std::printf("%-4s SET %-18s -> %s\n", ShimLanguageName(writer.lang).data(),
+                key.c_str(), s.ToString().c_str());
+  }
+  std::printf("\n");
+  for (auto& reader : bindings) {
+    for (auto& writer : bindings) {
+      const std::string key = std::string("written-by-") +
+                              std::string(ShimLanguageName(writer.lang));
+      sim::Time t0 = sim.now();
+      auto got = Run(sim, reader.shim->Get(key));
+      std::printf("%-4s GET %-18s -> %-22s (%.1f us)\n",
+                  ShimLanguageName(reader.lang).data(), key.c_str(),
+                  got.ok() ? ToString(got->value).c_str()
+                           : got.status().ToString().c_str(),
+                  double(sim.now() - t0) / 1000.0);
+    }
+  }
+
+  std::printf("\npipe messages per shim: ");
+  for (auto& b : bindings) {
+    std::printf("%s=%lld ", ShimLanguageName(b.lang).data(),
+                (long long)b.shim->messages());
+  }
+  std::printf("(cpp is native: 0)\n");
+  std::printf("\nNote the latency gradient cpp < java < go < py — the price\n"
+              "of pipe hops and in-language marshaling (Fig 6), accepted to\n"
+              "avoid maintaining four RMA client implementations.\n");
+  return 0;
+}

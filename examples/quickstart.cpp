@@ -1,0 +1,89 @@
+// Quickstart: deploy a CliqueMap cell, perform the basic operations, and
+// inspect what the dataplane actually did.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "cliquemap/cell.h"
+
+using namespace cm;
+using namespace cm::cliquemap;
+
+// Everything in CliqueMap is a coroutine scheduled on the simulated
+// datacenter; this helper runs one operation to completion.
+template <typename T>
+T Run(sim::Simulator& sim, sim::Task<T> task) {
+  auto out = std::make_shared<std::optional<T>>();
+  sim.Spawn([](sim::Task<T> t,
+               std::shared_ptr<std::optional<T>> out) -> sim::Task<void> {
+    *out = co_await std::move(t);
+  }(std::move(task), out));
+  while (!out->has_value() && !sim.empty()) sim.RunSteps(1);
+  return **out;
+}
+
+int main() {
+  std::printf("CliqueMap quickstart\n====================\n\n");
+
+  // 1. Deploy a cell: 4 backend tasks, R=3.2 replication (3 replicas,
+  //    quorum of 2), software-NIC transport with SCAR lookups.
+  sim::Simulator sim;
+  CellOptions options;
+  options.num_shards = 4;
+  options.mode = ReplicationMode::kR32;
+  options.transport = TransportKind::kSoftNic;
+  Cell cell(sim, options);
+  cell.Start();
+  std::printf("deployed a %u-backend R=3.2 cell\n", cell.num_shards());
+
+  // 2. Connect a client (fetches the cell view from the config service;
+  //    per-backend RMA handshakes happen lazily).
+  Client* client = cell.AddClient();
+  Status s = Run(sim, client->Connect());
+  std::printf("client connected: %s\n\n", s.ToString().c_str());
+
+  // 3. SET — an RPC fanned out to all three replicas with a client-
+  //    nominated {TrueTime, ClientId, Seq} version.
+  s = Run(sim, client->Set("greeting", ToBytes("hello, CliqueMap")));
+  std::printf("SET greeting        -> %s\n", s.ToString().c_str());
+
+  // 4. GET — one-sided: SCAR index+data fetches from all replicas, a
+  //    client-side version quorum, checksum validation end-to-end.
+  auto got = Run(sim, client->Get("greeting"));
+  std::printf("GET greeting        -> '%s' at version %s\n",
+              ToString(got->value).c_str(), got->version.ToString().c_str());
+
+  // 5. CAS — conditional update against the memoized version.
+  auto swapped = Run(sim, client->Cas("greeting", ToBytes("hello again"),
+                                      got->version));
+  std::printf("CAS (right version) -> applied=%s\n", *swapped ? "yes" : "no");
+  swapped = Run(sim, client->Cas("greeting", ToBytes("stale write"),
+                                 got->version));
+  std::printf("CAS (stale version) -> applied=%s\n", *swapped ? "yes" : "no");
+
+  // 6. ERASE — tombstoned so no late SET can resurrect the value.
+  s = Run(sim, client->Erase("greeting"));
+  std::printf("ERASE greeting      -> %s\n", s.ToString().c_str());
+  got = Run(sim, client->Get("greeting"));
+  std::printf("GET after erase     -> %s\n\n", got.status().ToString().c_str());
+
+  // 7. What did the dataplane do?
+  const ClientStats& cs = client->stats();
+  std::printf("client stats: gets=%lld hits=%lld misses=%lld retries=%lld "
+              "torn_reads=%lld\n",
+              (long long)cs.gets, (long long)cs.hits, (long long)cs.misses,
+              (long long)cs.retries, (long long)cs.torn_reads);
+  int64_t backend_cpu = 0;
+  for (uint32_t i = 0; i < cell.num_shards(); ++i) {
+    backend_cpu += cell.fabric().host(cell.backend(i).host()).cpu().total_busy_ns();
+  }
+  std::printf("GET latency: %s\n",
+              cs.get_latency_ns.Summary(1000.0, "us").c_str());
+  std::printf("total backend host CPU consumed: %.1f us "
+              "(mutations only — GETs never touch it)\n",
+              double(backend_cpu) / 1000.0);
+  return 0;
+}

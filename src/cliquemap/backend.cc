@@ -1,0 +1,1318 @@
+#include "cliquemap/backend.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cm::cliquemap {
+
+// ---------------------------------------------------------------------------
+// Memory sources
+// ---------------------------------------------------------------------------
+
+// The index region: one contiguous buffer per index generation. Replaced
+// wholesale (and its window revoked) on reshaping.
+class Backend::IndexBuffer final : public rma::MemorySource {
+ public:
+  explicit IndexBuffer(size_t bytes) : bytes_(bytes, std::byte{0}) {}
+
+  Status ReadAt(uint64_t offset, uint32_t length,
+                std::byte* dst) const override {
+    if (offset + length > bytes_.size()) {
+      return InvalidArgumentError("index read out of range");
+    }
+    std::memcpy(dst, bytes_.data() + offset, length);
+    return OkStatus();
+  }
+  uint64_t size() const override { return bytes_.size(); }
+
+  MutableByteSpan span() { return MutableByteSpan(bytes_); }
+  ByteSpan cspan() const { return ByteSpan(bytes_); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+// The data pool: virtually contiguous, chunk-backed storage populated on
+// demand (the mmap(PROT_NONE)-reserve / populate-on-touch scheme of §4.1).
+// Only populated chunks consume memory.
+class Backend::DataPool final : public rma::MemorySource {
+ public:
+  explicit DataPool(uint64_t chunk_bytes) : chunk_bytes_(chunk_bytes) {}
+
+  void EnsurePopulated(uint64_t bytes) {
+    while (populated_ < bytes) {
+      chunks_.push_back(
+          std::make_unique<std::byte[]>(static_cast<size_t>(chunk_bytes_)));
+      std::memset(chunks_.back().get(), 0, static_cast<size_t>(chunk_bytes_));
+      populated_ += chunk_bytes_;
+    }
+  }
+
+  Status ReadAt(uint64_t offset, uint32_t length,
+                std::byte* dst) const override {
+    if (offset + length > populated_) {
+      return InvalidArgumentError("data read beyond populated pool");
+    }
+    uint64_t at = offset;
+    uint32_t remaining = length;
+    while (remaining > 0) {
+      const uint64_t chunk = at / chunk_bytes_;
+      const uint64_t within = at % chunk_bytes_;
+      const auto n = static_cast<uint32_t>(
+          std::min<uint64_t>(remaining, chunk_bytes_ - within));
+      std::memcpy(dst, chunks_[chunk].get() + within, n);
+      dst += n;
+      at += n;
+      remaining -= n;
+    }
+    return OkStatus();
+  }
+
+  Status WriteAt(uint64_t offset, ByteSpan src) {
+    if (offset + src.size() > populated_) {
+      return InvalidArgumentError("data write beyond populated pool");
+    }
+    uint64_t at = offset;
+    size_t done = 0;
+    while (done < src.size()) {
+      const uint64_t chunk = at / chunk_bytes_;
+      const uint64_t within = at % chunk_bytes_;
+      const auto n = static_cast<size_t>(
+          std::min<uint64_t>(src.size() - done, chunk_bytes_ - within));
+      std::memcpy(chunks_[chunk].get() + within, src.data() + done, n);
+      done += n;
+      at += n;
+    }
+    return OkStatus();
+  }
+
+  uint64_t size() const override { return populated_; }
+
+ private:
+  uint64_t chunk_bytes_;
+  uint64_t populated_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+};
+
+// ---------------------------------------------------------------------------
+// Construction / lifecycle
+// ---------------------------------------------------------------------------
+
+Backend::Backend(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
+                 rma::RmaNetwork& rma_network, truetime::TrueTime& truetime,
+                 net::HostId host, ConfigService* config_service,
+                 uint32_t shard, BackendConfig config)
+    : sim_(fabric.simulator()),
+      fabric_(fabric),
+      rpc_network_(rpc_network),
+      rma_network_(rma_network),
+      truetime_(truetime),
+      host_(host),
+      config_service_(config_service),
+      shard_(shard),
+      config_(std::move(config)),
+      rng_(config_.seed ^ (uint64_t{host} << 32) ^ shard),
+      tombstones_(config_.tombstone_capacity) {}
+
+Backend::~Backend() {
+  repair_loop_running_ = false;
+  *alive_ = false;
+  if (serving_) Stop();
+}
+
+void Backend::Start(uint32_t config_id) {
+  assert(!serving_);
+  ++incarnation_;
+  config_id_ = config_id;
+
+  // Index region.
+  num_buckets_ = config_.initial_buckets;
+  index_ = std::make_unique<IndexBuffer>(num_buckets_ *
+                                         BucketBytes(config_.ways));
+  for (uint64_t b = 0; b < num_buckets_; ++b) {
+    EncodeBucketHeader(BucketSpan(b), BucketHeader{config_id_, false});
+  }
+  index_region_ = registry_.Register(index_.get(), index_->size());
+
+  // Data region.
+  slab_ = std::make_unique<SlabAllocator>(
+      config_.data_max_bytes, config_.data_initial_bytes, config_.slab);
+  data_ = std::make_unique<DataPool>(config_.slab.slab_bytes);
+  data_->EnsurePopulated(slab_->populated());
+  data_regions_.clear();
+  data_regions_.push_back(registry_.Register(data_.get(), slab_->populated()));
+
+  eviction_ = MakeEvictionPolicy(
+      config_.eviction, num_buckets_ * static_cast<size_t>(config_.ways),
+      rng_.NextU64());
+  locations_.clear();
+  overflow_.clear();
+  overflow_count_.clear();
+  live_entries_ = 0;
+
+  // RMA attach + SCAR co-design install.
+  rma_network_.Attach(host_, &registry_);
+  rma_network_.InstallScar(
+      host_, [this](uint64_t hi, uint64_t lo, rma::RegionId region,
+                    uint64_t off, uint32_t len) -> StatusOr<rma::ScarResult> {
+        return ExecuteScar(hi, lo, region, off, len);
+      });
+
+  // RPC surface.
+  rpc_server_ = std::make_unique<rpc::RpcServer>(rpc_network_, host_);
+  auto bind = [this](auto method) {
+    return [this, method](ByteSpan req) -> sim::Task<StatusOr<Bytes>> {
+      return (this->*method)(req);
+    };
+  };
+  rpc_server_->RegisterMethod(proto::kMethodSet, bind(&Backend::HandleSet));
+  rpc_server_->RegisterMethod(proto::kMethodErase,
+                              bind(&Backend::HandleErase));
+  rpc_server_->RegisterMethod(proto::kMethodCas, bind(&Backend::HandleCas));
+  rpc_server_->RegisterMethod(proto::kMethodGet, bind(&Backend::HandleGet));
+  rpc_server_->RegisterMethod(proto::kMethodTouch,
+                              bind(&Backend::HandleTouch));
+  rpc_server_->RegisterMethod(proto::kMethodInfo, bind(&Backend::HandleInfo));
+  rpc_server_->RegisterMethod(proto::kMethodRepairPull,
+                              bind(&Backend::HandleRepairPull));
+  rpc_server_->RegisterMethod(proto::kMethodGetByHash,
+                              bind(&Backend::HandleGetByHash));
+  rpc_server_->RegisterMethod(proto::kMethodBumpVersion,
+                              bind(&Backend::HandleBumpVersion));
+  rpc_server_->RegisterMethod(proto::kMethodInstallBulk,
+                              bind(&Backend::HandleInstallBulk));
+
+  serving_ = true;
+}
+
+void Backend::Stop() {
+  serving_ = false;
+  if (index_region_ != rma::kInvalidRegion) registry_.Revoke(index_region_);
+  for (auto r : data_regions_) registry_.Revoke(r);
+  rma_network_.Detach(host_);
+  if (rpc_server_) lifetime_rpc_bytes_ += rpc_server_->total_bytes();
+  rpc_server_.reset();
+  if (resize_done_) resize_done_->Notify();  // release stalled mutations
+  if (grow_done_) grow_done_->Notify();      // release allocation waiters
+}
+
+void Backend::Crash() { Stop(); }
+
+void Backend::SetConfigId(uint32_t config_id) {
+  config_id_ = config_id;
+  if (!index_) return;
+  for (uint64_t b = 0; b < num_buckets_; ++b) {
+    BucketHeader h = DecodeBucketHeader(BucketSpan(b));
+    h.config_id = config_id_;
+    EncodeBucketHeader(BucketSpan(b), h);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Index helpers
+// ---------------------------------------------------------------------------
+
+MutableByteSpan Backend::BucketSpan(uint64_t bucket) {
+  return index_->span().subspan(bucket * BucketBytes(config_.ways),
+                                BucketBytes(config_.ways));
+}
+
+std::optional<int> Backend::FindWay(uint64_t bucket,
+                                    const Hash128& hash) const {
+  ByteSpan span = index_->cspan().subspan(bucket * BucketBytes(config_.ways),
+                                          BucketBytes(config_.ways));
+  for (int w = 0; w < config_.ways; ++w) {
+    IndexEntry e = DecodeIndexEntry(
+        span.subspan(kBucketHeaderSize + size_t(w) * kIndexEntrySize));
+    if (e.keyhash == hash) return w;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> Backend::FindFreeWay(uint64_t bucket) const {
+  ByteSpan span = index_->cspan().subspan(bucket * BucketBytes(config_.ways),
+                                          BucketBytes(config_.ways));
+  for (int w = 0; w < config_.ways; ++w) {
+    IndexEntry e = DecodeIndexEntry(
+        span.subspan(kBucketHeaderSize + size_t(w) * kIndexEntrySize));
+    if (e.empty()) return w;
+  }
+  return std::nullopt;
+}
+
+IndexEntry Backend::ReadEntry(uint64_t bucket, int way) const {
+  return DecodeIndexEntry(index_->cspan().subspan(
+      bucket * BucketBytes(config_.ways) + kBucketHeaderSize +
+      size_t(way) * kIndexEntrySize));
+}
+
+void Backend::WriteEntry(uint64_t bucket, int way, const IndexEntry& entry) {
+  EncodeIndexEntry(
+      BucketSpan(bucket).subspan(kBucketHeaderSize +
+                                 size_t(way) * kIndexEntrySize),
+      entry);
+}
+
+void Backend::ClearEntry(uint64_t bucket, int way) {
+  WriteEntry(bucket, way, IndexEntry{});
+}
+
+void Backend::SetOverflowFlag(uint64_t bucket, bool overflow) {
+  BucketHeader h = DecodeBucketHeader(BucketSpan(bucket));
+  h.overflow = overflow;
+  EncodeBucketHeader(BucketSpan(bucket), h);
+}
+
+// ---------------------------------------------------------------------------
+// Data helpers
+// ---------------------------------------------------------------------------
+
+void Backend::FreeData(const Pointer& ptr) {
+  if (ptr.is_null()) return;
+  slab_->Free(ptr.offset, ptr.size);
+}
+
+Bytes Backend::ReadData(const Pointer& ptr) const {
+  Bytes out(ptr.size);
+  if (!data_->ReadAt(ptr.offset, ptr.size, out.data()).ok()) out.clear();
+  return out;
+}
+
+bool Backend::EvictKey(const Hash128& hash) {
+  auto it = locations_.find(hash);
+  if (it == locations_.end()) return false;
+  IndexEntry e = ReadEntry(it->second.bucket, it->second.way);
+  // Nullify the pointer first, then reclaim: in-flight 2xR GETs that read
+  // the old pointer may still complete (ordered-before the eviction, §4.2).
+  ClearEntry(it->second.bucket, it->second.way);
+  FreeData(e.pointer);
+  locations_.erase(it);
+  --live_entries_;
+  eviction_->OnRemove(hash);
+  return true;
+}
+
+sim::Task<StatusOr<uint64_t>> Backend::AllocateWithEviction(uint32_t size) {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    auto r = slab_->Allocate(size);
+    if (r.ok()) {
+      MaybeScheduleDataGrow();
+      co_return r;
+    }
+    // Growth, when possible, proceeds asynchronously off the critical path
+    // (§4.1); a mutation that can't allocate while a grow is in flight
+    // waits for it rather than evicting prematurely.
+    MaybeScheduleDataGrow(/*force=*/true);
+    if (data_growing_ && grow_done_) {
+      co_await grow_done_->Wait();
+      continue;
+    }
+    // Capacity conflict (§4.2): an eviction anywhere in the pool suffices.
+    Hash128 victim = eviction_->Victim();
+    if (victim.is_zero()) break;
+    if (!EvictKey(victim)) {
+      eviction_->OnRemove(victim);  // stale policy entry; drop and retry
+      continue;
+    }
+    ++stats_.evictions_capacity;
+  }
+  co_return ResourceExhaustedError("data region full and nothing evictable");
+}
+
+// ---------------------------------------------------------------------------
+// Reshaping
+// ---------------------------------------------------------------------------
+
+sim::Task<void> Backend::AwaitMutationsAllowed() {
+  // "For simplicity, mutations stall during an index resize" (§4.1).
+  while (index_resizing_) {
+    co_await resize_done_->Wait();
+  }
+}
+
+void Backend::MaybeScheduleIndexResize() {
+  if (index_resizing_ || !serving_) return;
+  const double load = double(live_entries_) /
+                      double(num_buckets_ * uint64_t(config_.ways));
+  if (load < config_.index_load_limit) return;
+  index_resizing_ = true;
+  resize_done_ = std::make_unique<sim::Notification>(sim_);
+  sim_.Spawn(ResizeIndex());
+}
+
+sim::Task<void> Backend::ResizeIndex() {
+  ++stats_.index_resizes;
+  // Registration + repopulation cost on the host CPU (handlers are cheap;
+  // registration is "widely recognized to be expensive").
+  co_await fabric_.host(host_).cpu().Run(
+      config_.memory_registration_cost +
+      sim::Nanoseconds(static_cast<int64_t>(50 * live_entries_)));
+  if (!serving_) {
+    index_resizing_ = false;
+    resize_done_->Notify();
+    co_return;
+  }
+
+  // Re-place every live entry under the new bucket count (atomic in sim
+  // time: no suspension between here and the swap below). If some bucket
+  // still overflows its ways, double again — upsizing exists precisely to
+  // make associativity conflicts rare (§4.2).
+  auto new_buckets = static_cast<uint64_t>(double(num_buckets_) *
+                                           config_.index_grow_factor);
+  std::unique_ptr<IndexBuffer> new_index;
+  std::unordered_map<Hash128, Location> new_locations;
+  std::vector<Hash128> unplaced;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    new_index = std::make_unique<IndexBuffer>(new_buckets *
+                                              BucketBytes(config_.ways));
+    for (uint64_t b = 0; b < new_buckets; ++b) {
+      EncodeBucketHeader(
+          new_index->span().subspan(b * BucketBytes(config_.ways)),
+          BucketHeader{config_id_, false});
+    }
+    new_locations.clear();
+    new_locations.reserve(locations_.size());
+    unplaced.clear();
+    for (const auto& [hash, loc] : locations_) {
+      IndexEntry e = ReadEntry(loc.bucket, loc.way);
+      const uint64_t nb = BucketIndex(hash, new_buckets);
+      MutableByteSpan bspan = new_index->span().subspan(
+          nb * BucketBytes(config_.ways), BucketBytes(config_.ways));
+      bool placed = false;
+      for (int w = 0; w < config_.ways; ++w) {
+        MutableByteSpan espan =
+            bspan.subspan(kBucketHeaderSize + size_t(w) * kIndexEntrySize);
+        if (DecodeIndexEntry(espan).empty()) {
+          EncodeIndexEntry(espan, e);
+          new_locations[hash] = Location{nb, w};
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) unplaced.push_back(hash);
+    }
+    if (unplaced.empty()) break;
+    new_buckets *= 2;
+  }
+  // Anything still unplaced after repeated doubling is treated as an
+  // associativity eviction (vanishingly rare at production geometries).
+  for (const Hash128& hash : unplaced) {
+    auto it = locations_.find(hash);
+    if (it == locations_.end()) continue;
+    FreeData(ReadEntry(it->second.bucket, it->second.way).pointer);
+    eviction_->OnRemove(hash);
+    ++stats_.evictions_assoc;
+  }
+  live_entries_ = new_locations.size();
+
+  // Revoke the original index: in-flight client RMAs fail and clients
+  // re-learn the layout via RPC (§4.1).
+  registry_.Revoke(index_region_);
+  index_ = std::move(new_index);
+  num_buckets_ = new_buckets;
+  locations_ = std::move(new_locations);
+  index_region_ = registry_.Register(index_.get(), index_->size());
+
+  // The larger index usually has room for keys that overflowed the old
+  // one: promote them back to RMA-servable residency. Whatever still
+  // doesn't fit keeps its overflow bit (on its *new* bucket).
+  overflow_count_.clear();
+  for (auto it = overflow_.begin(); it != overflow_.end();) {
+    const std::string& key = it->first;
+    const Bytes& value = it->second.first;
+    const VersionNumber& version = it->second.second;
+    const Hash128 hash = config_.hash_fn(key);
+    const uint64_t bucket = BucketIndex(hash, num_buckets_);
+    bool promoted = false;
+    if (auto way = FindFreeWay(bucket)) {
+      const auto entry_bytes =
+          static_cast<uint32_t>(DataEntryBytes(key.size(), value.size()));
+      auto offset = slab_->Allocate(entry_bytes);
+      if (offset.ok()) {
+        Bytes encoded(entry_bytes);
+        EncodeDataEntry(encoded, key, value, hash, version);
+        (void)data_->WriteAt(*offset, encoded);
+        WriteEntry(bucket, *way,
+                   IndexEntry{hash, version,
+                              Pointer{data_regions_.back(), entry_bytes,
+                                      *offset}});
+        locations_[hash] = Location{bucket, *way};
+        ++live_entries_;
+        promoted = true;
+      }
+    }
+    if (promoted) {
+      it = overflow_.erase(it);
+    } else {
+      overflow_count_[bucket]++;
+      SetOverflowFlag(bucket, true);
+      ++it;
+    }
+  }
+
+  index_resizing_ = false;
+  resize_done_->Notify();
+}
+
+void Backend::MaybeScheduleDataGrow(bool force) {
+  if (data_growing_ || !serving_ || !slab_->CanGrow()) return;
+  if (!force && slab_->Utilization() < config_.data_high_watermark) return;
+  data_growing_ = true;
+  grow_done_ = std::make_unique<sim::Notification>(sim_);
+  sim_.Spawn(GrowData());
+}
+
+sim::Task<void> Backend::GrowData() {
+  ++stats_.data_grows;
+  // Kernel memory management has unpredictable duration: charge the
+  // registration cost off the serving path (§4.1).
+  co_await fabric_.host(host_).cpu().Run(config_.memory_registration_cost);
+  if (!serving_) {
+    data_growing_ = false;
+    if (grow_done_) grow_done_->Notify();
+    co_return;
+  }
+  slab_->Grow(config_.data_grow_factor);
+  data_->EnsurePopulated(slab_->populated());
+  // Establish the second, larger, overlapping window; old windows stay
+  // live (clients converge to the new one over time).
+  data_regions_.push_back(registry_.Register(data_.get(), slab_->populated()));
+  data_growing_ = false;
+  if (grow_done_) grow_done_->Notify();
+}
+
+// ---------------------------------------------------------------------------
+// Mutation paths
+// ---------------------------------------------------------------------------
+
+sim::Task<StatusOr<bool>> Backend::ApplySet(std::string_view key,
+                                            ByteSpan value,
+                                            const VersionNumber& version,
+                                            bool charge_write_time) {
+  co_await AwaitMutationsAllowed();
+  if (!serving_) co_return UnavailableError("backend stopped");
+
+  const Hash128 hash = config_.hash_fn(key);
+  {
+    // Monotonicity (§5.2): apply only if the proposed version exceeds the
+    // stored version — consulting the index, the overflow side table, the
+    // tombstone cache, and its summary.
+    const uint64_t bucket = BucketIndex(hash, num_buckets_);
+    auto way = FindWay(bucket, hash);
+    if (way) {
+      if (version <= ReadEntry(bucket, *way).version) {
+        ++stats_.sets_rejected_stale;
+        co_return false;
+      }
+    } else if (auto it = overflow_.find(std::string(key));
+               it != overflow_.end()) {
+      if (version <= it->second.second) {
+        ++stats_.sets_rejected_stale;
+        co_return false;
+      }
+    } else if (version <= tombstones_.Floor(hash)) {
+      ++stats_.sets_rejected_stale;
+      co_return false;
+    }
+  }
+
+  const auto entry_bytes =
+      static_cast<uint32_t>(DataEntryBytes(key.size(), value.size()));
+  auto offset = co_await AllocateWithEviction(entry_bytes);
+  if (!offset.ok()) co_return offset.status();
+  const Pointer new_ptr{data_regions_.back(), entry_bytes, *offset};
+
+  // Serialize the DataEntry and write it in two steps with simulated memcpy
+  // time in between: the window in which a concurrent RMA read observes a
+  // torn entry (checksum mismatch -> client retry).
+  Bytes encoded(entry_bytes);
+  EncodeDataEntry(encoded, key, value, hash, version);
+  if (charge_write_time) {
+    const auto write_ns = static_cast<sim::Duration>(
+        double(entry_bytes) / config_.write_bytes_per_ns);
+    (void)data_->WriteAt(*offset, ByteSpan(encoded).first(entry_bytes / 2));
+    co_await sim_.Delay(std::max<sim::Duration>(write_ns / 2, 1));
+    (void)data_->WriteAt(*offset + entry_bytes / 2,
+                         ByteSpan(encoded).subspan(entry_bytes / 2));
+    co_await sim_.Delay(std::max<sim::Duration>(write_ns / 2, 1));
+  } else {
+    (void)data_->WriteAt(*offset, encoded);
+  }
+
+  if (!serving_) {  // stopped while writing
+    slab_->Free(*offset, entry_bytes);
+    co_return UnavailableError("backend stopped");
+  }
+
+  // Re-resolve the bucket/way: the index may have reshaped or a competing
+  // SET may have won while we were writing.
+  const uint64_t bucket = BucketIndex(hash, num_buckets_);
+  auto way = FindWay(bucket, hash);
+  if (way) {
+    IndexEntry old = ReadEntry(bucket, *way);
+    if (old.version >= version) {
+      slab_->Free(*offset, entry_bytes);  // lost the race to a newer SET
+      ++stats_.sets_rejected_stale;
+      co_return false;
+    }
+    WriteEntry(bucket, *way, IndexEntry{hash, version, new_ptr});
+    FreeData(old.pointer);  // reclaim the old DataEntry as free space
+    locations_[hash] = Location{bucket, *way};
+  } else {
+    auto free_way = FindFreeWay(bucket);
+    if (!free_way) {
+      // Associativity conflict (§4.2).
+      if (config_.rpc_fallback_on_overflow) {
+        overflow_[std::string(key)] = {Bytes(value.begin(), value.end()),
+                                       version};
+        overflow_count_[bucket]++;
+        SetOverflowFlag(bucket, true);
+        slab_->Free(*offset, entry_bytes);  // served via RPC, not RMA
+        ++stats_.overflow_inserts;
+        eviction_->OnInsert(hash);
+        ++stats_.sets_applied;
+        co_return true;
+      }
+      std::vector<Hash128> residents;
+      residents.reserve(static_cast<size_t>(config_.ways));
+      for (int w = 0; w < config_.ways; ++w) {
+        IndexEntry e = ReadEntry(bucket, w);
+        if (!e.empty()) residents.push_back(e.keyhash);
+      }
+      Hash128 victim = eviction_->VictimAmong(residents);
+      if (victim.is_zero() || !EvictKey(victim)) {
+        // Fall back to the first resident.
+        EvictKey(residents.front());
+      }
+      ++stats_.evictions_assoc;
+      free_way = FindFreeWay(bucket);
+    }
+    WriteEntry(bucket, *free_way, IndexEntry{hash, version, new_ptr});
+    locations_[hash] = Location{bucket, *free_way};
+    ++live_entries_;
+  }
+
+  tombstones_.Clear(hash);
+  eviction_->OnInsert(hash);
+  ++stats_.sets_applied;
+  MaybeScheduleIndexResize();
+  co_return true;
+}
+
+sim::Task<StatusOr<bool>> Backend::ApplyErase(std::string_view key,
+                                              const VersionNumber& version) {
+  co_await AwaitMutationsAllowed();
+  if (!serving_) co_return UnavailableError("backend stopped");
+
+  const Hash128 hash = config_.hash_fn(key);
+  const uint64_t bucket = BucketIndex(hash, num_buckets_);
+  auto way = FindWay(bucket, hash);
+  if (way) {
+    IndexEntry e = ReadEntry(bucket, *way);
+    if (version <= e.version) co_return false;
+    ClearEntry(bucket, *way);
+    FreeData(e.pointer);
+    locations_.erase(hash);
+    --live_entries_;
+    eviction_->OnRemove(hash);
+    tombstones_.Record(hash, version);
+    ++stats_.erases_applied;
+    co_return true;
+  }
+  if (auto it = overflow_.find(std::string(key)); it != overflow_.end()) {
+    if (version <= it->second.second) co_return false;
+    overflow_.erase(it);
+    if (--overflow_count_[bucket] <= 0) {
+      overflow_count_.erase(bucket);
+      SetOverflowFlag(bucket, false);
+    }
+    tombstones_.Record(hash, version);
+    ++stats_.erases_applied;
+    co_return true;
+  }
+  // Erase of an absent key: still record the tombstone so late SETs cannot
+  // restore an affirmatively-erased value (§5.2).
+  if (version <= tombstones_.Floor(hash)) co_return false;
+  tombstones_.Record(hash, version);
+  ++stats_.erases_applied;
+  co_return true;
+}
+
+// ---------------------------------------------------------------------------
+// RPC handlers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Bytes AppliedResponse(bool applied) {
+  rpc::WireWriter w;
+  w.PutU32(proto::kTagApplied, applied ? 1 : 0);
+  return std::move(w).Take();
+}
+
+}  // namespace
+
+sim::Task<StatusOr<Bytes>> Backend::HandleSet(ByteSpan req) {
+  co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
+  rpc::WireReader r(req);
+  auto key = r.GetBytes(proto::kTagKey);
+  auto value = r.GetBytes(proto::kTagValue);
+  auto version = proto::GetVersion(r);
+  if (!key || !value || !version) {
+    co_return InvalidArgumentError("Set: missing fields");
+  }
+  auto applied = co_await ApplySet(ToString(*key), *value, *version,
+                                   /*charge_write_time=*/true);
+  if (!applied.ok()) co_return applied.status();
+  co_return AppliedResponse(*applied);
+}
+
+sim::Task<StatusOr<Bytes>> Backend::HandleErase(ByteSpan req) {
+  co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
+  rpc::WireReader r(req);
+  auto key = r.GetBytes(proto::kTagKey);
+  auto version = proto::GetVersion(r);
+  if (!key || !version) co_return InvalidArgumentError("Erase: missing fields");
+  auto applied = co_await ApplyErase(ToString(*key), *version);
+  if (!applied.ok()) co_return applied.status();
+  co_return AppliedResponse(*applied);
+}
+
+sim::Task<StatusOr<Bytes>> Backend::HandleCas(ByteSpan req) {
+  co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
+  rpc::WireReader r(req);
+  auto key = r.GetBytes(proto::kTagKey);
+  auto value = r.GetBytes(proto::kTagValue);
+  auto version = proto::GetVersion(r);
+  auto expected = proto::GetVersion(r, proto::kTagExpectedTt);
+  if (!key || !value || !version || !expected) {
+    co_return InvalidArgumentError("Cas: missing fields");
+  }
+  // CAS installs only when the stored version matches `expected` (§5.2).
+  const Hash128 hash = config_.hash_fn(ToString(*key));
+  const uint64_t bucket = BucketIndex(hash, num_buckets_);
+  auto way = FindWay(bucket, hash);
+  VersionNumber stored;  // zero when absent
+  if (way) stored = ReadEntry(bucket, *way).version;
+  if (stored != *expected) {
+    ++stats_.cas_failed;
+    co_return AppliedResponse(false);
+  }
+  auto applied = co_await ApplySet(ToString(*key), *value, *version, true);
+  if (!applied.ok()) co_return applied.status();
+  if (*applied) {
+    ++stats_.cas_applied;
+  } else {
+    ++stats_.cas_failed;
+  }
+  co_return AppliedResponse(*applied);
+}
+
+sim::Task<StatusOr<Bytes>> Backend::HandleGet(ByteSpan req) {
+  co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
+  ++stats_.rpc_gets;
+  rpc::WireReader r(req);
+  auto key = r.GetBytes(proto::kTagKey);
+  if (!key) co_return InvalidArgumentError("Get: missing key");
+  const std::string key_str = ToString(*key);
+  const Hash128 hash = config_.hash_fn(key_str);
+  const uint64_t bucket = BucketIndex(hash, num_buckets_);
+  auto way = FindWay(bucket, hash);
+  if (way) {
+    IndexEntry e = ReadEntry(bucket, *way);
+    Bytes data = ReadData(e.pointer);
+    auto view = DecodeDataEntry(data);
+    if (view.ok() && view->key == key_str) {
+      rpc::WireWriter w;
+      w.PutBytes(proto::kTagValue, view->value);
+      proto::PutVersion(w, view->version);
+      co_return std::move(w).Take();
+    }
+    // Decode failure under RPC means we raced a local mutation; the client
+    // treats this as retryable.
+    co_return AbortedError("entry mutated during RPC get");
+  }
+  if (auto it = overflow_.find(key_str); it != overflow_.end()) {
+    rpc::WireWriter w;
+    w.PutBytes(proto::kTagValue, it->second.first);
+    proto::PutVersion(w, it->second.second);
+    co_return std::move(w).Take();
+  }
+  co_return NotFoundError("no such key");
+}
+
+sim::Task<StatusOr<Bytes>> Backend::HandleTouch(ByteSpan req) {
+  co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu / 2);
+  rpc::WireReader r(req);
+  auto blob = r.GetBytes(proto::kTagRecords);
+  if (!blob) co_return InvalidArgumentError("Touch: missing records");
+  for (const Hash128& h : proto::ParseTouchRecords(*blob)) {
+    eviction_->OnTouch(h);
+    ++stats_.touches_ingested;
+  }
+  co_return Bytes{};
+}
+
+sim::Task<StatusOr<Bytes>> Backend::HandleInfo(ByteSpan) {
+  co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu / 2);
+  rpc::WireWriter w;
+  w.PutU32(proto::kTagIndexRegion, index_region_);
+  w.PutU64(proto::kTagNumBuckets, num_buckets_);
+  w.PutU32(proto::kTagWays, static_cast<uint32_t>(config_.ways));
+  w.PutU32(proto::kTagConfigId, config_id_);
+  w.PutU64(proto::kTagIncarnation, incarnation_);
+  for (auto region : data_regions_) {
+    w.PutU32(proto::kTagDataRegion, region);
+  }
+  co_return std::move(w).Take();
+}
+
+sim::Task<StatusOr<Bytes>> Backend::HandleRepairPull(ByteSpan req) {
+  co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
+  rpc::WireReader r(req);
+  auto shard_filter = r.GetU32(proto::kTagFlags);
+  auto num_shards = r.GetU32(proto::kTagRecordCount);
+  if (!shard_filter || !num_shards) {
+    co_return InvalidArgumentError("RepairPull: missing shard filter");
+  }
+  Bytes blob;
+  for (const auto& rec : SnapshotRecords(*shard_filter, *num_shards)) {
+    proto::AppendRepairRecord(blob, rec);
+  }
+  rpc::WireWriter w;
+  w.PutBytes(proto::kTagRecords, blob);
+  co_return std::move(w).Take();
+}
+
+const std::pair<const std::string, std::pair<Bytes, VersionNumber>>*
+Backend::FindOverflowByHash(const Hash128& hash) const {
+  for (const auto& entry : overflow_) {
+    if (config_.hash_fn(entry.first) == hash) return &entry;
+  }
+  return nullptr;
+}
+
+sim::Task<StatusOr<Bytes>> Backend::HandleGetByHash(ByteSpan req) {
+  co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
+  rpc::WireReader r(req);
+  auto hi = r.GetU64(proto::kTagHashHi);
+  auto lo = r.GetU64(proto::kTagHashLo);
+  if (!hi || !lo) co_return InvalidArgumentError("GetByHash: missing hash");
+  const Hash128 hash{*hi, *lo};
+  auto it = locations_.find(hash);
+  if (it == locations_.end()) {
+    if (const auto* ov = FindOverflowByHash(hash)) {
+      rpc::WireWriter w;
+      w.PutString(proto::kTagKey, ov->first);
+      w.PutBytes(proto::kTagValue, ov->second.first);
+      proto::PutVersion(w, ov->second.second);
+      co_return std::move(w).Take();
+    }
+    co_return NotFoundError("hash not resident");
+  }
+  IndexEntry e = ReadEntry(it->second.bucket, it->second.way);
+  auto view = DecodeDataEntry(ReadData(e.pointer));
+  if (!view.ok()) co_return view.status();
+  rpc::WireWriter w;
+  w.PutString(proto::kTagKey, view->key);
+  w.PutBytes(proto::kTagValue, view->value);
+  proto::PutVersion(w, view->version);
+  co_return std::move(w).Take();
+}
+
+sim::Task<StatusOr<Bytes>> Backend::HandleBumpVersion(ByteSpan req) {
+  co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
+  rpc::WireReader r(req);
+  auto hi = r.GetU64(proto::kTagHashHi);
+  auto lo = r.GetU64(proto::kTagHashLo);
+  auto old_version = proto::GetVersion(r, proto::kTagExpectedTt);
+  auto new_version = proto::GetVersion(r);
+  if (!hi || !lo || !old_version || !new_version) {
+    co_return InvalidArgumentError("BumpVersion: missing fields");
+  }
+  const Hash128 hash{*hi, *lo};
+  auto it = locations_.find(hash);
+  if (it == locations_.end()) {
+    // Overflow-resident entries are bumpable too.
+    if (const auto* ov = FindOverflowByHash(hash);
+        ov != nullptr && ov->second.second == *old_version) {
+      overflow_[ov->first].second = *new_version;
+      ++stats_.bump_versions;
+      co_return AppliedResponse(true);
+    }
+    co_return AppliedResponse(false);
+  }
+  IndexEntry e = ReadEntry(it->second.bucket, it->second.way);
+  if (e.version != *old_version) co_return AppliedResponse(false);
+  // Rewrite the DataEntry's version + checksum, then the IndexEntry; a
+  // concurrent GET sees either a consistent old or new state, or a
+  // retryable checksum failure.
+  Bytes data = ReadData(e.pointer);
+  Status s = RewriteDataEntryVersion(data, *new_version);
+  if (!s.ok()) co_return s;
+  (void)data_->WriteAt(e.pointer.offset, data);
+  e.version = *new_version;
+  WriteEntry(it->second.bucket, it->second.way, e);
+  ++stats_.bump_versions;
+  co_return AppliedResponse(true);
+}
+
+sim::Task<StatusOr<Bytes>> Backend::HandleInstallBulk(ByteSpan req) {
+  co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
+  rpc::WireReader r(req);
+  auto blob = r.GetBytes(proto::kTagRecords);
+  if (!blob) co_return InvalidArgumentError("InstallBulk: missing records");
+  uint32_t accepted = 0;
+  for (const auto& rec : proto::ParseBulkRecords(*blob)) {
+    if (rec.erased) {
+      if (rec.key.empty()) {
+        // Summary-version transfer (tombstone cache is approximated by its
+        // summary across migration).
+        tombstones_.MergeSummary(rec.version);
+        ++accepted;
+        continue;
+      }
+      auto applied = co_await ApplyErase(rec.key, rec.version);
+      if (applied.ok() && *applied) ++accepted;
+      continue;
+    }
+    auto applied = co_await ApplySet(rec.key, rec.value, rec.version,
+                                     /*charge_write_time=*/false);
+    if (applied.ok() && *applied) ++accepted;
+  }
+  stats_.bulk_installed += accepted;
+  rpc::WireWriter w;
+  w.PutU32(proto::kTagApplied, accepted);
+  co_return std::move(w).Take();
+}
+
+// ---------------------------------------------------------------------------
+// SCAR executor (§6.3)
+// ---------------------------------------------------------------------------
+
+StatusOr<rma::ScarResult> Backend::ExecuteScar(uint64_t hash_hi,
+                                               uint64_t hash_lo,
+                                               rma::RegionId index_region,
+                                               uint64_t bucket_offset,
+                                               uint32_t bucket_len) {
+  if (!serving_ || index_region != index_region_ ||
+      !registry_.IsLive(index_region)) {
+    return PermissionDeniedError("scar against stale index window");
+  }
+  auto bucket = registry_.ResolveCopy(index_region, bucket_offset, bucket_len);
+  if (!bucket.ok()) return bucket.status();
+
+  rma::ScarResult result;
+  result.bucket = *std::move(bucket);
+  const Hash128 want{hash_hi, hash_lo};
+  for (int w = 0; w < config_.ways; ++w) {
+    const size_t at = kBucketHeaderSize + size_t(w) * kIndexEntrySize;
+    if (at + kIndexEntrySize > result.bucket.size()) break;
+    IndexEntry e = DecodeIndexEntry(ByteSpan(result.bucket).subspan(at));
+    if (e.keyhash == want && !e.pointer.is_null()) {
+      // Read the DataEntry at this instant; a torn pointer or mid-write
+      // entry surfaces to the client as a checksum failure.
+      Bytes data(e.pointer.size);
+      if (data_->ReadAt(e.pointer.offset, e.pointer.size, data.data()).ok()) {
+        result.data = std::move(data);
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Repair (§5.4)
+// ---------------------------------------------------------------------------
+
+std::vector<proto::RepairRecord> Backend::SnapshotRecords(
+    uint32_t shard_filter, uint32_t num_shards) const {
+  std::vector<proto::RepairRecord> out;
+  if (num_shards == 0) return out;
+  for (const auto& [hash, loc] : locations_) {
+    if (PrimaryShard(hash, num_shards) != shard_filter) continue;
+    IndexEntry e = ReadEntry(loc.bucket, loc.way);
+    out.push_back(proto::RepairRecord{hash, e.version, false});
+  }
+  // Overflow-resident keys are real, servable data (via RPC fallback) and
+  // must be visible to cohort scans, or repairers would "restore" them
+  // forever.
+  for (const auto& [key, stored] : overflow_) {
+    const Hash128 hash = config_.hash_fn(key);
+    if (PrimaryShard(hash, num_shards) != shard_filter) continue;
+    out.push_back(proto::RepairRecord{hash, stored.second, false});
+  }
+  for (const auto& [hash, version] : tombstones_.entries()) {
+    if (PrimaryShard(hash, num_shards) != shard_filter) continue;
+    out.push_back(proto::RepairRecord{hash, version, true});
+  }
+  return out;
+}
+
+VersionNumber Backend::NewRepairVersion() {
+  // Backends nominate versions like clients do, with a reserved id space.
+  return VersionNumber{truetime_.NowMicros(host_),
+                       0x80000000u | host_, ++repair_seq_};
+}
+
+sim::Task<void> Backend::RepairScanOnce(bool all_shards) {
+  if (!serving_ || config_service_ == nullptr) co_return;
+  ++stats_.repair_scans;
+  const CellView view = config_service_->view();
+  const uint32_t n = view.num_shards();
+  const int replicas = ReplicaCount(view.mode);
+  if (replicas < 2 || n == 0) co_return;
+
+  // This backend holds copies for shards s where some replica of s lands
+  // here: s = shard_ - r (mod n) for r in [0, replicas). Periodic scans
+  // (all_shards=false) repair only the shard this backend is primary for;
+  // recovery scans repair everything resident here.
+  const int scan_replicas = all_shards ? replicas : 1;
+  for (int r = 0; r < scan_replicas; ++r) {
+    const uint32_t s = (shard_ + n - static_cast<uint32_t>(r)) % n;
+    std::vector<net::HostId> cohort;
+    for (int i = 0; i < replicas; ++i) {
+      const net::HostId h = view.shard_hosts[ReplicaShard(s, i, n)];
+      if (h != host_) cohort.push_back(h);
+    }
+    if (!cohort.empty()) co_await RepairShardAgainstCohort(s, cohort);
+    if (!serving_) co_return;
+  }
+}
+
+sim::Task<void> Backend::RepairShardAgainstCohort(
+    uint32_t shard, std::vector<net::HostId> cohort) {
+  const CellView view = config_service_->view();
+  const uint32_t n = view.num_shards();
+
+  // hash -> per-holder observation; index 0 = self, 1.. = cohort.
+  std::unordered_map<Hash128, std::vector<Observation_>> table;
+  const size_t holders = 1 + cohort.size();
+  auto observe = [&](size_t holder, const proto::RepairRecord& rec) {
+    auto& row = table[rec.keyhash];
+    if (row.empty()) row.resize(holders);
+    row[holder] = Observation_{rec.version, rec.erased, true};
+  };
+
+  // A peer that doesn't answer the pull is *unreachable*, not *empty*:
+  // it must neither count as missing data nor receive repairs — otherwise
+  // every scan during an outage re-versions the healthy replicas (§5.4
+  // repairs react to observed dirty quorums, not to downtime).
+  std::vector<bool> responded(holders, false);
+  responded[0] = true;
+  for (const auto& rec : SnapshotRecords(shard, n)) observe(0, rec);
+  for (size_t i = 0; i < cohort.size(); ++i) {
+    rpc::WireWriter w;
+    w.PutU32(proto::kTagFlags, shard);
+    w.PutU32(proto::kTagRecordCount, n);
+    rpc::RpcChannel ch(rpc_network_, host_, cohort[i]);
+    auto resp = co_await ch.Call(proto::kMethodRepairPull,
+                                 std::move(w).Take(), sim::Seconds(1));
+    if (!resp.ok()) continue;  // peer unreachable
+    rpc::WireReader rr(*resp);
+    auto blob = rr.GetBytes(proto::kTagRecords);
+    if (!blob) continue;
+    responded[i + 1] = true;
+    for (const auto& rec : proto::ParseRepairRecords(*blob)) {
+      observe(i + 1, rec);
+    }
+  }
+  if (!serving_) co_return;
+
+  for (auto& [hash, row] : table) {
+    if (row.empty()) continue;
+    row.resize(holders);
+    // Mark unreachable holders so the repair step skips them too.
+    for (size_t i = 0; i < holders; ++i) {
+      if (!responded[i]) row[i].unreachable = true;
+    }
+    // Clean iff every *responding* holder has the same live version, or
+    // they all agree on absence/erasure.
+    bool all_same_live = true;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (!responded[i]) continue;
+      if (!row[i].present || row[i].erased || !row[0].present ||
+          row[0].erased || row[i].version != row[0].version) {
+        all_same_live = false;
+        break;
+      }
+    }
+    if (all_same_live) continue;
+
+    // Authoritative state = the maximum version observed among responders.
+    Observation_ best;
+    size_t best_holder = 0;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (!responded[i]) continue;
+      if (row[i].present && row[i].version > best.version) {
+        best = row[i];
+        best_holder = i;
+      }
+    }
+    if (!best.present) continue;
+
+    bool anyone_dirty = false;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (!responded[i]) continue;
+      const auto& o = row[i];
+      if (o.present && !o.erased && o.version == best.version) continue;
+      if (best.erased && (!o.present || o.erased)) continue;  // absence ok
+      anyone_dirty = true;
+    }
+    if (!anyone_dirty) continue;
+
+    co_await RepairKey(shard, hash, row, best, best_holder, cohort);
+    if (!serving_) co_return;
+  }
+}
+
+sim::Task<void> Backend::RepairKey(uint32_t shard, Hash128 hash,
+                                   std::vector<Observation_> row,
+                                   Observation_ best, size_t best_holder,
+                                   std::vector<net::HostId> cohort) {
+  (void)shard;
+  ++stats_.repairs_issued;
+  const VersionNumber fresh = NewRepairVersion();
+
+  if (best.erased) {
+    // Propagate the erase to holders of stale live values.
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].unreachable) continue;
+      if (!row[i].present || row[i].erased) continue;
+      // Need the key string: fetch it from the stale holder.
+      std::string key;
+      if (i == 0) {
+        auto it = locations_.find(hash);
+        if (it == locations_.end()) continue;
+        auto view = DecodeDataEntry(ReadData(ReadEntry(it->second.bucket,
+                                                       it->second.way)
+                                                 .pointer));
+        if (!view.ok()) continue;
+        key = std::string(view->key);
+        (void)co_await ApplyErase(key, fresh);
+      } else {
+        rpc::WireWriter req;
+        req.PutU64(proto::kTagHashHi, hash.hi);
+        req.PutU64(proto::kTagHashLo, hash.lo);
+        rpc::RpcChannel ch(rpc_network_, host_, cohort[i - 1]);
+        auto got = co_await ch.Call(proto::kMethodGetByHash,
+                                    std::move(req).Take(), sim::Seconds(1));
+        if (!got.ok()) continue;
+        rpc::WireReader rr(*got);
+        auto k = rr.GetBytes(proto::kTagKey);
+        if (!k) continue;
+        rpc::WireWriter er;
+        er.PutBytes(proto::kTagKey, *k);
+        proto::PutVersion(er, fresh);
+        (void)co_await ch.Call(proto::kMethodErase, std::move(er).Take(),
+                               sim::Seconds(1));
+      }
+    }
+    co_return;
+  }
+
+  // Distinguish two live cases:
+  //  * pure-missing: every reachable holder either has best.version or is
+  //    simply absent (a restarted/emptied replica). Install at the agreed
+  //    version — no re-versioning, so concurrent GETs stay quorate. This
+  //    is the restart-recovery path ("restarted backends request repairs
+  //    from the other two healthy backends", §5.4).
+  //  * genuine disagreement (stale live versions): the full fresh-version
+  //    dance — install at new version N on dirty holders and bump clean
+  //    holders so all replicas settle on N.
+  bool pure_missing = true;
+  for (const auto& o : row) {
+    if (o.unreachable) continue;
+    if (o.present && (o.erased || o.version != best.version)) {
+      pure_missing = false;
+      break;
+    }
+  }
+
+  // Live repair: source the value from a max-version holder, then install
+  // the missing key at the fresh version on dirty holders and bump the
+  // version on clean holders so all three settle on (key, fresh) (§5.4).
+  std::string key;
+  Bytes value;
+  if (best_holder == 0) {
+    auto it = locations_.find(hash);
+    if (it == locations_.end()) {
+      const auto* ov = FindOverflowByHash(hash);
+      if (ov == nullptr) co_return;
+      key = ov->first;
+      value = ov->second.first;
+    } else {
+      auto view = DecodeDataEntry(
+          ReadData(ReadEntry(it->second.bucket, it->second.way).pointer));
+      if (!view.ok()) co_return;
+      key = std::string(view->key);
+      value.assign(view->value.begin(), view->value.end());
+    }
+  } else {
+    rpc::WireWriter req;
+    req.PutU64(proto::kTagHashHi, hash.hi);
+    req.PutU64(proto::kTagHashLo, hash.lo);
+    rpc::RpcChannel ch(rpc_network_, host_, cohort[best_holder - 1]);
+    auto got = co_await ch.Call(proto::kMethodGetByHash,
+                                std::move(req).Take(), sim::Seconds(1));
+    if (!got.ok()) co_return;
+    rpc::WireReader rr(*got);
+    auto k = rr.GetBytes(proto::kTagKey);
+    auto v = rr.GetBytes(proto::kTagValue);
+    if (!k || !v) co_return;
+    key = ToString(*k);
+    value.assign(v->begin(), v->end());
+  }
+
+  if (pure_missing) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].unreachable || row[i].present) continue;
+      if (i == 0) {
+        (void)co_await ApplySet(key, value, best.version, false);
+        continue;
+      }
+      rpc::WireWriter set;
+      set.PutBytes(proto::kTagKey, AsByteSpan(key));
+      set.PutBytes(proto::kTagValue, value);
+      proto::PutVersion(set, best.version);
+      rpc::RpcChannel ch(rpc_network_, host_, cohort[i - 1]);
+      (void)co_await ch.Call(proto::kMethodSet, std::move(set).Take(),
+                             sim::Seconds(1));
+    }
+    co_return;
+  }
+
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].unreachable) continue;
+    const bool has_best =
+        row[i].present && !row[i].erased && row[i].version == best.version;
+    if (i == 0) {
+      if (has_best) {
+        // Local bump.
+        auto it = locations_.find(hash);
+        if (it != locations_.end()) {
+          IndexEntry e = ReadEntry(it->second.bucket, it->second.way);
+          if (e.version == best.version) {
+            Bytes data = ReadData(e.pointer);
+            if (RewriteDataEntryVersion(data, fresh).ok()) {
+              (void)data_->WriteAt(e.pointer.offset, data);
+              e.version = fresh;
+              WriteEntry(it->second.bucket, it->second.way, e);
+              ++stats_.bump_versions;
+            }
+          }
+        } else if (const auto* ov = FindOverflowByHash(hash);
+                   ov != nullptr && ov->second.second == best.version) {
+          overflow_[ov->first].second = fresh;
+          ++stats_.bump_versions;
+        }
+      } else {
+        (void)co_await ApplySet(key, value, fresh, false);
+      }
+      continue;
+    }
+    rpc::RpcChannel ch(rpc_network_, host_, cohort[i - 1]);
+    if (has_best) {
+      rpc::WireWriter bump;
+      bump.PutU64(proto::kTagHashHi, hash.hi);
+      bump.PutU64(proto::kTagHashLo, hash.lo);
+      proto::PutVersion(bump, best.version, proto::kTagExpectedTt);
+      proto::PutVersion(bump, fresh);
+      (void)co_await ch.Call(proto::kMethodBumpVersion, std::move(bump).Take(),
+                             sim::Seconds(1));
+    } else {
+      rpc::WireWriter set;
+      set.PutBytes(proto::kTagKey, AsByteSpan(key));
+      set.PutBytes(proto::kTagValue, value);
+      proto::PutVersion(set, fresh);
+      (void)co_await ch.Call(proto::kMethodSet, std::move(set).Take(),
+                             sim::Seconds(1));
+    }
+  }
+}
+
+void Backend::StartRepairLoop(sim::Duration interval) {
+  repair_interval_ = interval;
+  if (repair_loop_running_) return;
+  repair_loop_running_ = true;
+  // The loop survives Stop()/Start() cycles (maintenance restarts must not
+  // silently retire a shard's designated repairer); it simply skips scans
+  // while the backend is not serving.
+  sim_.Spawn([](Backend* b, std::shared_ptr<bool> alive) -> sim::Task<void> {
+    while (*alive && b->repair_loop_running_) {
+      co_await b->sim_.Delay(b->repair_interval_);
+      if (!*alive || !b->repair_loop_running_) co_return;
+      if (!b->serving_) continue;
+      co_await b->RepairScanOnce();
+    }
+  }(this, alive_));
+}
+
+void Backend::StopRepairLoop() { repair_loop_running_ = false; }
+
+// ---------------------------------------------------------------------------
+// Migration (§6.1)
+// ---------------------------------------------------------------------------
+
+sim::Task<Status> Backend::MigrateTo(net::HostId target_host) {
+  if (!serving_) co_return FailedPreconditionError("backend not serving");
+  rpc::RpcChannel ch(rpc_network_, host_, target_host);
+
+  constexpr size_t kBatchBytes = 128 * 1024;
+  Bytes batch;
+  auto flush = [&]() -> sim::Task<Status> {
+    if (batch.empty()) co_return OkStatus();
+    rpc::WireWriter w;
+    w.PutBytes(proto::kTagRecords, batch);
+    batch.clear();
+    auto resp = co_await ch.Call(proto::kMethodInstallBulk,
+                                 std::move(w).Take(), sim::Seconds(5));
+    co_return resp.status();
+  };
+
+  // Snapshot hashes first; the map may mutate while we stream.
+  std::vector<Hash128> hashes;
+  hashes.reserve(locations_.size());
+  for (const auto& [hash, loc] : locations_) hashes.push_back(hash);
+
+  for (const Hash128& hash : hashes) {
+    auto it = locations_.find(hash);
+    if (it == locations_.end()) continue;
+    IndexEntry e = ReadEntry(it->second.bucket, it->second.way);
+    auto view = DecodeDataEntry(ReadData(e.pointer));
+    if (!view.ok()) continue;
+    proto::AppendBulkRecord(batch, view->key, view->value, view->version);
+    if (batch.size() >= kBatchBytes) {
+      Status s = co_await flush();
+      if (!s.ok()) co_return s;
+    }
+  }
+  // Overflow side table and tombstones ride along.
+  for (const auto& [key, stored] : overflow_) {
+    proto::AppendBulkRecord(batch, key, stored.first, stored.second);
+    if (batch.size() >= kBatchBytes) {
+      Status s = co_await flush();
+      if (!s.ok()) co_return s;
+    }
+  }
+  // Tombstone summary (exact tombstones lack keys; the summary bounds them).
+  proto::AppendBulkRecord(batch, "", {}, tombstones_.WorstCaseSummary(), true);
+  co_return co_await flush();
+}
+
+uint64_t Backend::index_bytes() const { return index_ ? index_->size() : 0; }
+
+std::optional<VersionNumber> Backend::LookupVersion(
+    std::string_view key) const {
+  const Hash128 hash = config_.hash_fn(key);
+  auto it = locations_.find(hash);
+  if (it == locations_.end()) {
+    auto ov = overflow_.find(std::string(key));
+    if (ov != overflow_.end()) return ov->second.second;
+    return std::nullopt;
+  }
+  return ReadEntry(it->second.bucket, it->second.way).version;
+}
+
+}  // namespace cm::cliquemap

@@ -1,0 +1,293 @@
+// CliqueMap backend task (§4).
+//
+// Owns the RMA-accessible index and data regions, serves all mutations and
+// control operations via RPC handlers, installs the SCAR executor on
+// software NICs, and runs the background machinery: index reshaping, data
+// region growth, eviction, cohort repair scans, and migration to warm
+// spares. All handler logic is "straightforward code" running server-side —
+// the deliberate division of labor that makes mutation and memory
+// management tractable while GETs stay one-sided.
+#ifndef CM_CLIQUEMAP_BACKEND_H_
+#define CM_CLIQUEMAP_BACKEND_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cliquemap/config_service.h"
+#include "cliquemap/eviction.h"
+#include "cliquemap/layout.h"
+#include "cliquemap/proto.h"
+#include "cliquemap/slab.h"
+#include "cliquemap/tombstone.h"
+#include "cliquemap/types.h"
+#include "rma/transport.h"
+#include "rpc/rpc.h"
+#include "sim/sync.h"
+#include "truetime/truetime.h"
+
+namespace cm::cliquemap {
+
+struct BackendConfig {
+  // Index geometry (§3, Fig 1). Default bucket = 16B header + 20*48B
+  // entries ≈ 1KB, matching the paper's "3x 1KB Buckets" arithmetic.
+  int ways = 20;
+  uint64_t initial_buckets = 128;
+  // Index reshaping (§4.1): upsize at this load factor.
+  double index_load_limit = 0.75;
+  double index_grow_factor = 2.0;
+
+  // Data region (§4.1): max virtual reservation, populated prefix, and the
+  // high-watermark policy for asynchronous growth.
+  uint64_t data_max_bytes = 256ull << 20;
+  uint64_t data_initial_bytes = 1ull << 20;
+  double data_high_watermark = 0.80;
+  double data_grow_factor = 2.0;
+  SlabConfig slab;
+
+  EvictionPolicyKind eviction = EvictionPolicyKind::kLru;
+  // Optional RPC fallback for bucket overflow (§4.2): overflowing keys stay
+  // servable via RPC instead of forcing an associativity eviction.
+  bool rpc_fallback_on_overflow = false;
+  size_t tombstone_capacity = 4096;
+
+  // Cost model.
+  sim::Duration memory_registration_cost = sim::Microseconds(40);
+  sim::Duration handler_base_cpu = sim::Microseconds(2);
+  // Server memcpy bandwidth; DataEntry writes take size/bw and are split
+  // into two steps, opening the torn-read window RMA readers can observe.
+  double write_bytes_per_ns = 10.0;
+
+  // Customizable hash (§6.5, added for disaggregation use cases). Must
+  // agree across every client and backend of a cell.
+  HashFn hash_fn = &HashKey;
+
+  uint64_t seed = 1;
+};
+
+struct BackendStats {
+  int64_t sets_applied = 0;
+  int64_t sets_rejected_stale = 0;
+  int64_t erases_applied = 0;
+  int64_t cas_applied = 0;
+  int64_t cas_failed = 0;
+  int64_t rpc_gets = 0;
+  int64_t touches_ingested = 0;
+  int64_t evictions_capacity = 0;
+  int64_t evictions_assoc = 0;
+  int64_t overflow_inserts = 0;
+  int64_t index_resizes = 0;
+  int64_t data_grows = 0;
+  int64_t repair_scans = 0;
+  int64_t repairs_issued = 0;
+  int64_t bump_versions = 0;
+  int64_t bulk_installed = 0;
+};
+
+class Backend {
+ public:
+  Backend(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
+          rma::RmaNetwork& rma_network, truetime::TrueTime& truetime,
+          net::HostId host, ConfigService* config_service, uint32_t shard,
+          BackendConfig config = {});
+  ~Backend();
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  // Lifecycle -----------------------------------------------------------
+  // Brings the backend into service: builds regions, registers windows,
+  // installs the SCAR executor, registers RPC methods. `config_id` is
+  // stamped into every Bucket header for client validation (§6.1).
+  void Start(uint32_t config_id);
+  // Graceful stop (planned maintenance): stops serving, revokes windows.
+  void Stop();
+  // Crash (unplanned): identical effect, but callers use it to model
+  // failure — no migration happened first.
+  void Crash();
+  bool serving() const { return serving_; }
+
+  // Changes the advertised config id (after taking over a shard) and
+  // rewrites bucket headers.
+  void SetConfigId(uint32_t config_id);
+
+  // Background repair (§5.4) -------------------------------------------
+  // Scans cohorts for dirty quorums and repairs them. Periodic scans cover
+  // only the shard this backend is primary for — one deterministic
+  // repairer per shard, so concurrent repairers can't churn versions
+  // against each other. `all_shards` widens the scan to every shard this
+  // backend holds a copy of (post-restart recovery).
+  sim::Task<void> RepairScanOnce(bool all_shards = false);
+  void StartRepairLoop(sim::Duration interval);
+  void StopRepairLoop();
+  // En-masse recovery after restart: pull everything from cohorts.
+  sim::Task<void> RecoverFromCohort() { return RepairScanOnce(true); }
+
+  // Migration (§6.1) ----------------------------------------------------
+  // Streams the full contents (and tombstones) to the backend at
+  // `target_host` via InstallBulk RPCs. Used for warm-spare handoff.
+  sim::Task<Status> MigrateTo(net::HostId target_host);
+
+  // Introspection -------------------------------------------------------
+  net::HostId host() const { return host_; }
+  uint32_t shard() const { return shard_; }
+  uint32_t config_id() const { return config_id_; }
+  size_t live_entries() const { return live_entries_; }
+  uint64_t num_buckets() const { return num_buckets_; }
+  uint64_t data_populated() const { return slab_ ? slab_->populated() : 0; }
+  uint64_t data_used() const { return slab_ ? slab_->used_bytes() : 0; }
+  uint64_t index_bytes() const;  // defined in .cc (IndexBuffer is private)
+  // Total resident memory this task pins (index + populated data): the
+  // quantity Fig 3 plots.
+  uint64_t memory_footprint() const { return index_bytes() + data_populated(); }
+  const BackendStats& stats() const { return stats_; }
+  const BackendConfig& config() const { return config_; }
+  rpc::RpcServer* rpc_server() { return rpc_server_.get(); }
+  // RPC bytes served across all incarnations (survives restarts).
+  int64_t lifetime_rpc_bytes() const {
+    return lifetime_rpc_bytes_ + (rpc_server_ ? rpc_server_->total_bytes() : 0);
+  }
+
+  // Direct (test-only) lookup of the stored version for a key.
+  std::optional<VersionNumber> LookupVersion(std::string_view key) const;
+
+ private:
+  // Memory sources ------------------------------------------------------
+  class IndexBuffer;
+  class DataPool;
+
+  // RPC handlers --------------------------------------------------------
+  sim::Task<StatusOr<Bytes>> HandleSet(ByteSpan req);
+  sim::Task<StatusOr<Bytes>> HandleErase(ByteSpan req);
+  sim::Task<StatusOr<Bytes>> HandleCas(ByteSpan req);
+  sim::Task<StatusOr<Bytes>> HandleGet(ByteSpan req);
+  sim::Task<StatusOr<Bytes>> HandleTouch(ByteSpan req);
+  sim::Task<StatusOr<Bytes>> HandleInfo(ByteSpan req);
+  sim::Task<StatusOr<Bytes>> HandleRepairPull(ByteSpan req);
+  sim::Task<StatusOr<Bytes>> HandleGetByHash(ByteSpan req);
+  sim::Task<StatusOr<Bytes>> HandleBumpVersion(ByteSpan req);
+  sim::Task<StatusOr<Bytes>> HandleInstallBulk(ByteSpan req);
+
+  // Core mutation paths --------------------------------------------------
+  // Returns kOk and the applied flag; enforces version monotonicity against
+  // index, tombstones, and the tombstone summary (§5.2).
+  sim::Task<StatusOr<bool>> ApplySet(std::string_view key, ByteSpan value,
+                                     const VersionNumber& version,
+                                     bool charge_write_time);
+  sim::Task<StatusOr<bool>> ApplyErase(std::string_view key,
+                                       const VersionNumber& version);
+
+  // Index helpers --------------------------------------------------------
+  MutableByteSpan BucketSpan(uint64_t bucket);
+  std::optional<int> FindWay(uint64_t bucket, const Hash128& hash) const;
+  std::optional<int> FindFreeWay(uint64_t bucket) const;
+  IndexEntry ReadEntry(uint64_t bucket, int way) const;
+  void WriteEntry(uint64_t bucket, int way, const IndexEntry& entry);
+  void ClearEntry(uint64_t bucket, int way);
+  void SetOverflowFlag(uint64_t bucket, bool overflow);
+
+  // Data helpers ---------------------------------------------------------
+  sim::Task<StatusOr<uint64_t>> AllocateWithEviction(uint32_t size);
+  // Finds an overflow-table entry by key hash (linear; the table is small).
+  const std::pair<const std::string, std::pair<Bytes, VersionNumber>>*
+  FindOverflowByHash(const Hash128& hash) const;
+  // Removes a key entirely (index entry + data) — eviction path.
+  bool EvictKey(const Hash128& hash);
+  void FreeData(const Pointer& ptr);
+  Bytes ReadData(const Pointer& ptr) const;
+
+  // Reshaping ------------------------------------------------------------
+  void MaybeScheduleIndexResize();
+  sim::Task<void> ResizeIndex();
+  // `force` bypasses the watermark (an allocation just failed, e.g. due to
+  // size-class fragmentation with headroom still below the watermark).
+  void MaybeScheduleDataGrow(bool force = false);
+  sim::Task<void> GrowData();
+  // Mutations stall while an index resize is in flight (§4.1).
+  sim::Task<void> AwaitMutationsAllowed();
+
+  // Repair helpers --------------------------------------------------------
+  // One holder's knowledge of one key during a cohort scan.
+  struct Observation_ {
+    VersionNumber version;
+    bool erased = false;
+    bool present = false;
+    bool unreachable = false;  // holder never answered the pull
+  };
+  std::vector<proto::RepairRecord> SnapshotRecords(uint32_t shard_filter,
+                                                   uint32_t num_shards) const;
+  sim::Task<void> RepairShardAgainstCohort(uint32_t shard,
+                                           std::vector<net::HostId> cohort);
+  sim::Task<void> RepairKey(uint32_t shard, Hash128 hash,
+                            std::vector<Observation_> row, Observation_ best,
+                            size_t best_holder,
+                            std::vector<net::HostId> cohort);
+  VersionNumber NewRepairVersion();
+
+  // SCAR executor installed on the software NIC (§6.3).
+  StatusOr<rma::ScarResult> ExecuteScar(uint64_t hash_hi, uint64_t hash_lo,
+                                        rma::RegionId index_region,
+                                        uint64_t bucket_offset,
+                                        uint32_t bucket_len);
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  rpc::RpcNetwork& rpc_network_;
+  rma::RmaNetwork& rma_network_;
+  truetime::TrueTime& truetime_;
+  net::HostId host_;
+  ConfigService* config_service_;
+  uint32_t shard_;
+  BackendConfig config_;
+  Rng rng_;
+
+  bool serving_ = false;
+  uint32_t config_id_ = 0;
+  uint64_t incarnation_ = 0;
+  uint32_t repair_seq_ = 0;
+
+  // Regions.
+  rma::MemoryRegistry registry_;
+  std::unique_ptr<IndexBuffer> index_;
+  rma::RegionId index_region_ = rma::kInvalidRegion;
+  uint64_t num_buckets_ = 0;
+  std::unique_ptr<DataPool> data_;
+  std::unique_ptr<SlabAllocator> slab_;
+  std::vector<rma::RegionId> data_regions_;  // all live windows; back() newest
+
+  // Heap-side state.
+  std::unique_ptr<EvictionPolicy> eviction_;
+  TombstoneCache tombstones_;
+  // keyhash -> location, for O(1) eviction & repair snapshots.
+  struct Location {
+    uint64_t bucket;
+    int way;
+  };
+  std::unordered_map<Hash128, Location> locations_;
+  size_t live_entries_ = 0;
+  // Bucket-overflow side table (RPC-only service) and per-bucket counts.
+  std::unordered_map<std::string, std::pair<Bytes, VersionNumber>> overflow_;
+  std::unordered_map<uint64_t, int> overflow_count_;
+
+  // Reshaping state.
+  bool index_resizing_ = false;
+  bool data_growing_ = false;
+  std::unique_ptr<sim::Notification> resize_done_;
+  std::unique_ptr<sim::Notification> grow_done_;
+
+  // Repair loop.
+  bool repair_loop_running_ = false;
+  sim::Duration repair_interval_ = sim::Seconds(30);
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  std::unique_ptr<rpc::RpcServer> rpc_server_;
+  int64_t lifetime_rpc_bytes_ = 0;
+  BackendStats stats_;
+};
+
+}  // namespace cm::cliquemap
+
+#endif  // CM_CLIQUEMAP_BACKEND_H_

@@ -1,0 +1,229 @@
+#include "cliquemap/cell.h"
+
+namespace cm::cliquemap {
+
+Cell::Cell(sim::Simulator& sim, CellOptions options)
+    : sim_(sim), options_(std::move(options)) {
+  fabric_ = std::make_unique<net::Fabric>(sim_, options_.fabric);
+  rpc_network_ = std::make_unique<rpc::RpcNetwork>(*fabric_);
+  rma_network_ = std::make_unique<rma::RmaNetwork>();
+  truetime_ = std::make_unique<truetime::TrueTime>(
+      sim_, options_.truetime_epsilon, options_.seed);
+  switch (options_.transport) {
+    case TransportKind::kSoftNic:
+      transport_ = std::make_unique<rma::SoftNicTransport>(
+          *fabric_, *rma_network_, options_.softnic);
+      break;
+    case TransportKind::kOneRma:
+      transport_ = std::make_unique<rma::HwRmaTransport>(
+          *fabric_, *rma_network_, rma::HwRmaConfig::OneRma());
+      break;
+    case TransportKind::kClassicRdma:
+      transport_ = std::make_unique<rma::HwRmaTransport>(
+          *fabric_, *rma_network_, rma::HwRmaConfig::ClassicRdma());
+      break;
+  }
+}
+
+Cell::~Cell() = default;
+
+rma::SoftNicTransport* Cell::softnic() {
+  return options_.transport == TransportKind::kSoftNic
+             ? static_cast<rma::SoftNicTransport*>(transport_.get())
+             : nullptr;
+}
+
+rma::HwRmaTransport* Cell::hwrma() {
+  return options_.transport == TransportKind::kSoftNic
+             ? nullptr
+             : static_cast<rma::HwRmaTransport*>(transport_.get());
+}
+
+void Cell::Start() {
+  config_host_ = fabric_->AddHost(options_.backend_host);
+  config_service_ = std::make_unique<ConfigService>(*rpc_network_,
+                                                    config_host_);
+
+  CellView view;
+  view.mode = options_.mode;
+  view.shard_hosts.resize(options_.num_shards);
+  view.shard_config_ids.resize(options_.num_shards);
+
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    const net::HostId host = fabric_->AddHost(options_.backend_host);
+    BackendConfig cfg = options_.backend;
+    cfg.seed = options_.seed + s;
+    cfg.hash_fn = options_.hash_fn;
+    backends_.push_back(std::make_unique<Backend>(
+        *fabric_, *rpc_network_, *rma_network_, *truetime_, host,
+        config_service_.get(), s, cfg));
+    view.shard_hosts[s] = host;
+    view.shard_config_ids[s] = 1000 * (s + 1);
+  }
+  config_service_->SetInitialView(view);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    backends_[s]->Start(view.shard_config_ids[s]);
+  }
+
+  for (int i = 0; i < options_.num_spares; ++i) {
+    const net::HostId host = fabric_->AddHost(options_.backend_host);
+    BackendConfig cfg = options_.backend;
+    cfg.seed = options_.seed + 100000 + static_cast<uint64_t>(i);
+    cfg.hash_fn = options_.hash_fn;
+    spares_.push_back(std::make_unique<Backend>(
+        *fabric_, *rpc_network_, *rma_network_, *truetime_, host,
+        config_service_.get(), /*shard=*/0, cfg));
+    spares_.back()->Start(/*config_id=*/1);  // warm and idle
+    spare_busy_.push_back(false);
+  }
+}
+
+Client* Cell::AddClient(ClientConfig config) {
+  return AddClientOnHost(fabric_->AddHost(options_.client_host),
+                         std::move(config));
+}
+
+Client* Cell::AddClientOnHost(net::HostId host, ClientConfig config) {
+  if (config.client_id == 1 && !clients_.empty()) {
+    config.client_id = static_cast<uint32_t>(clients_.size()) + 1;
+  }
+  if (config.hash_fn == &HashKey) config.hash_fn = options_.hash_fn;
+  clients_.push_back(std::make_unique<Client>(
+      *fabric_, *rpc_network_, transport_.get(), *truetime_, host,
+      config_host_, std::move(config)));
+  client_ptrs_.push_back(clients_.back().get());
+  return clients_.back().get();
+}
+
+sim::Task<Status> Cell::LoadImmutable(
+    std::vector<std::pair<std::string, Bytes>> corpus) {
+  // The loader acts as a bulk client of record: one InstallBulk batch per
+  // replica backend, partitioned by shard placement.
+  const uint32_t n = options_.num_shards;
+  const int replicas = ReplicaCount(options_.mode);
+  const net::HostId loader = fabric_->AddHost(options_.client_host);
+  std::vector<Bytes> batches(n);
+  VersionNumber load_version{truetime_->NowMicros(loader), 0x10ADu, 1};
+  for (const auto& [key, value] : corpus) {
+    const uint32_t primary = PrimaryShard(options_.hash_fn(key), n);
+    for (int r = 0; r < replicas; ++r) {
+      proto::AppendBulkRecord(batches[ReplicaShard(primary, r, n)], key,
+                              value, load_version);
+    }
+  }
+  for (uint32_t s = 0; s < n; ++s) {
+    if (batches[s].empty()) continue;
+    rpc::WireWriter w;
+    w.PutBytes(proto::kTagRecords, batches[s]);
+    rpc::RpcChannel ch(*rpc_network_, loader, backends_[s]->host());
+    auto resp = co_await ch.Call(proto::kMethodInstallBulk,
+                                 std::move(w).Take(), sim::Seconds(30));
+    if (!resp.ok()) co_return resp.status();
+  }
+  co_return OkStatus();
+}
+
+sim::Task<Status> Cell::PlannedMaintenance(uint32_t shard) {
+  // Find a free warm spare.
+  int spare_idx = -1;
+  for (size_t i = 0; i < spares_.size(); ++i) {
+    if (!spare_busy_[i]) {
+      spare_idx = static_cast<int>(i);
+      break;
+    }
+  }
+  if (spare_idx < 0) co_return ResourceExhaustedError("no free warm spare");
+  spare_busy_[static_cast<size_t>(spare_idx)] = true;
+  Backend& primary = *backends_[shard];
+  Backend& spare = *spares_[static_cast<size_t>(spare_idx)];
+
+  // 1. The notified primary streams its data to the spare (RPC traffic).
+  Status s = co_await primary.MigrateTo(spare.host());
+  if (!s.ok()) {
+    spare_busy_[static_cast<size_t>(spare_idx)] = false;
+    co_return s;
+  }
+
+  // 2. Identity handoff: the spare temporarily hosts the shard. Clients
+  //    discover the migration via bucket config-id mismatch / RMA failures
+  //    and refresh their cell view.
+  const uint32_t spare_config =
+      config_service_->UpdateShard(shard, spare.host());
+  spare.SetConfigId(spare_config);
+
+  // 3. The primary exits for its binary upgrade, then restarts.
+  primary.Stop();
+  co_await sim_.Delay(options_.restart_duration);
+  primary.Start(/*config_id=*/0);
+
+  // 4. The spare returns the shard's data to the restarted primary.
+  s = co_await spare.MigrateTo(primary.host());
+  if (!s.ok()) {
+    spare_busy_[static_cast<size_t>(spare_idx)] = false;
+    co_return s;
+  }
+  const uint32_t new_config =
+      config_service_->UpdateShard(shard, primary.host());
+  primary.SetConfigId(new_config);
+
+  // 5. Recycle the spare: restart clears its (stale) copy.
+  spare.Stop();
+  spare.Start(/*config_id=*/1);
+  spare_busy_[static_cast<size_t>(spare_idx)] = false;
+  co_return OkStatus();
+}
+
+sim::Task<Status> Cell::CrashAndRestart(uint32_t shard,
+                                        sim::Duration downtime) {
+  Backend& backend = *backends_[shard];
+  backend.Crash();
+  co_await sim_.Delay(downtime);
+  backend.Start(/*config_id=*/0);
+  const uint32_t new_config =
+      config_service_->UpdateShard(shard, backend.host());
+  backend.SetConfigId(new_config);
+  // Restarted backends request repairs from their healthy cohorts en masse
+  // (§5.4).
+  co_await backend.RecoverFromCohort();
+  co_return OkStatus();
+}
+
+int64_t Cell::TotalRpcBytes() const {
+  int64_t total = 0;
+  for (const auto& b : backends_) total += b->lifetime_rpc_bytes();
+  for (const auto& s : spares_) total += s->lifetime_rpc_bytes();
+  return total;
+}
+
+uint64_t Cell::TotalMemoryFootprint() const {
+  uint64_t total = 0;
+  for (const auto& b : backends_) total += b->memory_footprint();
+  return total;
+}
+
+BackendStats Cell::AggregateBackendStats() const {
+  BackendStats agg;
+  auto add = [&](const BackendStats& s) {
+    agg.sets_applied += s.sets_applied;
+    agg.sets_rejected_stale += s.sets_rejected_stale;
+    agg.erases_applied += s.erases_applied;
+    agg.cas_applied += s.cas_applied;
+    agg.cas_failed += s.cas_failed;
+    agg.rpc_gets += s.rpc_gets;
+    agg.touches_ingested += s.touches_ingested;
+    agg.evictions_capacity += s.evictions_capacity;
+    agg.evictions_assoc += s.evictions_assoc;
+    agg.overflow_inserts += s.overflow_inserts;
+    agg.index_resizes += s.index_resizes;
+    agg.data_grows += s.data_grows;
+    agg.repair_scans += s.repair_scans;
+    agg.repairs_issued += s.repairs_issued;
+    agg.bump_versions += s.bump_versions;
+    agg.bulk_installed += s.bulk_installed;
+  };
+  for (const auto& b : backends_) add(b->stats());
+  for (const auto& s : spares_) add(s->stats());
+  return agg;
+}
+
+}  // namespace cm::cliquemap

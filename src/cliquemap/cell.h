@@ -1,0 +1,121 @@
+// Cell deployment harness: wires a complete CliqueMap cell — fabric, RMA
+// transport, config service, N backend tasks (plus warm spares), and any
+// number of clients — and orchestrates maintenance events (planned
+// migration to spares, §6.1; crash + repair recovery, §5.4). Tests,
+// benches, and examples all deploy cells through this.
+#ifndef CM_CLIQUEMAP_CELL_H_
+#define CM_CLIQUEMAP_CELL_H_
+
+#include <memory>
+#include <vector>
+
+#include "cliquemap/backend.h"
+#include "cliquemap/client.h"
+#include "cliquemap/config_service.h"
+#include "rma/hwrma.h"
+#include "rma/softnic.h"
+
+namespace cm::cliquemap {
+
+enum class TransportKind {
+  kSoftNic,      // Pony-Express-like; SCAR available
+  kOneRma,       // all-hardware, low latency, 2xR only
+  kClassicRdma,  // conventional RDMA, 2xR only
+};
+
+struct CellOptions {
+  uint32_t num_shards = 3;
+  ReplicationMode mode = ReplicationMode::kR32;
+  int num_spares = 0;
+  TransportKind transport = TransportKind::kSoftNic;
+  net::FabricConfig fabric;
+  net::HostConfig backend_host;
+  net::HostConfig client_host;
+  BackendConfig backend;
+  rma::SoftNicConfig softnic;
+  rma::HwRmaConfig hwrma = rma::HwRmaConfig::OneRma();
+  sim::Duration truetime_epsilon = sim::Milliseconds(1);
+  // Cell-wide key hash (§6.5); propagated to backends and clients.
+  HashFn hash_fn = &HashKey;
+  // How long a backend binary restart takes during maintenance.
+  sim::Duration restart_duration = sim::Seconds(30);
+  uint64_t seed = 42;
+};
+
+class Cell {
+ public:
+  Cell(sim::Simulator& sim, CellOptions options);
+  ~Cell();
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  // Brings up the config service, all backends, and spares.
+  void Start();
+
+  // Adds a client on its own freshly-created host.
+  Client* AddClient(ClientConfig config = {});
+  // Adds a client co-located on an existing host (e.g. a backend host, the
+  // co-tenant setup of Fig 15).
+  Client* AddClientOnHost(net::HostId host, ClientConfig config = {});
+
+  // Immutable corpora (§6.4) ----------------------------------------------
+  // Loads a corpus from the "external system of record" into every replica
+  // via InstallBulk RPCs (used by R=2/Immutable deployments, where GETs
+  // then consult a single replica and the second serves only on failure).
+  sim::Task<Status> LoadImmutable(
+      std::vector<std::pair<std::string, Bytes>> corpus);
+
+  // Maintenance -----------------------------------------------------------
+  // Planned maintenance of one shard: migrate to a warm spare, restart the
+  // primary, migrate back (Fig 13's timeline).
+  sim::Task<Status> PlannedMaintenance(uint32_t shard);
+  // Unplanned: crash the shard's backend, restart it after `downtime` on
+  // the same host, recover en masse from the cohort (Fig 14's timeline).
+  sim::Task<Status> CrashAndRestart(uint32_t shard, sim::Duration downtime);
+  void CrashShard(uint32_t shard) { backends_[shard]->Crash(); }
+
+  // Accessors -------------------------------------------------------------
+  sim::Simulator& simulator() { return sim_; }
+  net::Fabric& fabric() { return *fabric_; }
+  rpc::RpcNetwork& rpc_network() { return *rpc_network_; }
+  rma::RmaNetwork& rma_network() { return *rma_network_; }
+  rma::RmaTransport* transport() { return transport_.get(); }
+  rma::SoftNicTransport* softnic();  // null unless TransportKind::kSoftNic
+  rma::HwRmaTransport* hwrma();      // null unless a hardware transport
+  truetime::TrueTime& truetime() { return *truetime_; }
+  ConfigService& config_service() { return *config_service_; }
+  Backend& backend(uint32_t shard) { return *backends_[shard]; }
+  Backend& spare(int i) { return *spares_[i]; }
+  uint32_t num_shards() const { return options_.num_shards; }
+  const CellOptions& options() const { return options_; }
+  const std::vector<Client*>& clients() const { return client_ptrs_; }
+
+  // Sum of RPC payload bytes over every backend and spare (repair/migration
+  // byte-rate series in Figs 13/14).
+  int64_t TotalRpcBytes() const;
+  // Sum of backend memory footprints (Fig 3's TB-used series, scaled down).
+  uint64_t TotalMemoryFootprint() const;
+  // Aggregate backend stats.
+  BackendStats AggregateBackendStats() const;
+
+ private:
+  sim::Simulator& sim_;
+  CellOptions options_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<rpc::RpcNetwork> rpc_network_;
+  std::unique_ptr<rma::RmaNetwork> rma_network_;
+  std::unique_ptr<truetime::TrueTime> truetime_;
+  std::unique_ptr<rma::RmaTransport> transport_;
+  net::HostId config_host_ = net::kInvalidHost;
+  std::unique_ptr<ConfigService> config_service_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  std::vector<std::unique_ptr<Backend>> spares_;
+  std::vector<bool> spare_busy_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<Client*> client_ptrs_;
+};
+
+}  // namespace cm::cliquemap
+
+#endif  // CM_CLIQUEMAP_CELL_H_

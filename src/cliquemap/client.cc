@@ -1,0 +1,703 @@
+#include "cliquemap/client.h"
+
+#include <algorithm>
+
+#include "cliquemap/compress.h"
+
+namespace cm::cliquemap {
+
+Client::Client(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
+               rma::RmaTransport* transport, truetime::TrueTime& truetime,
+               net::HostId host, net::HostId config_host, ClientConfig config)
+    : sim_(fabric.simulator()),
+      fabric_(fabric),
+      rpc_network_(rpc_network),
+      transport_(transport),
+      truetime_(truetime),
+      host_(host),
+      config_host_(config_host),
+      config_(config),
+      alive_(std::make_shared<bool>(true)) {}
+
+Client::~Client() { *alive_ = false; }
+
+// ---------------------------------------------------------------------------
+// Configuration / connections
+// ---------------------------------------------------------------------------
+
+sim::Task<Status> Client::Connect() { return RefreshConfig(); }
+
+sim::Task<Status> Client::RefreshConfig() {
+  ++stats_.config_refreshes;
+  rpc::RpcChannel ch(rpc_network_, host_, config_host_);
+  auto resp =
+      co_await ch.Call(proto::kMethodGetCellView, {}, sim::Milliseconds(50));
+  if (!resp.ok()) co_return resp.status();
+  auto view = DecodeCellView(*resp);
+  if (!view.ok()) co_return view.status();
+
+  CellView fresh = *std::move(view);
+  conns_.resize(fresh.num_shards());
+  for (uint32_t s = 0; s < fresh.num_shards(); ++s) {
+    // Invalidate connections whose serving host or config id moved: the
+    // client just discovered a migration / spare promotion (§6.1).
+    if (view_valid_ && s < view_.num_shards() &&
+        (view_.shard_hosts[s] != fresh.shard_hosts[s] ||
+         view_.shard_config_ids[s] != fresh.shard_config_ids[s])) {
+      conns_[s] = Conn{};
+    }
+  }
+  view_ = std::move(fresh);
+  view_valid_ = true;
+  co_return OkStatus();
+}
+
+sim::Task<Status> Client::EnsureConnected(uint32_t shard) {
+  {
+    const Conn& conn = conns_[shard];
+    if (conn.connected && conn.config_id == view_.shard_config_ids[shard] &&
+        conn.host == view_.shard_hosts[shard]) {
+      co_return OkStatus();
+    }
+  }
+  // Up to two rounds: if the backend we handshake with reports a config id
+  // that contradicts our cell view, the view is stale (a migration or
+  // spare handoff we haven't heard about) — refresh it and retry once.
+  for (int round = 0; round < 2; ++round) {
+    const net::HostId target = view_.shard_hosts[shard];
+    rpc::RpcChannel ch(rpc_network_, host_, target);
+    auto resp =
+        co_await ch.Call(proto::kMethodInfo, {}, sim::Milliseconds(20));
+    if (!resp.ok()) {
+      NoteReplicaFailure(shard);
+      co_return resp.status();
+    }
+    // Re-index: conns_ may have been resized by a concurrent RefreshConfig
+    // while we were suspended in the RPC.
+    if (shard >= conns_.size()) co_return UnavailableError("cell shrank");
+    rpc::WireReader r(*resp);
+    auto index_region = r.GetU32(proto::kTagIndexRegion);
+    auto num_buckets = r.GetU64(proto::kTagNumBuckets);
+    auto ways = r.GetU32(proto::kTagWays);
+    auto config_id = r.GetU32(proto::kTagConfigId);
+    if (!index_region || !num_buckets || !ways || !config_id) {
+      co_return InternalError("malformed Info response");
+    }
+    if (*config_id != view_.shard_config_ids[shard] && round == 0) {
+      Status s = co_await RefreshConfig();
+      if (!s.ok()) co_return s;
+      if (shard >= conns_.size()) co_return UnavailableError("cell shrank");
+      continue;
+    }
+    Conn& conn = conns_[shard];
+    conn.connected = true;
+    conn.host = target;
+    conn.index_region = *index_region;
+    conn.num_buckets = *num_buckets;
+    conn.ways = *ways;
+    conn.config_id = *config_id;
+    conn.dead_until = 0;
+    conn.ever_failed = false;
+    co_return OkStatus();
+  }
+  co_return UnavailableError("config still stale after refresh");
+}
+
+void Client::NoteReplicaFailure(uint32_t shard) {
+  conns_[shard].connected = false;
+  conns_[shard].dead_until = sim_.now() + config_.replica_backoff;
+  conns_[shard].ever_failed = true;
+  // A connection failure often means the serving task moved (migration,
+  // spare promotion, restart): refresh the cell view in the background
+  // while quorum reads keep being served by the healthy replicas (§7.2.3).
+  if (!refresh_in_flight_) {
+    refresh_in_flight_ = true;
+    sim_.Spawn([](Client* self, std::shared_ptr<bool> alive) -> sim::Task<void> {
+      (void)co_await self->RefreshConfig();
+      if (*alive) self->refresh_in_flight_ = false;
+    }(this, alive_));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GET
+// ---------------------------------------------------------------------------
+
+sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
+  const sim::Time start = sim_.now();
+  const sim::Time deadline_at = start + config_.op_deadline;
+  ++stats_.gets;
+  const Hash128 hash = config_.hash_fn(key);
+
+  StatusOr<GetResult> result = DeadlineExceededError("retries exhausted");
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    if (!view_valid_) {
+      Status s = co_await RefreshConfig();
+      if (!s.ok()) {
+        result = s;
+        break;
+      }
+    }
+    result = co_await GetOnce(key, hash, deadline_at);
+    if (result.ok() || result.status().code() == StatusCode::kNotFound) break;
+    if (sim_.now() >= deadline_at) {
+      result = DeadlineExceededError("get deadline exceeded");
+      break;
+    }
+    // Retry at the appropriate layer (§3): config mismatches refresh the
+    // cell view; connection-level errors may indicate a migration.
+    const StatusCode code = result.status().code();
+    if (code == StatusCode::kFailedPrecondition ||
+        code == StatusCode::kUnavailable) {
+      (void)co_await RefreshConfig();
+    }
+    if (code == StatusCode::kDeadlineExceeded) break;
+  }
+
+  // Transparent decompression (stored values are marker-prefixed).
+  if (result.ok() && config_.compress_values) {
+    auto raw = DecompressValue(result->value);
+    if (raw.ok()) {
+      result->value = *std::move(raw);
+    } else {
+      result = raw.status();
+    }
+  }
+
+  // "A second failure ... causes the dirty quorum to degrade to an
+  // inquorate state, which is treated as a cache miss" (§5.4): once the
+  // retry budget is spent and the op still cannot form a quorum, report a
+  // miss, not an error — the caller re-fetches from the system of record.
+  if (!result.ok() && result.status().code() == StatusCode::kAborted &&
+      result.status().message() == "inquorate") {
+    result = NotFoundError("inquorate (degraded dirty quorum; miss)");
+  }
+
+  stats_.get_latency_ns.Record(sim_.now() - start);
+  if (result.ok()) {
+    ++stats_.hits;
+    const uint32_t primary = PrimaryShard(hash, view_.num_shards());
+    RecordTouch(hash, primary);
+  } else if (result.status().code() == StatusCode::kNotFound) {
+    ++stats_.misses;
+  } else {
+    ++stats_.get_errors;
+  }
+  co_return result;
+}
+
+sim::Task<std::vector<StatusOr<GetResult>>> Client::MultiGet(
+    std::vector<std::string> keys) {
+  auto results = std::make_shared<std::vector<StatusOr<GetResult>>>();
+  results->reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    results->emplace_back(InternalError("unresolved"));
+  }
+  std::vector<sim::Task<void>> tasks;
+  tasks.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tasks.push_back([](Client* self, std::string key, size_t slot,
+                       std::shared_ptr<std::vector<StatusOr<GetResult>>>
+                           out) -> sim::Task<void> {
+      (*out)[slot] = co_await self->Get(std::move(key));
+    }(this, keys[i], i, results));
+  }
+  co_await sim::JoinAll(sim_, std::move(tasks));
+  co_return *std::move(results);
+}
+
+sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
+                                               const Hash128& hash,
+                                               sim::Time deadline_at) {
+  const uint32_t n = view_.num_shards();
+  if (n == 0) co_return UnavailableError("empty cell");
+  const int replicas = ReplicaCount(view_.mode);
+  const int quorum = QuorumSize(view_.mode);
+  const uint32_t primary = PrimaryShard(hash, n);
+
+  // (if/else rather than switch: gcc 12 miscompiles co_await in case
+  // blocks; see sim/sync.h.)
+  if (config_.strategy == LookupStrategy::kRpc || transport_ == nullptr) {
+    co_return co_await GetViaRpc(key, primary, deadline_at);
+  }
+  bool use_scar;
+  if (config_.strategy == LookupStrategy::kScar) {
+    use_scar = true;
+  } else if (config_.strategy == LookupStrategy::kTwoR) {
+    use_scar = false;
+  } else {
+    use_scar = transport_->SupportsScar();
+  }
+
+  // Select live replicas (immutable R=2 consults one; failover handles the
+  // rest, §6.4).
+  std::vector<uint32_t> targets;
+  for (int r = 0; r < replicas; ++r) {
+    const uint32_t shard = ReplicaShard(primary, r, n);
+    if (conns_.size() <= shard) conns_.resize(n);
+    if (conns_[shard].dead_until > sim_.now()) continue;
+    targets.push_back(shard);
+  }
+  if (view_.mode == ReplicationMode::kR2Immutable && targets.size() > 1) {
+    // Only one replica need be consulted; spread load by client id, but
+    // prefer replicas without a recent connection failure (failover, §6.4).
+    std::vector<uint32_t> healthy;
+    for (uint32_t shard : targets) {
+      const Conn& conn = conns_[shard];
+      if (conn.connected || !conn.ever_failed) healthy.push_back(shard);
+    }
+    if (!healthy.empty()) targets = std::move(healthy);
+    targets = {targets[config_.client_id % targets.size()]};
+  }
+  if (static_cast<int>(targets.size()) < quorum) {
+    co_return UnavailableError("not enough live replicas");
+  }
+
+  // Connect any unconnected target (RPC Info handshake). First-time
+  // connections happen inline; *re*-connections to replicas that failed
+  // before are probed off the serving path ("clients only send two out of
+  // three operations per GET, as they await reconnect", §7.2.3) so a dead
+  // replica's connect timeout never blocks a quorum read.
+  {
+    std::vector<uint32_t> connected;
+    connected.reserve(targets.size());
+    for (uint32_t shard : targets) {
+      const Conn& conn = conns_[shard];
+      if (conn.connected && conn.config_id == view_.shard_config_ids[shard] &&
+          conn.host == view_.shard_hosts[shard]) {
+        connected.push_back(shard);
+        continue;
+      }
+      if (conn.ever_failed) {
+        if (!conn.probe_in_flight) {
+          conns_[shard].probe_in_flight = true;
+          sim_.Spawn([](Client* self, uint32_t shard,
+                        std::shared_ptr<bool> alive) -> sim::Task<void> {
+            (void)co_await self->EnsureConnected(shard);
+            if (*alive && shard < self->conns_.size()) {
+              self->conns_[shard].probe_in_flight = false;
+            }
+          }(this, shard, alive_));
+        }
+        continue;
+      }
+      Status s = co_await EnsureConnected(shard);
+      if (s.ok()) connected.push_back(shard);
+    }
+    targets = std::move(connected);
+    if (static_cast<int>(targets.size()) < quorum) {
+      co_return UnavailableError("not enough connectable replicas");
+    }
+  }
+
+  // Fan out index fetches; votes arrive in responder order (Fig 4).
+  auto votes = std::make_shared<sim::Channel<IndexVote>>(sim_);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    sim_.Spawn(FetchIndex(votes, static_cast<int>(i), targets[i], hash,
+                          use_scar));
+  }
+
+  struct VersionCount {
+    int count = 0;
+    IndexVote vote;  // a representative quorum member
+  };
+  std::vector<std::pair<VersionNumber, VersionCount>> tallies;
+  int absence_votes = 0;
+  bool absence_overflow = false;
+  int received = 0;
+  int failures = 0;
+  bool config_mismatch = false;
+  std::optional<IndexVote> preferred;  // first successful responder
+  sim::OneShot<StatusOr<GetResult>> speculative_data(sim_);
+  bool speculative_started = false;
+
+  auto quorum_of = [&](const VersionNumber& v) -> VersionCount* {
+    for (auto& [version, vc] : tallies) {
+      if (version == v) return &vc;
+    }
+    tallies.emplace_back(v, VersionCount{});
+    return &tallies.back().second;
+  };
+
+  while (received < static_cast<int>(targets.size())) {
+    const sim::Duration remaining = deadline_at - sim_.now();
+    if (remaining <= 0) co_return DeadlineExceededError("quorum wait");
+    auto maybe_vote = co_await votes->RecvFor(remaining);
+    if (!maybe_vote) co_return DeadlineExceededError("quorum wait");
+    IndexVote vote = *std::move(maybe_vote);
+    ++received;
+
+    if (!vote.status.ok()) {
+      ++failures;
+      if (vote.status.code() == StatusCode::kPermissionDenied) {
+        ++stats_.window_errors;
+        conns_[vote.shard].connected = false;  // re-handshake next attempt
+      } else if (vote.status.code() == StatusCode::kUnavailable ||
+                 vote.status.code() == StatusCode::kUnimplemented) {
+        NoteReplicaFailure(vote.shard);
+      } else if (vote.status.code() == StatusCode::kFailedPrecondition) {
+        config_mismatch = true;
+      }
+      if (static_cast<int>(targets.size()) - failures < quorum) {
+        // Quorum impossible this attempt.
+        if (config_mismatch) co_return FailedPreconditionError("config");
+        co_return UnavailableError("too many replica failures");
+      }
+      continue;
+    }
+
+    if (!preferred) preferred = vote;
+
+    if (!vote.has_entry) {
+      ++absence_votes;
+      absence_overflow |= vote.overflow;
+      if (absence_votes >= quorum) {
+        // Miss quorum. The overflow bit may still route us to RPC (§4.2).
+        if (absence_overflow && config_.follow_overflow_fallback) {
+          co_return co_await GetViaRpc(key, vote.shard, deadline_at);
+        }
+        co_return NotFoundError("absence quorum");
+      }
+      continue;
+    }
+
+    VersionCount* vc = quorum_of(vote.entry.version);
+    vc->count++;
+    if (vc->count == 1) vc->vote = vote;
+
+    // Speculative data fetch from the preferred backend (2xR): issued as
+    // soon as the first index response lands, before the quorum resolves.
+    if (!use_scar && !speculative_started && preferred->has_entry &&
+        vote.replica == preferred->replica) {
+      speculative_started = true;
+      sim_.Spawn([](Client* self, std::string key, Hash128 hash,
+                    uint32_t shard, IndexEntry entry,
+                    sim::OneShot<StatusOr<GetResult>> out) -> sim::Task<void> {
+        out.Set(co_await self->FetchData(key, hash, shard, entry));
+      }(this, key, hash, vote.shard, vote.entry, speculative_data));
+    }
+
+    if (vc->count >= quorum) {
+      const VersionNumber v = vote.entry.version;
+      // Hit condition (4): the data must come from a quorum member.
+      const bool preferred_in_quorum =
+          preferred->has_entry && preferred->entry.version == v;
+      if (use_scar) {
+        const IndexVote& source = preferred_in_quorum ? *preferred : vc->vote;
+        if (!preferred_in_quorum) ++stats_.preferred_mismatch;
+        if (source.scar_data.empty()) {
+          ++stats_.torn_reads;  // pointer raced an eviction/mutation
+          co_return AbortedError("scar returned no data");
+        }
+        co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
+        co_return ValidateData(source.scar_data, key, hash, v);
+      }
+      if (preferred_in_quorum && speculative_started) {
+        const sim::Duration rem = deadline_at - sim_.now();
+        if (rem <= 0) co_return DeadlineExceededError("data wait");
+        auto data = co_await speculative_data.WaitFor(rem);
+        if (!data) co_return DeadlineExceededError("data wait");
+        co_return *std::move(data);
+      }
+      // Preferred not in quorum: fetch from a quorum member instead.
+      ++stats_.preferred_mismatch;
+      co_return co_await FetchData(key, hash, vc->vote.shard, vc->vote.entry);
+    }
+  }
+
+  // All responses in, no quorum: mixed versions/absence under churn.
+  if (config_mismatch) co_return FailedPreconditionError("config mismatch");
+  ++stats_.inquorate;
+  // If an absence vote carried the bucket-overflow bit, the key may be
+  // RPC-servable there even though no RMA quorum formed (§4.2).
+  if (absence_overflow && config_.follow_overflow_fallback) {
+    auto via_rpc = co_await GetViaRpc(key, targets[0], deadline_at);
+    if (via_rpc.ok()) co_return via_rpc;
+  }
+  co_return AbortedError("inquorate");
+}
+
+sim::Task<void> Client::FetchIndex(
+    std::shared_ptr<sim::Channel<IndexVote>> votes, int replica,
+    uint32_t shard, Hash128 hash, bool use_scar) {
+  IndexVote vote;
+  vote.replica = replica;
+  vote.shard = shard;
+  const Conn conn = conns_[shard];  // copy: conns_ may be invalidated
+
+  co_await fabric_.host(host_).cpu().Run(config_.issue_cpu);
+  const uint64_t bucket = BucketIndex(hash, conn.num_buckets);
+  const uint64_t offset = bucket * BucketBytes(conn.ways);
+  const auto length = static_cast<uint32_t>(BucketBytes(conn.ways));
+
+  Bytes bucket_bytes;
+  if (use_scar) {
+    auto r = co_await transport_->ScanAndRead(host_, conn.host,
+                                              conn.index_region, offset,
+                                              length, hash.hi, hash.lo);
+    if (!r.ok()) {
+      vote.status = r.status();
+      votes->Send(std::move(vote));
+      co_return;
+    }
+    bucket_bytes = std::move(r->bucket);
+    vote.scar_data = std::move(r->data);
+  } else {
+    auto r = co_await transport_->Read(host_, conn.host, conn.index_region,
+                                       offset, length);
+    if (!r.ok()) {
+      vote.status = r.status();
+      votes->Send(std::move(vote));
+      co_return;
+    }
+    bucket_bytes = *std::move(r);
+  }
+
+  co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
+  if (bucket_bytes.size() < BucketBytes(conn.ways)) {
+    vote.status = AbortedError("short bucket read");
+    votes->Send(std::move(vote));
+    co_return;
+  }
+  const BucketHeader header = DecodeBucketHeader(bucket_bytes);
+  if (header.config_id != view_.shard_config_ids[shard]) {
+    // The serving task changed underneath us (migration/spare, §6.1).
+    vote.status = FailedPreconditionError("bucket config id mismatch");
+    votes->Send(std::move(vote));
+    co_return;
+  }
+  vote.overflow = header.overflow;
+  for (uint32_t w = 0; w < conn.ways; ++w) {
+    IndexEntry e = DecodeIndexEntry(ByteSpan(bucket_bytes).subspan(
+        kBucketHeaderSize + size_t(w) * kIndexEntrySize));
+    if (e.keyhash == hash && !e.pointer.is_null()) {
+      vote.has_entry = true;
+      vote.entry = e;
+      break;
+    }
+  }
+  vote.status = OkStatus();
+  votes->Send(std::move(vote));
+}
+
+sim::Task<StatusOr<GetResult>> Client::FetchData(const std::string& key,
+                                                 Hash128 hash, uint32_t shard,
+                                                 IndexEntry entry) {
+  const Conn conn = conns_[shard];
+  co_await fabric_.host(host_).cpu().Run(config_.issue_cpu);
+  auto r = co_await transport_->Read(host_, conn.host, entry.pointer.region,
+                                     entry.pointer.offset, entry.pointer.size);
+  if (!r.ok()) {
+    if (r.status().code() == StatusCode::kPermissionDenied) {
+      ++stats_.window_errors;
+      conns_[shard].connected = false;
+    }
+    co_return r.status();
+  }
+  co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
+  co_return ValidateData(*r, key, hash, entry.version);
+}
+
+StatusOr<GetResult> Client::ValidateData(ByteSpan blob, const std::string& key,
+                                         const Hash128& hash,
+                                         const VersionNumber& quorum_version) {
+  // (1) end-to-end checksum: guards torn reads.
+  auto view = DecodeDataEntry(blob);
+  if (!view.ok()) {
+    ++stats_.torn_reads;
+    return view.status();
+  }
+  // (2) the DataEntry corresponds to the quorumed IndexEntry.
+  if (view->keyhash != hash || view->version != quorum_version) {
+    ++stats_.torn_reads;
+    return AbortedError("data entry does not match quorumed index state");
+  }
+  // (3) full-key compare: guards the (very) rare 128-bit hash collision.
+  if (view->key != key) {
+    return NotFoundError("key hash collision");
+  }
+  return GetResult{Bytes(view->value.begin(), view->value.end()),
+                   view->version};
+}
+
+sim::Task<StatusOr<GetResult>> Client::GetViaRpc(const std::string& key,
+                                                 uint32_t shard,
+                                                 sim::Time deadline_at) {
+  ++stats_.rpc_fallback_gets;
+  const sim::Duration remaining = deadline_at - sim_.now();
+  if (remaining <= 0) co_return DeadlineExceededError("rpc get");
+  rpc::WireWriter w;
+  w.PutString(proto::kTagKey, key);
+  rpc::RpcChannel ch(rpc_network_, host_, view_.shard_hosts[shard]);
+  auto resp =
+      co_await ch.Call(proto::kMethodGet, std::move(w).Take(), remaining);
+  if (!resp.ok()) co_return resp.status();
+  rpc::WireReader r(*resp);
+  auto value = r.GetBytes(proto::kTagValue);
+  auto version = proto::GetVersion(r);
+  if (!value || !version) co_return InternalError("malformed Get response");
+  co_return GetResult{Bytes(value->begin(), value->end()), *version};
+}
+
+// ---------------------------------------------------------------------------
+// Mutations
+// ---------------------------------------------------------------------------
+
+VersionNumber Client::NextVersion() {
+  return VersionNumber{truetime_.NowMicros(host_), config_.client_id, ++seq_};
+}
+
+sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
+                                    Bytes request, int* applied_out) {
+  if (!view_valid_) {
+    Status s = co_await RefreshConfig();
+    if (!s.ok()) co_return s;
+  }
+  const uint32_t n = view_.num_shards();
+  const int replicas = ReplicaCount(view_.mode);
+  const int quorum = QuorumSize(view_.mode);
+  const uint32_t primary = PrimaryShard(config_.hash_fn(key), n);
+
+  struct Ack {
+    Status status;
+    bool applied = false;
+  };
+  auto acks = std::make_shared<sim::Channel<Ack>>(sim_);
+  for (int r = 0; r < replicas; ++r) {
+    const uint32_t shard = ReplicaShard(primary, r, n);
+    sim_.Spawn([](Client* self, const char* method, Bytes req,
+                  net::HostId target,
+                  std::shared_ptr<sim::Channel<Ack>> acks) -> sim::Task<void> {
+      rpc::RpcChannel ch(self->rpc_network_, self->host_, target);
+      auto resp = co_await ch.Call(method, std::move(req),
+                                   self->config_.op_deadline);
+      Ack ack;
+      ack.status = resp.status();
+      if (resp.ok()) {
+        rpc::WireReader rr(*resp);
+        ack.applied = rr.GetU32(proto::kTagApplied).value_or(0) != 0;
+      }
+      acks->Send(ack);
+    }(this, method, request, view_.shard_hosts[shard], acks));
+  }
+
+  int ok = 0, applied = 0, received = 0;
+  Status last_error = OkStatus();
+  while (received < replicas) {
+    auto ack = co_await acks->RecvFor(config_.op_deadline);
+    if (!ack) break;
+    ++received;
+    if (ack->status.ok()) {
+      ++ok;
+      if (ack->applied) ++applied;
+    } else {
+      last_error = ack->status;
+    }
+  }
+  if (applied_out != nullptr) *applied_out = applied;
+  if (ok >= quorum) co_return OkStatus();
+  co_return last_error.ok() ? DeadlineExceededError("mutation acks")
+                            : last_error;
+}
+
+sim::Task<Status> Client::Set(std::string key, Bytes value) {
+  const sim::Time start = sim_.now();
+  ++stats_.sets;
+  if (config_.compress_values) {
+    stats_.compress_bytes_in += static_cast<int64_t>(value.size());
+    value = CompressValue(value);
+    stats_.compress_bytes_out += static_cast<int64_t>(value.size());
+  }
+  Status result = InternalError("unset");
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    // Each (re)try nominates a fresh, higher version: TrueTime in the upper
+    // bits guarantees per-client forward progress (§5.2).
+    rpc::WireWriter w;
+    w.PutString(proto::kTagKey, key);
+    w.PutBytes(proto::kTagValue, value);
+    proto::PutVersion(w, NextVersion());
+    result = co_await MutateAll(proto::kMethodSet, key, std::move(w).Take(),
+                                nullptr);
+    if (result.ok()) break;
+    if (sim_.now() - start >= config_.op_deadline) break;
+    ++stats_.retries;
+    (void)co_await RefreshConfig();
+  }
+  stats_.set_latency_ns.Record(sim_.now() - start);
+  if (!result.ok()) ++stats_.set_errors;
+  co_return result;
+}
+
+sim::Task<Status> Client::Erase(std::string key) {
+  ++stats_.erases;
+  rpc::WireWriter w;
+  w.PutString(proto::kTagKey, key);
+  proto::PutVersion(w, NextVersion());
+  co_return co_await MutateAll(proto::kMethodErase, key, std::move(w).Take(),
+                               nullptr);
+}
+
+sim::Task<StatusOr<bool>> Client::Cas(std::string key, Bytes value,
+                                      VersionNumber expected) {
+  ++stats_.cas_ops;
+  if (config_.compress_values) {
+    stats_.compress_bytes_in += static_cast<int64_t>(value.size());
+    value = CompressValue(value);
+    stats_.compress_bytes_out += static_cast<int64_t>(value.size());
+  }
+  rpc::WireWriter w;
+  w.PutString(proto::kTagKey, key);
+  w.PutBytes(proto::kTagValue, value);
+  proto::PutVersion(w, NextVersion());
+  proto::PutVersion(w, expected, proto::kTagExpectedTt);
+  int applied = 0;
+  Status s = co_await MutateAll(proto::kMethodCas, key, std::move(w).Take(),
+                                &applied);
+  if (!s.ok()) co_return s;
+  co_return applied >= QuorumSize(view_.mode);
+}
+
+// ---------------------------------------------------------------------------
+// Access recording (§4.2)
+// ---------------------------------------------------------------------------
+
+void Client::RecordTouch(const Hash128& hash, uint32_t primary_shard) {
+  if (!view_valid_ || view_.num_shards() == 0) return;
+  const int replicas = ReplicaCount(view_.mode);
+  for (int r = 0; r < replicas; ++r) {
+    const uint32_t shard = ReplicaShard(primary_shard, r, view_.num_shards());
+    proto::AppendTouchRecord(touch_buffers_[view_.shard_hosts[shard]], hash);
+  }
+}
+
+sim::Task<void> Client::FlushTouches() {
+  for (auto& [target, buffer] : touch_buffers_) {
+    if (buffer.empty()) continue;
+    Bytes blob;
+    blob.swap(buffer);
+    rpc::WireWriter w;
+    w.PutBytes(proto::kTagRecords, blob);
+    rpc::RpcChannel ch(rpc_network_, host_, target);
+    ++stats_.touch_rpcs;
+    (void)co_await ch.Call(proto::kMethodTouch, std::move(w).Take(),
+                           sim::Milliseconds(100));
+  }
+}
+
+void Client::StartTouchFlusher() {
+  if (touch_flusher_running_) return;
+  touch_flusher_running_ = true;
+  sim_.Spawn([](Client* self, std::shared_ptr<bool> alive) -> sim::Task<void> {
+    while (*alive && self->touch_flusher_running_) {
+      co_await self->sim_.Delay(self->config_.touch_flush_interval);
+      if (!*alive || !self->touch_flusher_running_) co_return;
+      co_await self->FlushTouches();
+      if (!*alive) co_return;
+    }
+  }(this, alive_));
+}
+
+void Client::StopTouchFlusher() { touch_flusher_running_ = false; }
+
+}  // namespace cm::cliquemap

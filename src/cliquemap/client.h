@@ -1,0 +1,212 @@
+// CliqueMap client library (§3, §5).
+//
+// The client owns the entire lookup protocol: it hashes keys to shards and
+// buckets, performs 2xR or SCAR fetches against replica backends, validates
+// every response end-to-end (checksum, full-key compare, version-quorum,
+// quorum-membership — the four hit conditions of §5.1), and transparently
+// retries at the layer appropriate to the error: checksum failures retry
+// the RMA ops; revoked-window errors re-handshake via RPC; config-id
+// mismatches refresh the cell view from the config service; unavailable
+// replicas are skipped under quorum and probed again after a backoff.
+//
+// Mutations (SET/ERASE/CAS) are RPCs fanned out to all replicas with a
+// client-nominated {TrueTime, ClientId, Seq} version (§5.2). GET recency is
+// reported to backends via batched background Touch RPCs (§4.2).
+#ifndef CM_CLIQUEMAP_CLIENT_H_
+#define CM_CLIQUEMAP_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "cliquemap/config_service.h"
+#include "cliquemap/layout.h"
+#include "cliquemap/proto.h"
+#include "cliquemap/types.h"
+#include "rma/transport.h"
+#include "rpc/rpc.h"
+#include "sim/sync.h"
+#include "truetime/truetime.h"
+
+namespace cm::cliquemap {
+
+struct ClientConfig {
+  uint32_t client_id = 1;
+  LookupStrategy strategy = LookupStrategy::kAuto;
+  sim::Duration op_deadline = sim::Milliseconds(10);
+  int max_retries = 8;
+  // A replica that failed a connection is skipped for this long ("clients
+  // only send two out of three operations per GET, as they await
+  // reconnect", §7.2.3).
+  sim::Duration replica_backoff = sim::Milliseconds(200);
+
+  // Access recording (§4.2).
+  sim::Duration touch_flush_interval = sim::Milliseconds(50);
+  size_t touch_batch_max = 512;
+
+  // Client-library CPU per RMA op / per validation (Figs 6b, 7).
+  sim::Duration issue_cpu = sim::Nanoseconds(400);
+  sim::Duration validate_cpu = sim::Nanoseconds(250);
+
+  // Use the bucket overflow RPC fallback when the overflow bit is set.
+  bool follow_overflow_fallback = true;
+
+  // Transparent client-side value compression (§9 lists compression among
+  // the features delivered post-launch). All clients of a corpus must
+  // agree on this setting, like any per-corpus configuration.
+  bool compress_values = false;
+
+  // Customizable hash (§6.5). Must match the cell's backends.
+  HashFn hash_fn = &HashKey;
+};
+
+struct GetResult {
+  Bytes value;
+  VersionNumber version;
+};
+
+struct ClientStats {
+  int64_t gets = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t get_errors = 0;
+  int64_t sets = 0;
+  int64_t set_errors = 0;
+  int64_t erases = 0;
+  int64_t cas_ops = 0;
+  int64_t retries = 0;
+  int64_t torn_reads = 0;          // checksum validation failures
+  int64_t inquorate = 0;           // no version quorum formed
+  int64_t preferred_mismatch = 0;  // first responder not in quorum
+  int64_t window_errors = 0;       // revoked-window RMA failures
+  int64_t config_refreshes = 0;
+  int64_t rpc_fallback_gets = 0;
+  int64_t touch_rpcs = 0;
+  int64_t compress_bytes_in = 0;   // raw value bytes offered to compression
+  int64_t compress_bytes_out = 0;  // stored bytes after compression
+  Histogram get_latency_ns;
+  Histogram set_latency_ns;
+};
+
+class Client {
+ public:
+  Client(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
+         rma::RmaTransport* transport, truetime::TrueTime& truetime,
+         net::HostId host, net::HostId config_host, ClientConfig config = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Fetches the cell view; per-backend RMA handshakes happen lazily.
+  sim::Task<Status> Connect();
+
+  sim::Task<StatusOr<GetResult>> Get(std::string key);
+  // Issues all lookups concurrently; batch latency is the max (the incast
+  // pattern of the Ads/Geo workloads, §7.1).
+  sim::Task<std::vector<StatusOr<GetResult>>> MultiGet(
+      std::vector<std::string> keys);
+
+  sim::Task<Status> Set(std::string key, Bytes value);
+  sim::Task<Status> Erase(std::string key);
+  // Installs `value` only if the stored version equals `expected`; returns
+  // whether the swap applied (§5.2).
+  sim::Task<StatusOr<bool>> Cas(std::string key, Bytes value,
+                                VersionNumber expected);
+
+  // Background batched access recording.
+  void StartTouchFlusher();
+  void StopTouchFlusher();
+  // Flushes pending touch records immediately.
+  sim::Task<void> FlushTouches();
+
+  const ClientStats& stats() const { return stats_; }
+  ClientStats& mutable_stats() { return stats_; }
+  net::HostId host() const { return host_; }
+  const CellView& view() const { return view_; }
+  sim::Simulator& simulator() { return sim_; }
+  net::Fabric& fabric() { return fabric_; }
+
+ private:
+  // Per-shard RMA connection state (established via the Info handshake).
+  struct Conn {
+    bool connected = false;
+    net::HostId host = net::kInvalidHost;
+    rma::RegionId index_region = rma::kInvalidRegion;
+    uint64_t num_buckets = 0;
+    uint32_t ways = 0;
+    uint32_t config_id = 0;
+    sim::Time dead_until = 0;   // backoff after connection failures
+    bool ever_failed = false;   // reconnects probe off the serving path
+    bool probe_in_flight = false;
+  };
+
+  // One replica's contribution to a quorum decision.
+  struct IndexVote {
+    int replica = -1;           // 0..R-1
+    uint32_t shard = 0;         // physical shard of this replica
+    Status status;              // fetch outcome
+    bool has_entry = false;
+    IndexEntry entry;
+    bool overflow = false;      // bucket overflow bit observed
+    Bytes scar_data;            // SCAR only: piggybacked DataEntry bytes
+  };
+
+  sim::Task<Status> RefreshConfig();
+  sim::Task<Status> EnsureConnected(uint32_t shard);
+  void NoteReplicaFailure(uint32_t shard);
+
+  // One GET attempt; kAborted-class results are retried by Get().
+  sim::Task<StatusOr<GetResult>> GetOnce(const std::string& key,
+                                         const Hash128& hash,
+                                         sim::Time deadline_at);
+  sim::Task<StatusOr<GetResult>> GetViaRpc(const std::string& key,
+                                           uint32_t shard,
+                                           sim::Time deadline_at);
+
+  // Issues an index (bucket or SCAR) fetch against one replica, delivering
+  // the vote into `votes`.
+  sim::Task<void> FetchIndex(std::shared_ptr<sim::Channel<IndexVote>> votes,
+                             int replica, uint32_t shard, Hash128 hash,
+                             bool use_scar);
+  // Fetches and validates the DataEntry behind `entry` from `shard`.
+  sim::Task<StatusOr<GetResult>> FetchData(const std::string& key,
+                                           Hash128 hash, uint32_t shard,
+                                           IndexEntry entry);
+  // Validates a DataEntry blob against the four hit conditions.
+  StatusOr<GetResult> ValidateData(ByteSpan blob, const std::string& key,
+                                   const Hash128& hash,
+                                   const VersionNumber& quorum_version);
+
+  VersionNumber NextVersion();
+  sim::Task<Status> MutateAll(const char* method, const std::string& key,
+                              Bytes request, int* applied_out);
+  void RecordTouch(const Hash128& hash, uint32_t primary_shard);
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  rpc::RpcNetwork& rpc_network_;
+  rma::RmaTransport* transport_;
+  truetime::TrueTime& truetime_;
+  net::HostId host_;
+  net::HostId config_host_;
+  ClientConfig config_;
+
+  CellView view_;
+  bool view_valid_ = false;
+  bool refresh_in_flight_ = false;
+  std::vector<Conn> conns_;
+  uint32_t seq_ = 0;
+
+  // Touch buffers per backend host.
+  std::unordered_map<net::HostId, Bytes> touch_buffers_;
+  bool touch_flusher_running_ = false;
+  std::shared_ptr<bool> alive_;
+
+  ClientStats stats_;
+};
+
+}  // namespace cm::cliquemap
+
+#endif  // CM_CLIQUEMAP_CLIENT_H_

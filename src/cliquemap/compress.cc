@@ -1,0 +1,65 @@
+#include "cliquemap/compress.h"
+
+namespace cm::cliquemap {
+namespace {
+
+// RLE stream: repeated [count u8][byte] pairs (count 1..255).
+Bytes RleEncode(ByteSpan value) {
+  Bytes out;
+  out.reserve(value.size() / 2 + 8);
+  size_t i = 0;
+  while (i < value.size()) {
+    const std::byte b = value[i];
+    size_t run = 1;
+    while (i + run < value.size() && value[i + run] == b && run < 255) ++run;
+    out.push_back(static_cast<std::byte>(run));
+    out.push_back(b);
+    i += run;
+  }
+  return out;
+}
+
+StatusOr<Bytes> RleDecode(ByteSpan stream) {
+  if (stream.size() % 2 != 0) {
+    return InvalidArgumentError("truncated RLE stream");
+  }
+  Bytes out;
+  for (size_t i = 0; i < stream.size(); i += 2) {
+    const auto run = static_cast<size_t>(stream[i]);
+    if (run == 0) return InvalidArgumentError("zero-length RLE run");
+    out.insert(out.end(), run, stream[i + 1]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes CompressValue(ByteSpan value) {
+  Bytes rle = RleEncode(value);
+  Bytes out;
+  if (rle.size() < value.size()) {
+    out.reserve(rle.size() + 1);
+    out.push_back(kValueMarkerRle);
+    out.insert(out.end(), rle.begin(), rle.end());
+  } else {
+    out.reserve(value.size() + 1);
+    out.push_back(kValueMarkerRaw);
+    out.insert(out.end(), value.begin(), value.end());
+  }
+  return out;
+}
+
+StatusOr<Bytes> DecompressValue(ByteSpan stored) {
+  if (stored.empty()) return InvalidArgumentError("empty stored value");
+  const std::byte marker = stored[0];
+  ByteSpan payload = stored.subspan(1);
+  if (marker == kValueMarkerRaw) {
+    return Bytes(payload.begin(), payload.end());
+  }
+  if (marker == kValueMarkerRle) {
+    return RleDecode(payload);
+  }
+  return InvalidArgumentError("unknown value compression marker");
+}
+
+}  // namespace cm::cliquemap

@@ -1,0 +1,32 @@
+// Client-side transparent value compression — one of the post-deployment
+// features RPC-side agility made cheap to deliver (§9: "sparing for
+// planned maintenance, diverse eviction algorithms, compression, and new
+// mutation types").
+//
+// Values are stored self-describing: a one-byte marker (raw / RLE)
+// precedes the payload, so any compressing client can read any value.
+// Compression happens entirely in the client library; backends and the
+// wire protocol are unchanged — exactly why this was an easy feature to
+// ship late.
+#ifndef CM_CLIQUEMAP_COMPRESS_H_
+#define CM_CLIQUEMAP_COMPRESS_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace cm::cliquemap {
+
+inline constexpr std::byte kValueMarkerRaw{0x00};
+inline constexpr std::byte kValueMarkerRle{0x01};
+
+// Encodes `value` with the marker prefix, using run-length encoding when it
+// actually shrinks the payload (typical for zero-padded or repetitive
+// buffers), raw otherwise.
+Bytes CompressValue(ByteSpan value);
+
+// Inverse of CompressValue; fails on unknown markers or malformed streams.
+StatusOr<Bytes> DecompressValue(ByteSpan stored);
+
+}  // namespace cm::cliquemap
+
+#endif  // CM_CLIQUEMAP_COMPRESS_H_

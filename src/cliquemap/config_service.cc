@@ -1,0 +1,79 @@
+#include "cliquemap/config_service.h"
+
+namespace cm::cliquemap {
+
+Bytes EncodeCellView(const CellView& view) {
+  rpc::WireWriter w;
+  w.PutU32(proto::kTagGeneration, view.generation);
+  w.PutU32(proto::kTagMode, static_cast<uint32_t>(view.mode));
+  w.PutU32(proto::kTagNumShards, view.num_shards());
+  for (uint32_t i = 0; i < view.num_shards(); ++i) {
+    w.PutU32(proto::kTagShardHost, view.shard_hosts[i]);
+    w.PutU32(proto::kTagShardConfigId, view.shard_config_ids[i]);
+  }
+  return std::move(w).Take();
+}
+
+StatusOr<CellView> DecodeCellView(ByteSpan data) {
+  rpc::WireReader r(data);
+  auto gen = r.GetU32(proto::kTagGeneration);
+  auto mode = r.GetU32(proto::kTagMode);
+  auto num = r.GetU32(proto::kTagNumShards);
+  if (!gen || !mode || !num) {
+    return InvalidArgumentError("malformed cell view");
+  }
+  CellView view;
+  view.generation = *gen;
+  view.mode = static_cast<ReplicationMode>(*mode);
+  // ShardHost / ShardConfigId are repeated u32 fields; the TLV reader only
+  // indexes repeated BYTES, so we re-encode them as a manual scan.
+  view.shard_hosts.reserve(*num);
+  view.shard_config_ids.reserve(*num);
+  // Repeated scalar support: scan the raw buffer.
+  size_t pos = 0;
+  while (pos + 3 <= data.size()) {
+    uint16_t tag = LoadU16(data.data() + pos);
+    auto type = static_cast<rpc::WireType>(data[pos + 2]);
+    pos += 3;
+    size_t len = 0;
+    switch (type) {
+      case rpc::WireType::kU32: len = 4; break;
+      case rpc::WireType::kU64: len = 8; break;
+      case rpc::WireType::kBytes: {
+        if (pos + 4 > data.size()) return InvalidArgumentError("truncated");
+        len = 4 + LoadU32(data.data() + pos);
+        break;
+      }
+    }
+    if (pos + len > data.size()) return InvalidArgumentError("truncated");
+    if (type == rpc::WireType::kU32) {
+      uint32_t v = LoadU32(data.data() + pos);
+      if (tag == proto::kTagShardHost) view.shard_hosts.push_back(v);
+      if (tag == proto::kTagShardConfigId) view.shard_config_ids.push_back(v);
+    }
+    pos += len;
+  }
+  if (view.shard_hosts.size() != *num ||
+      view.shard_config_ids.size() != *num) {
+    return InvalidArgumentError("shard list size mismatch");
+  }
+  return view;
+}
+
+ConfigService::ConfigService(rpc::RpcNetwork& network, net::HostId host)
+    : server_(network, host) {
+  server_.RegisterMethod(
+      proto::kMethodGetCellView,
+      [this](ByteSpan) -> sim::Task<StatusOr<Bytes>> {
+        co_return EncodeCellView(view_);
+      });
+}
+
+uint32_t ConfigService::UpdateShard(uint32_t shard, net::HostId host) {
+  view_.shard_hosts[shard] = host;
+  view_.shard_config_ids[shard] = ++next_config_id_ + 1000 * (shard + 1);
+  ++view_.generation;
+  return view_.shard_config_ids[shard];
+}
+
+}  // namespace cm::cliquemap

@@ -1,0 +1,56 @@
+// Cell configuration service — the external high-availability storage
+// system (Chubby/Spanner stand-in, §6.1) from which clients refresh their
+// view of the cell: which host serves each shard, each shard's current
+// configuration id, and the replication mode.
+//
+// Clients discover in-flight migrations by noticing that the config_id
+// stored in a fetched Bucket no longer matches their connection-time
+// expectation, then refreshing from here.
+#ifndef CM_CLIQUEMAP_CONFIG_SERVICE_H_
+#define CM_CLIQUEMAP_CONFIG_SERVICE_H_
+
+#include <vector>
+
+#include "cliquemap/proto.h"
+#include "cliquemap/types.h"
+#include "rpc/rpc.h"
+
+namespace cm::cliquemap {
+
+// A client's (or backend's) view of the cell topology.
+struct CellView {
+  uint32_t generation = 0;
+  ReplicationMode mode = ReplicationMode::kR1;
+  std::vector<net::HostId> shard_hosts;    // shard -> serving host
+  std::vector<uint32_t> shard_config_ids;  // shard -> config id in buckets
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shard_hosts.size());
+  }
+};
+
+Bytes EncodeCellView(const CellView& view);
+StatusOr<CellView> DecodeCellView(ByteSpan data);
+
+class ConfigService {
+ public:
+  ConfigService(rpc::RpcNetwork& network, net::HostId host);
+
+  // Authoritative updates (performed by cell orchestration / backends).
+  void SetInitialView(CellView view) { view_ = std::move(view); }
+  // Points `shard` at `host` with a fresh per-shard config id; bumps the
+  // cell generation. Returns the new shard config id.
+  uint32_t UpdateShard(uint32_t shard, net::HostId host);
+
+  const CellView& view() const { return view_; }
+  net::HostId host() const { return server_.host(); }
+
+ private:
+  rpc::RpcServer server_;
+  CellView view_;
+  uint32_t next_config_id_ = 1;
+};
+
+}  // namespace cm::cliquemap
+
+#endif  // CM_CLIQUEMAP_CONFIG_SERVICE_H_

@@ -1,0 +1,322 @@
+#include "cliquemap/eviction.h"
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cm::cliquemap {
+namespace {
+
+// Shared recency bookkeeping: a logical tick per insert/touch, used by the
+// candidate-restricted victim choice.
+class TickBase : public EvictionPolicy {
+ public:
+  Hash128 VictimAmong(std::span<const Hash128> candidates) override {
+    Hash128 best;
+    uint64_t best_tick = ~uint64_t{0};
+    for (const Hash128& c : candidates) {
+      auto it = ticks_.find(c);
+      const uint64_t t = it == ticks_.end() ? 0 : it->second;
+      if (t < best_tick) {
+        best_tick = t;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+ protected:
+  void Tick(const Hash128& key) { ticks_[key] = ++now_; }
+  void Drop(const Hash128& key) { ticks_.erase(key); }
+
+ private:
+  uint64_t now_ = 0;
+  std::unordered_map<Hash128, uint64_t> ticks_;
+};
+
+// ---------------------------------------------------------------------------
+// LRU
+// ---------------------------------------------------------------------------
+
+class LruPolicy final : public TickBase {
+ public:
+  void OnInsert(const Hash128& key) override { Touch(key); }
+  // Touches arrive from batched client access records and may reference
+  // keys evicted in the meantime; they refresh only resident entries.
+  void OnTouch(const Hash128& key) override {
+    if (index_.count(key) > 0) Touch(key);
+  }
+
+  void OnRemove(const Hash128& key) override {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.erase(it->second);
+      index_.erase(it);
+    }
+    Drop(key);
+  }
+
+  Hash128 Victim() override {
+    return order_.empty() ? Hash128{} : order_.back();
+  }
+
+  size_t tracked() const override { return index_.size(); }
+  std::string_view name() const override { return "lru"; }
+
+ private:
+  void Touch(const Hash128& key) {
+    Tick(key);
+    auto it = index_.find(key);
+    if (it != index_.end()) order_.erase(it->second);
+    order_.push_front(key);
+    index_[key] = order_.begin();
+  }
+
+  std::list<Hash128> order_;  // front = most recent
+  std::unordered_map<Hash128, std::list<Hash128>::iterator> index_;
+};
+
+// ---------------------------------------------------------------------------
+// ARC (Megiddo & Modha, FAST'03)
+// ---------------------------------------------------------------------------
+
+class ArcPolicy final : public TickBase {
+ public:
+  explicit ArcPolicy(size_t capacity) : c_(capacity ? capacity : 1) {}
+
+  void OnInsert(const Hash128& key) override { Access(key); }
+  // Touches refresh only resident entries (ghost adaptation happens on
+  // re-insert after a miss).
+  void OnTouch(const Hash128& key) override {
+    if (t1_.Contains(key) || t2_.Contains(key)) Access(key);
+  }
+
+  void OnRemove(const Hash128& key) override {
+    EraseFrom(t1_, key) || EraseFrom(t2_, key);
+    Drop(key);
+  }
+
+  Hash128 Victim() override {
+    // REPLACE: evict from T1 if |T1| >= max(1, p), else from T2. The victim
+    // becomes a ghost so a re-reference adapts p.
+    if (!t1_.list.empty() &&
+        (t1_.list.size() >= std::max<size_t>(1, p_) || t2_.list.empty())) {
+      Hash128 v = t1_.list.back();
+      MoveToGhost(t1_, b1_, v);
+      return v;
+    }
+    if (!t2_.list.empty()) {
+      Hash128 v = t2_.list.back();
+      MoveToGhost(t2_, b2_, v);
+      return v;
+    }
+    return Hash128{};
+  }
+
+  size_t tracked() const override { return t1_.map.size() + t2_.map.size(); }
+  std::string_view name() const override { return "arc"; }
+
+ private:
+  struct Lru {
+    std::list<Hash128> list;  // front = MRU
+    std::unordered_map<Hash128, std::list<Hash128>::iterator> map;
+
+    bool Contains(const Hash128& k) const { return map.count(k) > 0; }
+    void PushFront(const Hash128& k) {
+      list.push_front(k);
+      map[k] = list.begin();
+    }
+    void TrimTo(size_t n) {
+      while (list.size() > n) {
+        map.erase(list.back());
+        list.pop_back();
+      }
+    }
+  };
+
+  static bool EraseFrom(Lru& l, const Hash128& k) {
+    auto it = l.map.find(k);
+    if (it == l.map.end()) return false;
+    l.list.erase(it->second);
+    l.map.erase(it);
+    return true;
+  }
+
+  void MoveToGhost(Lru& from, Lru& ghost, const Hash128& k) {
+    EraseFrom(from, k);
+    ghost.PushFront(k);
+    ghost.TrimTo(c_);
+    Drop(k);
+  }
+
+  void Access(const Hash128& key) {
+    Tick(key);
+    if (t1_.Contains(key)) {  // second hit: promote to frequent
+      EraseFrom(t1_, key);
+      t2_.PushFront(key);
+      return;
+    }
+    if (t2_.Contains(key)) {  // refresh
+      EraseFrom(t2_, key);
+      t2_.PushFront(key);
+      return;
+    }
+    if (b1_.Contains(key)) {  // ghost hit in recency list: grow p
+      p_ = std::min(c_, p_ + std::max<size_t>(1, b2_.list.size() /
+                                                     std::max<size_t>(
+                                                         1, b1_.list.size())));
+      EraseFrom(b1_, key);
+      t2_.PushFront(key);
+      return;
+    }
+    if (b2_.Contains(key)) {  // ghost hit in frequency list: shrink p
+      size_t delta =
+          std::max<size_t>(1, b1_.list.size() / std::max<size_t>(
+                                                    1, b2_.list.size()));
+      p_ = delta > p_ ? 0 : p_ - delta;
+      EraseFrom(b2_, key);
+      t2_.PushFront(key);
+      return;
+    }
+    t1_.PushFront(key);  // brand new
+  }
+
+  size_t c_;
+  size_t p_ = 0;
+  Lru t1_, t2_, b1_, b2_;
+};
+
+// ---------------------------------------------------------------------------
+// CLOCK (second chance)
+// ---------------------------------------------------------------------------
+
+class ClockPolicy final : public TickBase {
+ public:
+  void OnInsert(const Hash128& key) override {
+    Tick(key);
+    if (index_.count(key)) {
+      ring_[index_[key]].referenced = true;
+      return;
+    }
+    index_[key] = ring_.size();
+    ring_.push_back(Node{key, true});
+  }
+
+  void OnTouch(const Hash128& key) override {
+    Tick(key);
+    auto it = index_.find(key);
+    if (it != index_.end()) ring_[it->second].referenced = true;
+  }
+
+  void OnRemove(const Hash128& key) override {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    RemoveAt(it->second);
+    Drop(key);
+  }
+
+  Hash128 Victim() override {
+    if (ring_.empty()) return Hash128{};
+    for (size_t sweep = 0; sweep < 2 * ring_.size(); ++sweep) {
+      if (hand_ >= ring_.size()) hand_ = 0;
+      Node& n = ring_[hand_];
+      if (n.referenced) {
+        n.referenced = false;
+        ++hand_;
+      } else {
+        return n.key;
+      }
+    }
+    return ring_[hand_ % ring_.size()].key;
+  }
+
+  size_t tracked() const override { return ring_.size(); }
+  std::string_view name() const override { return "clock"; }
+
+ private:
+  struct Node {
+    Hash128 key;
+    bool referenced;
+  };
+
+  void RemoveAt(size_t i) {
+    index_.erase(ring_[i].key);
+    if (i != ring_.size() - 1) {
+      ring_[i] = ring_.back();
+      index_[ring_[i].key] = i;
+    }
+    ring_.pop_back();
+    if (hand_ > i) --hand_;
+  }
+
+  std::vector<Node> ring_;
+  std::unordered_map<Hash128, size_t> index_;
+  size_t hand_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+class RandomPolicy final : public EvictionPolicy {
+ public:
+  explicit RandomPolicy(uint64_t seed) : rng_(seed) {}
+
+  void OnInsert(const Hash128& key) override {
+    if (index_.count(key)) return;
+    index_[key] = keys_.size();
+    keys_.push_back(key);
+  }
+  void OnTouch(const Hash128&) override {}
+  void OnRemove(const Hash128& key) override {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    size_t i = it->second;
+    index_.erase(it);
+    if (i != keys_.size() - 1) {
+      keys_[i] = keys_.back();
+      index_[keys_[i]] = i;
+    }
+    keys_.pop_back();
+  }
+
+  Hash128 Victim() override {
+    if (keys_.empty()) return Hash128{};
+    return keys_[rng_.NextBounded(keys_.size())];
+  }
+
+  Hash128 VictimAmong(std::span<const Hash128> candidates) override {
+    if (candidates.empty()) return Hash128{};
+    return candidates[rng_.NextBounded(candidates.size())];
+  }
+
+  size_t tracked() const override { return keys_.size(); }
+  std::string_view name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+  std::vector<Hash128> keys_;
+  std::unordered_map<Hash128, size_t> index_;
+};
+
+}  // namespace
+
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionPolicyKind kind,
+                                                   size_t capacity_hint,
+                                                   uint64_t seed) {
+  switch (kind) {
+    case EvictionPolicyKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case EvictionPolicyKind::kArc:
+      return std::make_unique<ArcPolicy>(capacity_hint);
+    case EvictionPolicyKind::kClock:
+      return std::make_unique<ClockPolicy>();
+    case EvictionPolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>(seed);
+  }
+  return std::make_unique<LruPolicy>();
+}
+
+}  // namespace cm::cliquemap

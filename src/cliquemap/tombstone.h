@@ -1,0 +1,99 @@
+// Tombstone cache for ERASE versions (§5.2).
+//
+// ERASEd keys carry client-nominated VersionNumbers so late-arriving SETs
+// cannot resurrect affirmatively-erased values — but spending RMA-visible
+// index DRAM on dead keys is untenable. Tombstones therefore live in a
+// fully-associative, fixed-size cache on the backend's heap; when one is
+// evicted, its version folds into a *summary* VersionNumber (the largest
+// version ever evicted). Monotonicity checks consult the cache, then the
+// summary: reasoning about evicted tombstones is coarse (the summary bounds
+// them above) but never inconsistent.
+#ifndef CM_CLIQUEMAP_TOMBSTONE_H_
+#define CM_CLIQUEMAP_TOMBSTONE_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "cliquemap/types.h"
+
+namespace cm::cliquemap {
+
+class TombstoneCache {
+ public:
+  explicit TombstoneCache(size_t capacity) : capacity_(capacity) {}
+
+  // Records an erase at `version` (keeps the max per key). Evicts the
+  // oldest tombstone into the summary when full.
+  void Record(const Hash128& key, const VersionNumber& version) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      if (version > it->second) it->second = version;
+      return;
+    }
+    while (map_.size() >= capacity_ && !fifo_.empty()) {
+      const Hash128 victim = fifo_.front();
+      fifo_.pop_front();
+      auto vit = map_.find(victim);
+      if (vit != map_.end()) {
+        if (vit->second > summary_) summary_ = vit->second;
+        map_.erase(vit);
+      }
+    }
+    map_[key] = version;
+    fifo_.push_back(key);
+  }
+
+  // The erase-version floor for `key`: its exact tombstone if cached, else
+  // the summary (an upper bound for any evicted tombstone).
+  VersionNumber Floor(const Hash128& key) const {
+    auto it = map_.find(key);
+    if (it != map_.end() && it->second > summary_) return it->second;
+    // Note: the per-key tombstone can be below the summary if other,
+    // higher-versioned tombstones were evicted; the floor is conservative.
+    if (it != map_.end()) return summary_ > it->second ? summary_ : it->second;
+    return summary_;
+  }
+
+  // Exact tombstone for key, if still cached.
+  const VersionNumber* Find(const Hash128& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  void Clear(const Hash128& key) { map_.erase(key); }
+
+  // Folds an external summary in (migration transfers tombstone state as a
+  // single summary bound).
+  void MergeSummary(const VersionNumber& v) {
+    if (v > summary_) summary_ = v;
+  }
+
+  // Upper bound over every tombstone this cache has ever seen: the summary
+  // joined with all still-cached entries.
+  VersionNumber WorstCaseSummary() const {
+    VersionNumber v = summary_;
+    for (const auto& [key, version] : map_) {
+      if (version > v) v = version;
+    }
+    return v;
+  }
+
+  const std::unordered_map<Hash128, VersionNumber>& entries() const {
+    return map_;
+  }
+
+  const VersionNumber& summary() const { return summary_; }
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  VersionNumber summary_;
+  std::unordered_map<Hash128, VersionNumber> map_;
+  std::deque<Hash128> fifo_;
+};
+
+}  // namespace cm::cliquemap
+
+#endif  // CM_CLIQUEMAP_TOMBSTONE_H_

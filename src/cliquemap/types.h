@@ -1,0 +1,96 @@
+// Core vocabulary types for CliqueMap: versions, pointers, replication
+// modes, and deployment constants.
+#ifndef CM_CLIQUEMAP_TYPES_H_
+#define CM_CLIQUEMAP_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+#include "rma/memory.h"
+
+namespace cm::cliquemap {
+
+// Client-nominated version: {TrueTime, ClientId, SequenceNumber} (§5.2).
+// Globally unique, totally ordered, and monotonic per client; TrueTime in
+// the uppermost bits means a retrying client eventually nominates the
+// highest version, guaranteeing per-client forward progress.
+struct VersionNumber {
+  uint64_t tt_micros = 0;
+  uint32_t client_id = 0;
+  uint32_t seq = 0;
+
+  friend auto operator<=>(const VersionNumber&, const VersionNumber&) = default;
+  friend bool operator==(const VersionNumber&, const VersionNumber&) = default;
+
+  bool is_zero() const { return tt_micros == 0 && client_id == 0 && seq == 0; }
+
+  std::string ToString() const;
+};
+
+// RMA-friendly pointer stored in an IndexEntry: (memory region identifier,
+// offset, size) locating a DataEntry in the data region (§3).
+struct Pointer {
+  rma::RegionId region = rma::kInvalidRegion;
+  uint32_t size = 0;
+  uint64_t offset = 0;
+
+  friend bool operator==(const Pointer&, const Pointer&) = default;
+
+  bool is_null() const { return region == rma::kInvalidRegion; }
+};
+
+enum class ReplicationMode {
+  kR1,           // single replica (availability from warm spares only)
+  kR2Immutable,  // two replicas, immutable corpus loaded from system of record
+  kR32,          // three replicas, quorum of two ("R=3.2")
+};
+
+inline int ReplicaCount(ReplicationMode mode) {
+  switch (mode) {
+    case ReplicationMode::kR1: return 1;
+    case ReplicationMode::kR2Immutable: return 2;
+    case ReplicationMode::kR32: return 3;
+  }
+  return 1;
+}
+
+inline int QuorumSize(ReplicationMode mode) {
+  return mode == ReplicationMode::kR32 ? 2 : 1;
+}
+
+// Lookup strategies (§6.3, §7.2.4).
+enum class LookupStrategy {
+  kAuto,   // SCAR when the transport offers it, else 2xR
+  kTwoR,   // two RMA reads in sequence (index, then data)
+  kScar,   // single-round-trip scan-and-read
+  kRpc,    // two-sided fallback (WAN, or RMA unavailable)
+};
+
+// Eviction policies supported by backends (§4.2).
+enum class EvictionPolicyKind {
+  kLru,
+  kArc,
+  kClock,
+  kRandom,
+};
+
+// Shard placement (§5.1): consistent key hash determines the logical
+// primary backend i; copies live on physical backends i, i+1, i+2 (mod N).
+inline uint32_t PrimaryShard(const Hash128& h, uint32_t num_shards) {
+  return static_cast<uint32_t>(Mix64(h.lo) % num_shards);
+}
+inline uint32_t ReplicaShard(uint32_t primary, int replica,
+                             uint32_t num_shards) {
+  return (primary + static_cast<uint32_t>(replica)) % num_shards;
+}
+
+// Bucket index within a backend's index region.
+inline uint64_t BucketIndex(const Hash128& h, uint64_t num_buckets) {
+  return Mix64(h.hi) % num_buckets;
+}
+
+}  // namespace cm::cliquemap
+
+#endif  // CM_CLIQUEMAP_TYPES_H_

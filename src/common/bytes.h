@@ -1,0 +1,57 @@
+// Byte-buffer helpers: little-endian encode/decode into flat byte arrays.
+// The CliqueMap index and data regions are raw RMA-accessible byte ranges,
+// so all on-"wire"/in-region structures are serialized explicitly rather
+// than via struct casts (keeps layout versioned and alignment-safe).
+#ifndef CM_COMMON_BYTES_H_
+#define CM_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cm {
+
+using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
+using MutableByteSpan = std::span<std::byte>;
+
+inline void StoreU16(std::byte* p, uint16_t v) { std::memcpy(p, &v, 2); }
+inline void StoreU32(std::byte* p, uint32_t v) { std::memcpy(p, &v, 4); }
+inline void StoreU64(std::byte* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+inline uint16_t LoadU16(const std::byte* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+inline uint32_t LoadU32(const std::byte* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline uint64_t LoadU64(const std::byte* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline Bytes ToBytes(std::string_view s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return Bytes(p, p + s.size());
+}
+
+inline std::string ToString(ByteSpan b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline ByteSpan AsByteSpan(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+}  // namespace cm
+
+#endif  // CM_COMMON_BYTES_H_

@@ -1,0 +1,49 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace cm {
+namespace {
+
+constexpr uint32_t kCrc32cPoly = 0x82f63b78u;  // reflected Castagnoli
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kCrc32cPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = MakeTable();
+
+}  // namespace
+
+Crc32c& Crc32c::Update(ByteSpan data) {
+  uint32_t crc = state_;
+  for (std::byte b : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<uint8_t>(b)) & 0xffu];
+  }
+  state_ = crc;
+  return *this;
+}
+
+Crc32c& Crc32c::UpdateU32(uint32_t v) {
+  std::byte buf[4];
+  StoreU32(buf, v);
+  return Update(ByteSpan(buf, 4));
+}
+
+Crc32c& Crc32c::UpdateU64(uint64_t v) {
+  std::byte buf[8];
+  StoreU64(buf, v);
+  return Update(ByteSpan(buf, 8));
+}
+
+uint32_t ComputeCrc32c(ByteSpan data) { return Crc32c().Update(data).value(); }
+
+}  // namespace cm

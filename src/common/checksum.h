@@ -1,0 +1,34 @@
+// CRC32C checksums guarding each KV pair (paper §3, "Self-Validating
+// Responses"): since RMAs are not atomic, every DataEntry carries a checksum
+// over key, value, and metadata, verified end-to-end by clients. Validation
+// failures are attributed to torn reads and retried.
+#ifndef CM_COMMON_CHECKSUM_H_
+#define CM_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace cm {
+
+// Incremental CRC32C (Castagnoli) computation, software table-driven.
+class Crc32c {
+ public:
+  Crc32c() = default;
+
+  Crc32c& Update(ByteSpan data);
+  Crc32c& UpdateU32(uint32_t v);
+  Crc32c& UpdateU64(uint64_t v);
+
+  // Finalized CRC value.
+  uint32_t value() const { return ~state_; }
+
+ private:
+  uint32_t state_ = 0xffffffffu;
+};
+
+uint32_t ComputeCrc32c(ByteSpan data);
+
+}  // namespace cm
+
+#endif  // CM_COMMON_CHECKSUM_H_

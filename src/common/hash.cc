@@ -1,0 +1,48 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace cm {
+namespace {
+
+// 64-bit avalanche finalizer (splitmix64 constants).
+uint64_t Avalanche(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t Hash64Seeded(std::string_view s, uint64_t seed) {
+  // FNV-1a style accumulation with a strong finisher per 8-byte block.
+  uint64_t h = seed ^ (s.size() * 0x100000001b3ull);
+  size_t i = 0;
+  while (i + 8 <= s.size()) {
+    uint64_t block;
+    std::memcpy(&block, s.data() + i, 8);
+    h = Avalanche(h ^ block) * 0x100000001b3ull;
+    i += 8;
+  }
+  uint64_t tail = 0;
+  size_t rem = s.size() - i;
+  if (rem > 0) {
+    std::memcpy(&tail, s.data() + i, rem);
+    h = Avalanche(h ^ tail ^ (uint64_t{rem} << 56)) * 0x100000001b3ull;
+  }
+  return Avalanche(h);
+}
+
+}  // namespace
+
+Hash128 HashKey(std::string_view key) {
+  return Hash128{
+      .hi = Hash64Seeded(key, 0x243f6a8885a308d3ull),
+      .lo = Hash64Seeded(key, 0x13198a2e03707344ull),
+  };
+}
+
+uint64_t Mix64(uint64_t x) { return Avalanche(x + 0x9e3779b97f4a7c15ull); }
+
+}  // namespace cm

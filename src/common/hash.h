@@ -1,0 +1,46 @@
+// 128-bit key hashing. CliqueMap identifies each key by a 128-bit KeyHash
+// (paper §3: IndexEntries are tagged with the KeyHash; a full-key compare in
+// the DataEntry guards against the very rare 128-bit collision). The hash
+// also drives backend selection (consistent placement of the logical primary
+// replica, §5.1), so it must be stable and well-mixed.
+#ifndef CM_COMMON_HASH_H_
+#define CM_COMMON_HASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace cm {
+
+struct Hash128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+  friend auto operator<=>(const Hash128&, const Hash128&) = default;
+
+  bool is_zero() const { return hi == 0 && lo == 0; }
+};
+
+// Hashes an arbitrary byte string to 128 bits (two independently-seeded
+// 64-bit avalanche passes over the input).
+Hash128 HashKey(std::string_view key);
+
+// 64-bit mix used for bucket/backend selection from a Hash128.
+uint64_t Mix64(uint64_t x);
+
+// Customizable hash support (§6.5: "minor features enabling such use cases
+// were added, e.g., customizable hash functions"). A HashFn maps a key to a
+// Hash128; deployments may override the default.
+using HashFn = Hash128 (*)(std::string_view);
+
+}  // namespace cm
+
+template <>
+struct std::hash<cm::Hash128> {
+  size_t operator()(const cm::Hash128& h) const noexcept {
+    return static_cast<size_t>(h.hi ^ (h.lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+#endif  // CM_COMMON_HASH_H_

@@ -1,0 +1,84 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace cm {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(int64_t v) {
+  if (v < 0) v = 0;
+  if (v < kLinear) return static_cast<int>(v);
+  const int log2 = 63 - std::countl_zero(static_cast<uint64_t>(v));
+  // log2 >= 7 here. Sub-bucket index from the bits just below the MSB.
+  const int sub = static_cast<int>((v >> (log2 - 4)) & (kSubBuckets - 1));
+  int idx = kLinear + (log2 - 7) * kSubBuckets + sub;
+  return std::min(idx, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketMidpoint(int b) {
+  if (b < kLinear) return b;
+  const int log2 = (b - kLinear) / kSubBuckets + 7;
+  const int sub = (b - kLinear) % kSubBuckets;
+  const int64_t base = int64_t{1} << log2;
+  const int64_t step = base / kSubBuckets;
+  return base + sub * step + step / 2;
+}
+
+void Histogram::Record(int64_t value) {
+  buckets_[BucketFor(value)]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    min_ = count_ ? std::min(min_, other.min_) : other.min_;
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0u);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+int64_t Histogram::Percentile(double quantile) const {
+  if (count_ == 0) return 0;
+  quantile = std::clamp(quantile, 0.0, 1.0);
+  const auto target = static_cast<int64_t>(quantile * double(count_ - 1));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return std::clamp(BucketMidpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary(double divisor, const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld p50=%.1f%s p90=%.1f%s p99=%.1f%s p99.9=%.1f%s max=%.1f%s",
+                static_cast<long long>(count_),
+                Percentile(0.50) / divisor, unit.c_str(),
+                Percentile(0.90) / divisor, unit.c_str(),
+                Percentile(0.99) / divisor, unit.c_str(),
+                Percentile(0.999) / divisor, unit.c_str(),
+                double(max_) / divisor, unit.c_str());
+  return buf;
+}
+
+}  // namespace cm

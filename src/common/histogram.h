@@ -1,0 +1,53 @@
+// Latency/size recording with percentile extraction. Used by every bench to
+// report the 50p/90p/99p/99.9p series the paper's figures plot. Log-bucketed
+// (HdrHistogram-style) so recording is O(1) and memory is bounded regardless
+// of sample count.
+#ifndef CM_COMMON_HISTOGRAM_H_
+#define CM_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cm {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  int64_t min() const { return count_ ? min_ : 0; }
+  int64_t max() const { return max_; }
+  double mean() const { return count_ ? double(sum_) / double(count_) : 0.0; }
+
+  // quantile in [0,1], e.g. 0.999. Returns a representative value from the
+  // bucket containing that rank.
+  int64_t Percentile(double quantile) const;
+
+  // "p50=12us p99=85us ..." style one-liner, values scaled by `divisor` and
+  // suffixed with `unit`.
+  std::string Summary(double divisor, const std::string& unit) const;
+
+ private:
+  // Buckets: 0..127 linear (1 each), then log2 ranges with 16 sub-buckets.
+  static constexpr int kLinear = 128;
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kNumBuckets = kLinear + 64 * kSubBuckets;
+
+  static int BucketFor(int64_t v);
+  static int64_t BucketMidpoint(int b);
+
+  std::vector<uint32_t> buckets_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace cm
+
+#endif  // CM_COMMON_HISTOGRAM_H_

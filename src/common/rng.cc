@@ -1,0 +1,118 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace cm {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// Approximate generalized harmonic number H_{n,theta} via the integral bound;
+// accurate enough for Zipf sampling with large n.
+double ZetaApprox(uint64_t n, double theta) {
+  if (n == 0) return 0.0;
+  if (n <= 256) {
+    double z = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) z += 1.0 / std::pow(double(i), theta);
+    return z;
+  }
+  double z = 0.0;
+  for (uint64_t i = 1; i <= 256; ++i) z += 1.0 / std::pow(double(i), theta);
+  // Integral from 256 to n of x^-theta dx.
+  if (theta == 1.0) {
+    z += std::log(double(n) / 256.0);
+  } else {
+    z += (std::pow(double(n), 1.0 - theta) - std::pow(256.0, 1.0 - theta)) /
+         (1.0 - theta);
+  }
+  return z;
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's nearly-divisionless bounded sampling.
+  __uint128_t m = static_cast<__uint128_t>(NextU64()) * bound;
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextExp(double mean) {
+  double u = NextDouble();
+  if (u >= 1.0) u = 0.999999999;
+  return -mean * std::log(1.0 - u);
+}
+
+double Rng::NextNormal(double mean, double stddev) {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
+
+std::string Rng::NextString(size_t n) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(kAlphabet[NextBounded(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ull); }
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  if (n_ == 0) n_ = 1;
+  zetan_ = ZetaApprox(n_, theta_);
+  zeta2_ = ZetaApprox(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (theta_ <= 1e-9) return rng.NextBounded(n_);
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto rank = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+}  // namespace cm

@@ -1,0 +1,62 @@
+// Deterministic random number generation for workloads and experiments.
+// All randomness in the simulator flows through explicitly-seeded Rng
+// instances so every experiment run is reproducible bit-for-bit.
+#ifndef CM_COMMON_RNG_H_
+#define CM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cm {
+
+// xoshiro256** with splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+  // Uniform double in [0, 1).
+  double NextDouble();
+  // Exponentially distributed with the given mean.
+  double NextExp(double mean);
+  // Normally distributed (Box-Muller).
+  double NextNormal(double mean, double stddev);
+  bool NextBool(double p_true);
+  // Random printable string of exactly n characters.
+  std::string NextString(size_t n);
+
+  // Creates an independent child stream (for per-client RNGs).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipfian sampler over [0, n) with parameter theta (0 = uniform; typical
+// cache workloads use 0.9-1.1). Uses the Gray et al. rejection-free method
+// with O(1) sampling after O(n)-free setup (closed-form zeta approximation
+// for large n).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace cm
+
+#endif  // CM_COMMON_RNG_H_

@@ -1,0 +1,126 @@
+// Lightweight Status / StatusOr error-handling vocabulary, in the spirit of
+// absl::Status. All fallible CliqueMap APIs return one of these rather than
+// throwing: in a cache, "key missing", "torn read", and "region revoked" are
+// normal control flow, not exceptional conditions.
+#ifndef CM_COMMON_STATUS_H_
+#define CM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cm {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,          // key miss
+  kUnavailable,       // backend down / connection failed
+  kDeadlineExceeded,  // op deadline or retry budget exhausted
+  kAborted,           // retryable race (checksum failure, torn read)
+  kFailedPrecondition,// CAS version mismatch, stale mutation version
+  kInvalidArgument,
+  kResourceExhausted, // out of memory / slab full / bucket full
+  kPermissionDenied,  // RMA window revoked / auth failure
+  kUnimplemented,
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status NotFoundError(std::string m = "") {
+  return {StatusCode::kNotFound, std::move(m)};
+}
+inline Status UnavailableError(std::string m = "") {
+  return {StatusCode::kUnavailable, std::move(m)};
+}
+inline Status DeadlineExceededError(std::string m = "") {
+  return {StatusCode::kDeadlineExceeded, std::move(m)};
+}
+inline Status AbortedError(std::string m = "") {
+  return {StatusCode::kAborted, std::move(m)};
+}
+inline Status FailedPreconditionError(std::string m = "") {
+  return {StatusCode::kFailedPrecondition, std::move(m)};
+}
+inline Status InvalidArgumentError(std::string m = "") {
+  return {StatusCode::kInvalidArgument, std::move(m)};
+}
+inline Status ResourceExhaustedError(std::string m = "") {
+  return {StatusCode::kResourceExhausted, std::move(m)};
+}
+inline Status PermissionDeniedError(std::string m = "") {
+  return {StatusCode::kPermissionDenied, std::move(m)};
+}
+inline Status UnimplementedError(std::string m = "") {
+  return {StatusCode::kUnimplemented, std::move(m)};
+}
+inline Status InternalError(std::string m = "") {
+  return {StatusCode::kInternal, std::move(m)};
+}
+
+// Holds either a value of type T or a non-OK Status explaining its absence.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cm
+
+#endif  // CM_COMMON_STATUS_H_

@@ -1,0 +1,113 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cm::net {
+
+std::pair<sim::Time, sim::Time> NicSide::Reserve(sim::Time earliest,
+                                                 int64_t wire_bytes) {
+  sim::Time start = std::max(earliest, busy_until);
+  auto ser = static_cast<sim::Duration>(double(wire_bytes) / bytes_per_ns);
+  sim::Time end = start + std::max<sim::Duration>(ser, 1);
+  busy_until = end;
+  total_bytes += wire_bytes;
+  return {start, end};
+}
+
+Host::Host(sim::Simulator& sim, HostId id, const HostConfig& config)
+    : id_(id), cpu_(sim, config.cpu) {
+  // gbps -> bytes per ns: X Gb/s = X/8 GB/s = X/8 bytes/ns.
+  tx_.bytes_per_ns = config.nic_gbps / 8.0;
+  rx_.bytes_per_ns = config.nic_gbps / 8.0;
+}
+
+Fabric::Fabric(sim::Simulator& sim, const FabricConfig& config)
+    : sim_(sim), config_(config) {}
+
+HostId Fabric::AddHost(const HostConfig& config) {
+  auto id = static_cast<HostId>(hosts_.size());
+  hosts_.push_back(std::make_unique<Host>(sim_, id, config));
+  return id;
+}
+
+int64_t Fabric::WireBytes(int64_t payload_bytes) const {
+  int64_t frames =
+      std::max<int64_t>(1, (payload_bytes + config_.mtu_bytes - 1) /
+                               config_.mtu_bytes);
+  return payload_bytes + frames * config_.per_frame_overhead;
+}
+
+sim::Time Fabric::ReserveTransfer(HostId src, HostId dst,
+                                  int64_t payload_bytes) {
+  assert(src < hosts_.size() && dst < hosts_.size());
+  const int64_t wire = WireBytes(payload_bytes);
+  Host& s = *hosts_[src];
+  Host& d = *hosts_[dst];
+
+  auto [tx_start, tx_end] = s.tx().Reserve(sim_.now(), wire);
+  (void)tx_end;
+  // First byte reaches the receiver after propagation; the receive side then
+  // serializes the frame train (pipelined with transmit in wall-clock time).
+  sim::Time rx_earliest = tx_start + config_.base_rtt / 2;
+  auto [rx_start, rx_end] = d.rx().Reserve(rx_earliest, wire);
+  (void)rx_start;
+  return rx_end;
+}
+
+sim::Task<void> Fabric::Transfer(HostId src, HostId dst,
+                                 int64_t payload_bytes) {
+  // Two-phase booking: the tx side is reserved now, but the rx side is
+  // reserved only when the first byte actually reaches the receiver —
+  // otherwise a transfer leaving a congested sender would block the
+  // receiver's idle line ahead of time.
+  assert(src < hosts_.size() && dst < hosts_.size());
+  const int64_t wire = WireBytes(payload_bytes);
+  auto [tx_start, tx_end] = hosts_[src]->tx().Reserve(sim_.now(), wire);
+  co_await sim_.WaitUntil(tx_start + config_.base_rtt / 2);
+  auto [rx_start, rx_end] = hosts_[dst]->rx().Reserve(sim_.now(), wire);
+  (void)rx_start;
+  co_await sim_.WaitUntil(std::max(rx_end, tx_end + config_.base_rtt / 2));
+}
+
+int Fabric::StartAntagonist(HostId target, double gbps, bool tx_side,
+                            bool rx_side, sim::Duration max_backlog) {
+  auto a = std::make_shared<Antagonist>(
+      Antagonist{target, gbps, tx_side, rx_side, max_backlog});
+  antagonists_.push_back(a);
+  sim_.Spawn(RunAntagonist(a));
+  return static_cast<int>(antagonists_.size()) - 1;
+}
+
+void Fabric::StopAntagonist(int id) {
+  if (id >= 0 && id < static_cast<int>(antagonists_.size())) {
+    antagonists_[id]->stopped = true;
+  }
+}
+
+sim::Task<void> Fabric::RunAntagonist(std::shared_ptr<Antagonist> a) {
+  // Inject demand in 10us slices so real traffic interleaves with (rather
+  // than being fully starved by) the antagonist.
+  constexpr sim::Duration kSlice = sim::Microseconds(10);
+  auto inject = [&](NicSide& side, int64_t bytes) {
+    // A backpressured sender: do not let the standing queue exceed
+    // max_backlog of serialization time.
+    const sim::Time backlog_limit = sim_.now() + a->max_backlog;
+    if (side.busy_until >= backlog_limit) return;
+    const auto headroom = static_cast<int64_t>(
+        double(backlog_limit - std::max(side.busy_until, sim_.now())) *
+        side.bytes_per_ns);
+    side.Reserve(sim_.now(), std::min(bytes, headroom));
+  };
+  while (!a->stopped) {
+    const auto bytes =
+        static_cast<int64_t>(a->gbps / 8.0 * double(kSlice));  // bytes/slice
+    Host& h = *hosts_[a->target];
+    if (a->tx_side) inject(h.tx(), bytes);
+    if (a->rx_side) inject(h.rx(), bytes);
+    co_await sim_.Delay(kSlice);
+  }
+}
+
+}  // namespace cm::net

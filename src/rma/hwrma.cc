@@ -1,0 +1,69 @@
+#include "rma/hwrma.h"
+
+namespace cm::rma {
+
+HwRmaTransport::HwRmaTransport(net::Fabric& fabric, RmaNetwork& rma_network,
+                               const HwRmaConfig& config)
+    : fabric_(fabric), rma_network_(rma_network), config_(config) {}
+
+net::NicSide& HwRmaTransport::pcie(net::HostId host) {
+  while (pcie_.size() <= host) {
+    auto side = std::make_unique<net::NicSide>();
+    side->bytes_per_ns = config_.pcie_gbps / 8.0;
+    pcie_.push_back(std::move(side));
+  }
+  return *pcie_[host];
+}
+
+sim::Task<StatusOr<Bytes>> HwRmaTransport::Read(net::HostId initiator,
+                                                net::HostId target,
+                                                RegionId region,
+                                                uint64_t offset,
+                                                uint32_t length) {
+  sim::Simulator& sim = fabric_.simulator();
+  ++stats_.reads;
+  const sim::Time hw_start = sim.now();
+
+  // Initiator NIC pipeline + command on the wire.
+  stats_.initiator_nic_ns += config_.nic_pipeline_latency;
+  co_await sim.Delay(config_.nic_pipeline_latency);
+  co_await fabric_.Transfer(initiator, target, config_.command_bytes);
+
+  // Target-side: pure hardware. DMA the payload over PCIe; the PCIe link is
+  // a shared resource, so heavy op rates queue here (Fig 16's slight rise).
+  stats_.target_nic_ns += config_.nic_pipeline_latency;
+  auto [dma_start, dma_end] =
+      pcie(target).Reserve(sim.now() + config_.pcie_base_latency, length);
+  (void)dma_start;
+  co_await sim.WaitUntil(dma_end + config_.nic_pipeline_latency);
+
+  RmaHostState* host_state = rma_network_.Find(target);
+  if (host_state == nullptr || host_state->registry == nullptr) {
+    ++stats_.failed_ops;
+    co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
+    co_return UnavailableError("no rma host state for target");
+  }
+  StatusOr<Bytes> mem =
+      host_state->registry->ResolveCopy(region, offset, length);
+  if (!mem.ok()) {
+    ++stats_.failed_ops;
+    co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
+    co_return mem.status();
+  }
+  Bytes data = *std::move(mem);
+
+  co_await fabric_.Transfer(target, initiator,
+                            config_.response_header_bytes +
+                                static_cast<int64_t>(data.size()));
+  hw_timestamps_.Record(sim.now() - hw_start);
+  co_return data;
+}
+
+sim::Task<StatusOr<ScarResult>> HwRmaTransport::ScanAndRead(
+    net::HostId, net::HostId, RegionId, uint64_t, uint32_t, uint64_t,
+    uint64_t) {
+  ++stats_.failed_ops;
+  co_return UnimplementedError("hardware RMA offers no SCAR primitive");
+}
+
+}  // namespace cm::rma

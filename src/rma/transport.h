@@ -1,0 +1,101 @@
+// RMA transport abstraction.
+//
+// CliqueMap "operates over multiple RMA protocols" (Table 1 challenge 5):
+// a software-defined NIC (Pony-Express-like, supports the custom SCAR op),
+// an all-hardware one-sided transport (1RMA-like), and classic RDMA. The
+// client library selects its lookup strategy from the capabilities exposed
+// here (§6.3, §7.2.4): SCAR where offered, 2xR otherwise, RPC as fallback.
+#ifndef CM_RMA_TRANSPORT_H_
+#define CM_RMA_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/fabric.h"
+#include "rma/memory.h"
+#include "sim/task.h"
+
+namespace cm::rma {
+
+// Result of the custom Scan-and-Read op (§6.3): the NIC scans the Bucket
+// server-side for the requested KeyHash and returns the Bucket plus the
+// pointed-to DataEntry in a single round trip.
+struct ScarResult {
+  Bytes bucket;
+  Bytes data;  // empty when the scan found no matching IndexEntry
+};
+
+// Installed by a backend when it co-designs with a software NIC: given the
+// raw key-hash bytes and its own memory, produce the combined response. The
+// executor runs at NIC level (engine cost, no host CPU) and must not block.
+using ScarExecutor =
+    std::function<StatusOr<ScarResult>(uint64_t hash_hi, uint64_t hash_lo,
+                                       RegionId index_region,
+                                       uint64_t bucket_offset,
+                                       uint32_t bucket_len)>;
+
+// Per-host RMA state visible to transports.
+struct RmaHostState {
+  MemoryRegistry* registry = nullptr;
+  ScarExecutor scar;
+};
+
+// Name registry mapping hosts to their registered memory (like the NIC's
+// translation tables).
+class RmaNetwork {
+ public:
+  void Attach(net::HostId host, MemoryRegistry* registry) {
+    hosts_[host].registry = registry;
+  }
+  void InstallScar(net::HostId host, ScarExecutor exec) {
+    hosts_[host].scar = std::move(exec);
+  }
+  void Detach(net::HostId host) { hosts_.erase(host); }
+
+  RmaHostState* Find(net::HostId host) {
+    auto it = hosts_.find(host);
+    return it == hosts_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<net::HostId, RmaHostState> hosts_;
+};
+
+struct RmaStats {
+  int64_t reads = 0;
+  int64_t scars = 0;
+  int64_t messages = 0;
+  int64_t failed_ops = 0;
+  // NIC-level processing time consumed (software engines or hardware
+  // pipeline), split by side. Figs 6b/7 report CPU-per-op from these.
+  int64_t initiator_nic_ns = 0;
+  int64_t target_nic_ns = 0;
+};
+
+class RmaTransport {
+ public:
+  virtual ~RmaTransport() = default;
+
+  virtual bool SupportsScar() const = 0;
+
+  // One-sided read of [offset, offset+length) in `region` on `target`.
+  virtual sim::Task<StatusOr<Bytes>> Read(net::HostId initiator,
+                                          net::HostId target, RegionId region,
+                                          uint64_t offset,
+                                          uint32_t length) = 0;
+
+  // Single-round-trip scan-and-read; only valid when SupportsScar().
+  virtual sim::Task<StatusOr<ScarResult>> ScanAndRead(
+      net::HostId initiator, net::HostId target, RegionId index_region,
+      uint64_t bucket_offset, uint32_t bucket_len, uint64_t hash_hi,
+      uint64_t hash_lo) = 0;
+
+  virtual const RmaStats& stats() const = 0;
+};
+
+}  // namespace cm::rma
+
+#endif  // CM_RMA_TRANSPORT_H_

@@ -1,0 +1,86 @@
+#include "rpc/rpc.h"
+
+namespace cm::rpc {
+
+RpcServer::RpcServer(RpcNetwork& network, net::HostId host,
+                     const RpcCostModel& costs)
+    : network_(network), host_(host), costs_(costs) {
+  network_.Register(host_, this);
+}
+
+RpcServer::~RpcServer() { network_.Unregister(host_); }
+
+void RpcServer::RegisterMethod(std::string name, Handler handler) {
+  methods_[std::move(name)] = std::move(handler);
+}
+
+sim::Task<StatusOr<Bytes>> RpcServer::Dispatch(net::HostId peer,
+                                               std::string_view method,
+                                               ByteSpan request) {
+  if (auth_policy_ && !auth_policy_(peer, method)) {
+    co_return PermissionDeniedError("acl: peer not authorized for " +
+                                    std::string(method));
+  }
+  auto it = methods_.find(std::string(method));
+  if (it == methods_.end()) {
+    co_return UnimplementedError("no such method: " + std::string(method));
+  }
+  ++calls_served_;
+  co_return co_await it->second(request);
+}
+
+RpcChannel::RpcChannel(RpcNetwork& network, net::HostId client_host,
+                       net::HostId server_host, const RpcCostModel& costs)
+    : network_(network),
+      client_host_(client_host),
+      server_host_(server_host),
+      costs_(costs) {}
+
+sim::Task<StatusOr<Bytes>> RpcChannel::Call(std::string method, Bytes request,
+                                            sim::Duration deadline) {
+  net::Fabric& fabric = network_.fabric();
+  sim::Simulator& sim = fabric.simulator();
+  const sim::Time start = sim.now();
+  const sim::Time deadline_at = start + deadline;
+
+  // Client send path: marshal, auth stamp, transport bookkeeping.
+  co_await fabric.host(client_host_).cpu().Run(costs_.client_send_cpu);
+
+  const auto req_bytes =
+      static_cast<int64_t>(request.size()) + costs_.header_bytes;
+  co_await fabric.Transfer(client_host_, server_host_, req_bytes);
+
+  RpcServer* server = network_.Find(server_host_);
+  if (server == nullptr || server->down()) {
+    // Crash semantics: nothing answers. The client burns its connect
+    // timeout (or the remaining deadline, whichever is smaller).
+    sim::Duration wait = std::min(costs_.connect_timeout,
+                                  std::max<sim::Duration>(
+                                      deadline_at - sim.now(), 0));
+    co_await sim.Delay(wait);
+    co_return UnavailableError("server unreachable");
+  }
+
+  server->total_bytes_ += req_bytes;
+
+  // Server framework: dispatch, auth verification, unmarshal + marshal.
+  co_await fabric.host(server_host_).cpu().Run(costs_.server_framework_cpu);
+  StatusOr<Bytes> response =
+      co_await server->Dispatch(client_host_, method, request);
+
+  int64_t resp_payload =
+      response.ok() ? static_cast<int64_t>(response->size()) : 0;
+  const int64_t resp_bytes = resp_payload + costs_.header_bytes;
+  server->total_bytes_ += resp_bytes;
+  co_await fabric.Transfer(server_host_, client_host_, resp_bytes);
+
+  // Client receive path.
+  co_await fabric.host(client_host_).cpu().Run(costs_.client_recv_cpu);
+
+  if (sim.now() > deadline_at) {
+    co_return DeadlineExceededError("rpc deadline exceeded");
+  }
+  co_return response;
+}
+
+}  // namespace cm::rpc

@@ -1,0 +1,70 @@
+// Tagged wire format for RPC payloads ("proto-lite").
+//
+// Every field is [u16 tag][u8 type][payload]; readers skip unknown tags.
+// This is the property CliqueMap's evolution story rests on (§6, Table 1
+// challenge 2): new fields can be added by servers or clients without
+// breaking deployed binaries, and over a hundred protocol changes shipped
+// this way. Types: U32, U64, BYTES (u32 length prefix).
+#ifndef CM_RPC_WIRE_H_
+#define CM_RPC_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace cm::rpc {
+
+enum class WireType : uint8_t {
+  kU32 = 0,
+  kU64 = 1,
+  kBytes = 2,
+};
+
+class WireWriter {
+ public:
+  WireWriter& PutU32(uint16_t tag, uint32_t v);
+  WireWriter& PutU64(uint16_t tag, uint64_t v);
+  WireWriter& PutBytes(uint16_t tag, ByteSpan data);
+  WireWriter& PutString(uint16_t tag, std::string_view s) {
+    return PutBytes(tag, AsByteSpan(s));
+  }
+
+  const Bytes& bytes() const& { return out_; }
+  Bytes Take() && { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+// Non-owning reader over an encoded message. Lookups scan the buffer; tags
+// are expected to be few per message.
+class WireReader {
+ public:
+  explicit WireReader(ByteSpan data) : data_(data) {}
+
+  std::optional<uint32_t> GetU32(uint16_t tag) const;
+  std::optional<uint64_t> GetU64(uint16_t tag) const;
+  std::optional<ByteSpan> GetBytes(uint16_t tag) const;
+  std::optional<std::string> GetString(uint16_t tag) const;
+
+  // Returns the n-th (0-based) occurrence of a repeated BYTES field.
+  std::optional<ByteSpan> GetBytesAt(uint16_t tag, size_t index) const;
+  size_t CountBytes(uint16_t tag) const;
+
+  // True if the buffer parses cleanly (all fields well-formed).
+  bool Valid() const;
+
+ private:
+  // Visits fields in order; visitor returns true to stop.
+  template <typename Visitor>
+  bool Scan(Visitor&& visit) const;
+
+  ByteSpan data_;
+};
+
+}  // namespace cm::rpc
+
+#endif  // CM_RPC_WIRE_H_

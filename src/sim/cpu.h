@@ -1,0 +1,54 @@
+// Host CPU model: a pool of cores with earliest-free scheduling, optional
+// C-state wake penalty (paper §7.2.4: "the highest latency is observed at
+// the lowest load ... due to power-saving C-state transitions"), and
+// cumulative busy-time accounting (used to report CPU-s/s, Fig 19, and
+// CPU-us/op, Figs 6b/7).
+#ifndef CM_SIM_CPU_H_
+#define CM_SIM_CPU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace cm::sim {
+
+struct CpuConfig {
+  int cores = 8;
+  // A core idle longer than this pays the wake penalty before starting work.
+  Duration cstate_idle_threshold = Microseconds(200);
+  Duration cstate_wake_penalty = 0;  // 0 disables C-state modeling
+};
+
+class CpuPool {
+ public:
+  CpuPool(Simulator& sim, const CpuConfig& config);
+
+  // Queues `work` of CPU time onto the earliest-free core and suspends the
+  // caller until it completes.
+  Task<void> Run(Duration work);
+
+  // Reserves CPU time without suspending (for modeled background load whose
+  // completion nobody awaits). Returns completion time.
+  Time Reserve(Duration work);
+
+  int cores() const { return static_cast<int>(busy_until_.size()); }
+
+  // Total CPU-busy nanoseconds consumed since construction (sum over cores).
+  int64_t total_busy_ns() const { return total_busy_ns_; }
+
+  // Fraction of capacity busy at this instant (cores with pending work).
+  double InstantaneousUtilization() const;
+
+ private:
+  Simulator& sim_;
+  CpuConfig config_;
+  std::vector<Time> busy_until_;
+  int64_t total_busy_ns_ = 0;
+};
+
+}  // namespace cm::sim
+
+#endif  // CM_SIM_CPU_H_

@@ -1,0 +1,69 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <memory>
+
+namespace cm::sim {
+namespace {
+
+// Self-starting, self-destroying wrapper that owns a detached Task<void>.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      // A detached simulated actor leaking an exception is a programming
+      // error: there is nobody to deliver it to.
+      std::terminate();
+    }
+  };
+};
+
+Detached RunDetached(Task<void> task) { co_await std::move(task); }
+
+}  // namespace
+
+void Simulator::PostAt(Time t, std::function<void()> fn) {
+  assert(t >= now_);
+  queue_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::ScheduleAt(Time t, std::coroutine_handle<> h) {
+  PostAt(t, [h] { h.resume(); });
+}
+
+void Simulator::Spawn(Task<void> task) {
+  // The wrapper coroutine frame takes ownership of the task; we kick it off
+  // through the event queue at the current time so spawn order equals run
+  // order deterministically.
+  PostAt(now_, [t = std::make_shared<Task<void>>(std::move(task))]() mutable {
+    RunDetached(std::move(*t));
+  });
+}
+
+void Simulator::Step() {
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  assert(ev.t >= now_);
+  now_ = ev.t;
+  ++events_processed_;
+  ev.fn();
+}
+
+void Simulator::Run() {
+  while (!queue_.empty()) Step();
+}
+
+bool Simulator::RunUntil(Time t) {
+  while (!queue_.empty() && queue_.top().t <= t) Step();
+  if (now_ < t) now_ = t;
+  return !queue_.empty();
+}
+
+void Simulator::RunSteps(uint64_t n) {
+  while (n-- > 0 && !queue_.empty()) Step();
+}
+
+}  // namespace cm::sim

@@ -1,0 +1,92 @@
+// Deterministic single-threaded discrete-event simulator.
+//
+// Events are (time, sequence) ordered in a binary heap; ties break by
+// insertion order so runs are reproducible. Coroutine tasks suspend by
+// scheduling their own resumption (see delay()/sync.h) and the simulator
+// pumps the event queue, advancing virtual time.
+#ifndef CM_SIM_SIMULATOR_H_
+#define CM_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace cm::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules fn to run at absolute time t (>= now).
+  void PostAt(Time t, std::function<void()> fn);
+  void PostAfter(Duration d, std::function<void()> fn) {
+    PostAt(now_ + d, std::move(fn));
+  }
+  void ScheduleAt(Time t, std::coroutine_handle<> h);
+
+  // Starts a detached task: it runs until its first suspension immediately,
+  // then continues via the event queue. Its frame self-destroys on
+  // completion.
+  void Spawn(Task<void> task);
+
+  // Runs until the event queue is empty.
+  void Run();
+  // Runs until virtual time reaches `t` (events at exactly `t` included) or
+  // the queue drains. Returns true if events remain.
+  bool RunUntil(Time t);
+  // Runs at most `n` events.
+  void RunSteps(uint64_t n);
+
+  bool empty() const { return queue_.empty(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+  // Awaitable: suspends the caller until absolute time t.
+  auto WaitUntil(Time t) {
+    struct Awaiter {
+      Simulator& sim;
+      Time t;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { sim.ScheduleAt(t, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, t < now_ ? now_ : t};
+  }
+
+  // Awaitable: suspends the caller for duration d (d == 0 still yields
+  // through the event queue, providing a cooperative yield point).
+  auto Delay(Duration d) { return WaitUntil(now_ + d); }
+  auto Yield() { return Delay(0); }
+
+ private:
+  struct Event {
+    Time t;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Step();
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace cm::sim
+
+#endif  // CM_SIM_SIMULATOR_H_

@@ -1,0 +1,287 @@
+// Synchronization primitives for simulated tasks:
+//
+//  - OneShot<T>:      single-producer single-consumer future. The quorum GET
+//                     path and every RPC/RMA completion are delivered through
+//                     these, with optional timeouts (op deadlines).
+//  - Channel<T>:      unbounded FIFO with any number of waiting receivers
+//                     (direct handoff; used for NIC engine queues, pipe
+//                     transports, and fan-in of replica responses).
+//  - Notification:    manual-latch broadcast (shutdown, config change).
+//  - JoinAll:         run N tasks concurrently, resume when all finish.
+//
+// All wakeups go through the Simulator event queue (never inline), so
+// execution order is a deterministic function of (code, seed).
+//
+// IMPLEMENTATION CONSTRAINT: gcc 12 destroys the materialized temporary of
+// a `co_await <prvalue>` expression twice (once at the end of the full
+// expression and again when the coroutine frame is destroyed). Every
+// awaiter type below is therefore TRIVIALLY DESTRUCTIBLE — any non-trivial
+// state (shared_ptr, optional<T>) lives in named locals of the enclosing
+// coroutine frame, which are destroyed exactly once. Do not add owning
+// members to awaiter structs.
+#ifndef CM_SIM_SYNC_H_
+#define CM_SIM_SYNC_H_
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace cm::sim {
+
+// ---------------------------------------------------------------------------
+// OneShot<T>
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class OneShot {
+  struct State {
+    Simulator* sim;
+    std::optional<T> value;
+    std::function<void()> notify;  // armed by the current waiter
+  };
+
+ public:
+  explicit OneShot(Simulator& sim)
+      : state_(std::make_shared<State>(State{&sim, std::nullopt, nullptr})) {}
+
+  OneShot(const OneShot&) = default;  // handles share state (sender/receiver)
+  OneShot& operator=(const OneShot&) = default;
+
+  bool ready() const { return state_->value.has_value(); }
+
+  // Delivers the value. Only the first Set wins; later Sets are dropped
+  // (e.g. duplicate responses after a retry).
+  void Set(T v) {
+    State& s = *state_;
+    if (s.value.has_value()) return;
+    s.value.emplace(std::move(v));
+    if (s.notify) {
+      auto n = std::move(s.notify);
+      s.notify = nullptr;
+      n();
+    }
+  }
+
+  // Resolves to the value (no timeout).
+  Task<T> Wait() {
+    auto s = state_;  // named local: destroyed exactly once with the frame
+    if (!s->value.has_value()) {
+      struct Awaiter {  // trivially destructible (see header comment)
+        State* s;
+        bool await_ready() const { return s->value.has_value(); }
+        void await_suspend(std::coroutine_handle<> h) {
+          Simulator* sim = s->sim;
+          s->notify = [sim, h] { sim->ScheduleAt(sim->now(), h); };
+        }
+        void await_resume() const {}
+      };
+      co_await Awaiter{s.get()};
+    }
+    co_return *s->value;
+  }
+
+  // Waits up to `timeout`; nullopt on expiry. The producer may still Set
+  // later; the value is then simply never consumed.
+  Task<std::optional<T>> WaitFor(Duration timeout) {
+    auto s = state_;
+    if (!s->value.has_value()) {
+      struct Ctx {
+        bool woken = false;
+        bool timed_out = false;
+      };
+      auto ctx = std::make_shared<Ctx>();
+      struct TimedAwaiter {  // trivially destructible
+        State* s_raw;
+        const std::shared_ptr<State>* s;
+        const std::shared_ptr<Ctx>* ctx;
+        Duration timeout;
+        bool await_ready() const { return s_raw->value.has_value(); }
+        void await_suspend(std::coroutine_handle<> h) {
+          Simulator* sim = s_raw->sim;
+          s_raw->notify = [sim, h, c = *ctx] {
+            if (c->woken) return;
+            c->woken = true;
+            sim->ScheduleAt(sim->now(), h);
+          };
+          sim->PostAfter(timeout, [h, c = *ctx, s = *s] {
+            if (c->woken) return;
+            c->woken = true;
+            c->timed_out = true;
+            s->notify = nullptr;
+            h.resume();
+          });
+        }
+        void await_resume() const {}
+      };
+      co_await TimedAwaiter{s.get(), &s, &ctx, timeout};
+      if (ctx->timed_out) co_return std::nullopt;
+    }
+    co_return *s->value;
+  }
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+// ---------------------------------------------------------------------------
+// Channel<T>
+// ---------------------------------------------------------------------------
+
+// Unbounded MPMC FIFO. The channel must outlive all suspended receivers.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(&sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void Send(T v) {
+    // Direct handoff to the oldest live waiter, else queue.
+    while (!waiters_.empty()) {
+      std::shared_ptr<Waiter> w = std::move(waiters_.front());
+      waiters_.pop_front();
+      if (w->abandoned) continue;
+      w->slot.emplace(std::move(v));
+      w->delivered = true;
+      sim_->ScheduleAt(sim_->now(), w->handle);
+      return;
+    }
+    items_.push_back(std::move(v));
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  // Receives the next item (suspends forever if nothing is ever sent).
+  Task<T> Recv() {
+    if (!items_.empty()) {
+      T v = std::move(items_.front());
+      items_.pop_front();
+      co_return v;
+    }
+    auto w = std::make_shared<Waiter>();
+    struct Awaiter {  // trivially destructible
+      Channel* ch;
+      const std::shared_ptr<Waiter>* w;
+      bool await_ready() const { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        (*w)->handle = h;
+        ch->waiters_.push_back(*w);
+      }
+      void await_resume() const {}
+    };
+    co_await Awaiter{this, &w};
+    co_return *std::move(w->slot);
+  }
+
+  // Receive with timeout; nullopt on expiry.
+  Task<std::optional<T>> RecvFor(Duration timeout) {
+    if (!items_.empty()) {
+      T v = std::move(items_.front());
+      items_.pop_front();
+      co_return v;
+    }
+    auto w = std::make_shared<Waiter>();
+    struct TimedAwaiter {  // trivially destructible
+      Channel* ch;
+      const std::shared_ptr<Waiter>* w;
+      Duration timeout;
+      bool await_ready() const { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        (*w)->handle = h;
+        ch->waiters_.push_back(*w);
+        ch->sim_->PostAfter(timeout, [w = *w] {
+          if (w->delivered || w->abandoned) return;
+          w->abandoned = true;
+          w->handle.resume();
+        });
+      }
+      void await_resume() const {}
+    };
+    co_await TimedAwaiter{this, &w, timeout};
+    if (w->delivered) co_return *std::move(w->slot);
+    co_return std::nullopt;
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T> slot;
+    bool delivered = false;
+    bool abandoned = false;
+  };
+
+  Simulator* sim_;
+  std::deque<T> items_;
+  std::deque<std::shared_ptr<Waiter>> waiters_;
+};
+
+// ---------------------------------------------------------------------------
+// Notification
+// ---------------------------------------------------------------------------
+
+class Notification {
+ public:
+  explicit Notification(Simulator& sim) : sim_(&sim) {}
+
+  void Notify() {
+    if (notified_) return;
+    notified_ = true;
+    for (auto h : waiters_) sim_->ScheduleAt(sim_->now(), h);
+    waiters_.clear();
+  }
+
+  bool HasBeenNotified() const { return notified_; }
+
+  // Trivially-destructible awaiter: safe to co_await as a prvalue.
+  auto Wait() {
+    struct Awaiter {
+      Notification* n;
+      bool await_ready() const { return n->notified_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        n->waiters_.push_back(h);
+      }
+      void await_resume() const {}
+    };
+    static_assert(std::is_trivially_destructible_v<Awaiter>);
+    return Awaiter{this};
+  }
+
+ private:
+  Simulator* sim_;
+  bool notified_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// ---------------------------------------------------------------------------
+// JoinAll
+// ---------------------------------------------------------------------------
+
+// Runs all tasks concurrently; resumes the caller once every task finished.
+inline Task<void> JoinAll(Simulator& sim, std::vector<Task<void>> tasks) {
+  if (tasks.empty()) co_return;
+  auto remaining = std::make_shared<size_t>(tasks.size());
+  OneShot<bool> all_done(sim);
+  for (auto& t : tasks) {
+    sim.Spawn([](Task<void> inner, std::shared_ptr<size_t> rem,
+                 OneShot<bool> done) -> Task<void> {
+      co_await std::move(inner);
+      if (--*rem == 0) done.Set(true);
+    }(std::move(t), remaining, all_done));
+  }
+  co_await all_done.Wait();
+}
+
+}  // namespace cm::sim
+
+#endif  // CM_SIM_SYNC_H_

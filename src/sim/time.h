@@ -1,0 +1,37 @@
+// Simulated time vocabulary. All simulation timestamps are int64 nanoseconds
+// from simulation start; durations share the representation.
+#ifndef CM_SIM_TIME_H_
+#define CM_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace cm::sim {
+
+using Time = int64_t;      // ns since simulation start
+using Duration = int64_t;  // ns
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+constexpr Duration kHour = 60 * kMinute;
+
+constexpr Duration Nanoseconds(int64_t n) { return n; }
+constexpr Duration Microseconds(double n) {
+  return static_cast<Duration>(n * kMicrosecond);
+}
+constexpr Duration Milliseconds(double n) {
+  return static_cast<Duration>(n * kMillisecond);
+}
+constexpr Duration Seconds(double n) {
+  return static_cast<Duration>(n * kSecond);
+}
+
+constexpr double ToMicros(Duration d) { return double(d) / kMicrosecond; }
+constexpr double ToMillis(Duration d) { return double(d) / kMillisecond; }
+constexpr double ToSeconds(Duration d) { return double(d) / kSecond; }
+
+}  // namespace cm::sim
+
+#endif  // CM_SIM_TIME_H_

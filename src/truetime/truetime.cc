@@ -1,0 +1,25 @@
+#include "truetime/truetime.h"
+
+#include "common/hash.h"
+
+namespace cm::truetime {
+
+TrueTime::TrueTime(sim::Simulator& sim, sim::Duration epsilon, uint64_t seed)
+    : sim_(sim), epsilon_(epsilon), seed_(seed) {}
+
+TtInterval TrueTime::Now(uint32_t host_id) const {
+  // Stable per-host skew in (-epsilon, epsilon), derived from the host id.
+  const uint64_t mix = Mix64(seed_ ^ host_id);
+  const auto skew = static_cast<sim::Duration>(
+      (double(mix % 2000001) / 1000000.0 - 1.0) * double(epsilon_));
+  const sim::Time observed = sim_.now() + skew;
+  return TtInterval{observed - epsilon_, observed + epsilon_};
+}
+
+uint64_t TrueTime::NowMicros(uint32_t host_id) const {
+  TtInterval i = Now(host_id);
+  sim::Time latest = i.latest < 0 ? 0 : i.latest;
+  return static_cast<uint64_t>(latest / sim::kMicrosecond);
+}
+
+}  // namespace cm::truetime

@@ -1,0 +1,49 @@
+// TrueTime stand-in: a globally-consistent coordinated clock with bounded
+// uncertainty (Spanner's TT.now() interval API). CliqueMap uses the upper
+// bits of each client-nominated VersionNumber (§5.2) so that retried
+// mutations from a client eventually nominate the highest VersionNumber.
+//
+// In simulation all hosts share the simulator clock; per-host skew within
+// the uncertainty bound is modeled so version ordering logic cannot cheat
+// by assuming perfectly synchronized clocks.
+#ifndef CM_TRUETIME_TRUETIME_H_
+#define CM_TRUETIME_TRUETIME_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace cm::truetime {
+
+struct TtInterval {
+  sim::Time earliest;
+  sim::Time latest;
+};
+
+class TrueTime {
+ public:
+  // `epsilon` is the instantaneous uncertainty bound (paper-era TrueTime
+  // keeps this in single-digit milliseconds; sub-ms in later years).
+  TrueTime(sim::Simulator& sim, sim::Duration epsilon = sim::Milliseconds(1),
+           uint64_t seed = 1);
+
+  // Per-host clock reading: true time plus a stable skew within +/-epsilon.
+  TtInterval Now(uint32_t host_id) const;
+
+  // Convenience: a microsecond timestamp suitable for VersionNumber upper
+  // bits (latest bound, so comparisons across clients stay conservative).
+  uint64_t NowMicros(uint32_t host_id) const;
+
+  sim::Duration epsilon() const { return epsilon_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Duration epsilon_;
+  uint64_t seed_;
+};
+
+}  // namespace cm::truetime
+
+#endif  // CM_TRUETIME_TRUETIME_H_

@@ -1,0 +1,243 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cm::workload {
+
+// ---------------------------------------------------------------------------
+// SizeDistribution
+// ---------------------------------------------------------------------------
+
+SizeDistribution::SizeDistribution(std::vector<Component> components)
+    : components_(std::move(components)), total_weight_(0) {
+  for (const auto& c : components_) total_weight_ += c.weight;
+}
+
+SizeDistribution SizeDistribution::Fixed(uint32_t bytes) {
+  return SizeDistribution({Component{1.0, 0.0, 0.0, bytes, bytes}});
+}
+
+SizeDistribution SizeDistribution::Ads() {
+  // Body around ~1KB with a long tail of large creative blobs (Fig 10: Ads
+  // skews larger than Geo, most objects < a few KB, tail beyond 100KB).
+  return SizeDistribution({
+      Component{0.85, std::log(900.0), 0.9, 64, 16 * 1024},
+      Component{0.13, std::log(8000.0), 1.0, 1024, 128 * 1024},
+      Component{0.02, std::log(120000.0), 0.8, 16 * 1024, 1024 * 1024},
+  });
+}
+
+SizeDistribution SizeDistribution::Geo() {
+  // Compact road-segment utilization records; small bodies, modest tail.
+  return SizeDistribution({
+      Component{0.90, std::log(220.0), 0.8, 32, 4 * 1024},
+      Component{0.09, std::log(2500.0), 0.9, 256, 32 * 1024},
+      Component{0.01, std::log(30000.0), 0.7, 4 * 1024, 128 * 1024},
+  });
+}
+
+uint32_t SizeDistribution::Sample(Rng& rng) const {
+  double pick = rng.NextDouble() * total_weight_;
+  const Component* chosen = &components_.back();
+  for (const auto& c : components_) {
+    if (pick < c.weight) {
+      chosen = &c;
+      break;
+    }
+    pick -= c.weight;
+  }
+  if (chosen->log_sigma <= 0.0) return chosen->min_bytes;
+  const double v = std::exp(rng.NextNormal(chosen->log_mean, chosen->log_sigma));
+  return std::clamp(static_cast<uint32_t>(v), chosen->min_bytes,
+                    chosen->max_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// BatchDistribution / DiurnalRate
+// ---------------------------------------------------------------------------
+
+BatchDistribution::BatchDistribution(uint32_t typical, uint32_t tail_batch)
+    : typical_(std::max(1u, typical)), tail_(std::max(tail_batch, typical)) {}
+
+uint32_t BatchDistribution::Sample(Rng& rng) const {
+  if (tail_ == typical_) return typical_;
+  // Log-normal around `typical`, clamped so p99.9 lands near `tail`.
+  const double sigma = std::log(double(tail_) / double(typical_)) / 3.09;
+  const double v = std::exp(rng.NextNormal(std::log(double(typical_)), sigma));
+  return std::clamp(static_cast<uint32_t>(v), 1u, tail_);
+}
+
+DiurnalRate::DiurnalRate(double peak_to_trough, sim::Duration period)
+    : period_(period) {
+  // multiplier in [2/(r+1) .. 2r/(r+1)] so the mean stays 1.0.
+  const double r = std::max(1.0, peak_to_trough);
+  amplitude_ = (r - 1.0) / (r + 1.0);
+}
+
+double DiurnalRate::MultiplierAt(sim::Time t) const {
+  const double phase = 2.0 * 3.14159265358979 *
+                       double(t % period_) / double(period_);
+  return 1.0 + amplitude_ * std::sin(phase);
+}
+
+// ---------------------------------------------------------------------------
+// Profiles
+// ---------------------------------------------------------------------------
+
+WorkloadProfile WorkloadProfile::Ads() {
+  WorkloadProfile p;
+  p.name = "ads";
+  p.num_keys = 20000;
+  p.zipf_theta = 0.99;
+  p.sizes = SizeDistribution::Ads();
+  p.batches = BatchDistribution(24, 300);  // heavy batching (§7.1)
+  p.get_fraction = 0.97;                    // GET rate >> SET rate (Fig 8)
+  return p;
+}
+
+WorkloadProfile WorkloadProfile::Geo() {
+  WorkloadProfile p;
+  p.name = "geo";
+  p.num_keys = 30000;
+  p.zipf_theta = 0.8;
+  p.sizes = SizeDistribution::Geo();
+  p.batches = BatchDistribution(12, 80);  // tens of segments at a time
+  p.get_fraction = 0.85;                   // high background update rate
+  return p;
+}
+
+WorkloadProfile WorkloadProfile::Uniform(uint64_t keys, uint32_t value_bytes,
+                                         double get_fraction) {
+  WorkloadProfile p;
+  p.name = "uniform";
+  p.num_keys = keys;
+  p.zipf_theta = 0.0;
+  p.sizes = SizeDistribution::Fixed(value_bytes);
+  p.batches = BatchDistribution::Single();
+  p.get_fraction = get_fraction;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// LoadDriver
+// ---------------------------------------------------------------------------
+
+LoadDriver::LoadDriver(cliquemap::Client& client, WorkloadProfile profile,
+                       Options options)
+    : client_(client),
+      profile_(std::move(profile)),
+      options_(std::move(options)),
+      rng_(options_.seed),
+      zipf_(profile_.num_keys, profile_.zipf_theta) {}
+
+sim::Task<Status> LoadDriver::Preload() {
+  Rng rng = rng_.Fork();
+  for (uint64_t i = 0; i < profile_.num_keys; ++i) {
+    Bytes value(profile_.sizes.Sample(rng), std::byte{0xAB});
+    Status s = co_await client_.Set(profile_.KeyName(i), std::move(value));
+    if (!s.ok()) co_return s;
+  }
+  co_return OkStatus();
+}
+
+WindowStats& LoadDriver::WindowAt(sim::Time t) {
+  const auto idx = static_cast<size_t>((t - epoch_) / options_.window);
+  while (windows_.size() <= idx) {
+    windows_.emplace_back();
+    windows_.back().start = epoch_ +
+        static_cast<sim::Duration>(windows_.size() - 1) * options_.window;
+  }
+  return windows_[idx];
+}
+
+sim::Task<void> LoadDriver::DoGet(uint64_t key_idx, uint32_t batch) {
+  sim::Simulator& sim = client_.simulator();
+  const sim::Time start = sim.now();
+  int64_t misses = 0, errors = 0;
+  if (batch <= 1) {
+    auto r = co_await client_.Get(profile_.KeyName(key_idx));
+    if (!r.ok()) {
+      (r.status().code() == StatusCode::kNotFound ? misses : errors)++;
+    }
+  } else {
+    std::vector<std::string> keys;
+    keys.reserve(batch);
+    keys.push_back(profile_.KeyName(key_idx));
+    for (uint32_t i = 1; i < batch; ++i) {
+      keys.push_back(profile_.KeyName(zipf_.Sample(rng_)));
+    }
+    auto results = co_await client_.MultiGet(std::move(keys));
+    for (const auto& r : results) {
+      if (!r.ok()) {
+        (r.status().code() == StatusCode::kNotFound ? misses : errors)++;
+      }
+    }
+  }
+  WindowStats& w = WindowAt(start);
+  ++w.gets;
+  w.get_ns.Record(sim.now() - start);  // batch completion latency
+  w.misses += misses;
+  w.get_errors += errors;
+  ++total_gets_;
+  --outstanding_;
+}
+
+sim::Task<void> LoadDriver::DoSet(uint64_t key_idx) {
+  sim::Simulator& sim = client_.simulator();
+  const sim::Time start = sim.now();
+  Bytes value(profile_.sizes.Sample(rng_), std::byte{0xCD});
+  (void)co_await client_.Set(profile_.KeyName(key_idx), std::move(value));
+  WindowStats& w = WindowAt(start);
+  ++w.sets;
+  w.set_ns.Record(sim.now() - start);
+  ++total_sets_;
+  --outstanding_;
+}
+
+sim::Task<void> LoadDriver::Run() {
+  sim::Simulator& sim = client_.simulator();
+  epoch_ = sim.now();
+  const sim::Time end = epoch_ + options_.duration;
+  while (sim.now() < end) {
+    const double mult =
+        options_.rate_multiplier ? options_.rate_multiplier(sim.now() - epoch_)
+                                 : 1.0;
+    const double rate = std::max(options_.qps * mult, 1e-6);
+    const auto gap = static_cast<sim::Duration>(rng_.NextExp(1e9 / rate));
+    co_await sim.Delay(std::max<sim::Duration>(gap, 1));
+    if (sim.now() >= end) break;
+    if (outstanding_ >= options_.max_outstanding) {
+      ++shed_;  // open loop: shed rather than queue unboundedly
+      continue;
+    }
+    const uint64_t key = zipf_.Sample(rng_);
+    ++outstanding_;
+    if (rng_.NextBool(profile_.get_fraction)) {
+      sim.Spawn(DoGet(key, profile_.batches.Sample(rng_)));
+    } else {
+      sim.Spawn(DoSet(key));
+    }
+  }
+  while (outstanding_ > 0) {
+    co_await sim.Delay(sim::Milliseconds(1));
+  }
+}
+
+void LoadDriver::PrintSeries(const std::string& label) const {
+  std::printf("# %s: time_s get_rate set_rate p50_us p90_us p99_us p999_us\n",
+              label.c_str());
+  for (const auto& w : windows_) {
+    const double secs = sim::ToSeconds(options_.window);
+    std::printf("%8.1f %10.0f %9.0f %8.1f %8.1f %8.1f %8.1f\n",
+                sim::ToSeconds(w.start), double(w.gets) / secs,
+                double(w.sets) / secs,
+                w.get_ns.Percentile(0.50) / 1000.0,
+                w.get_ns.Percentile(0.90) / 1000.0,
+                w.get_ns.Percentile(0.99) / 1000.0,
+                w.get_ns.Percentile(0.999) / 1000.0);
+  }
+}
+
+}  // namespace cm::workload

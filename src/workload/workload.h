@@ -1,0 +1,155 @@
+// Workload generation for the evaluation harness.
+//
+// Synthetic stand-ins for the paper's production traffic:
+//  * SizeDistribution — object-size mixtures whose CDFs match the shapes of
+//    Fig 10 (small bodies, heavy tails; Ads larger than Geo).
+//  * BatchDistribution — per-lookup batch sizes ("batch sizes reach 30-300
+//    KV pairs in the 99.9th percentile tail", §7.1).
+//  * DiurnalRate — the 3x daily GET swing of the Geo workload (Fig 9).
+//  * WorkloadProfile — named bundles (Ads, Geo, uniform microbench).
+//  * LoadDriver — open-loop driver issuing GET/SET mixes against a Client,
+//    recording per-window latency percentiles and op rates: exactly the
+//    series the paper's time-series figures plot.
+#ifndef CM_WORKLOAD_WORKLOAD_H_
+#define CM_WORKLOAD_WORKLOAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cliquemap/client.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace cm::workload {
+
+// Mixture of clamped log-normal components.
+class SizeDistribution {
+ public:
+  struct Component {
+    double weight;
+    double log_mean;   // of ln(bytes)
+    double log_sigma;
+    uint32_t min_bytes;
+    uint32_t max_bytes;
+  };
+
+  explicit SizeDistribution(std::vector<Component> components);
+
+  static SizeDistribution Fixed(uint32_t bytes);
+  // Ads (Fig 10): bodies of a few hundred bytes to a few KB, tail to ~1MB.
+  static SizeDistribution Ads();
+  // Geo (Fig 10): compact road-segment records, tail to ~100KB.
+  static SizeDistribution Geo();
+
+  uint32_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<Component> components_;
+  double total_weight_;
+};
+
+// Batch sizes: most lookups fetch tens of keys; the p99.9 tail reaches
+// `tail_batch`.
+class BatchDistribution {
+ public:
+  BatchDistribution(uint32_t typical, uint32_t tail_batch);
+  static BatchDistribution Single() { return {1, 1}; }
+
+  uint32_t Sample(Rng& rng) const;
+
+ private:
+  uint32_t typical_;
+  uint32_t tail_;
+};
+
+// rate multiplier over the day: 1.0 average, sinusoidal with the given
+// peak-to-trough ratio.
+class DiurnalRate {
+ public:
+  DiurnalRate(double peak_to_trough, sim::Duration period = sim::kHour * 24);
+  double MultiplierAt(sim::Time t) const;
+
+ private:
+  double amplitude_;
+  sim::Duration period_;
+};
+
+struct WorkloadProfile {
+  std::string name;
+  uint64_t num_keys = 10000;
+  double zipf_theta = 0.99;
+  SizeDistribution sizes = SizeDistribution::Fixed(64);
+  BatchDistribution batches = BatchDistribution::Single();
+  double get_fraction = 0.95;
+
+  static WorkloadProfile Ads();
+  static WorkloadProfile Geo();
+  static WorkloadProfile Uniform(uint64_t keys, uint32_t value_bytes,
+                                 double get_fraction);
+
+  std::string KeyName(uint64_t idx) const {
+    return name + "/" + std::to_string(idx);
+  }
+};
+
+// Per-window aggregates emitted by the driver.
+struct WindowStats {
+  sim::Time start = 0;
+  Histogram get_ns;
+  Histogram set_ns;
+  int64_t gets = 0;
+  int64_t sets = 0;
+  int64_t get_errors = 0;
+  int64_t misses = 0;
+};
+
+class LoadDriver {
+ public:
+  struct Options {
+    double qps = 1000;  // op rate (a batched GET counts as one op)
+    std::function<double(sim::Time)> rate_multiplier;  // optional diurnal
+    sim::Duration duration = sim::Seconds(10);
+    sim::Duration window = sim::Seconds(1);
+    int max_outstanding = 4096;  // sheds load beyond this (open loop)
+    uint64_t seed = 1;
+  };
+
+  LoadDriver(cliquemap::Client& client, WorkloadProfile profile,
+             Options options);
+
+  // Preloads every key once (sequential SETs).
+  sim::Task<Status> Preload();
+
+  // Runs the open-loop driver for options.duration.
+  sim::Task<void> Run();
+
+  const std::vector<WindowStats>& windows() const { return windows_; }
+  int64_t total_gets() const { return total_gets_; }
+  int64_t total_sets() const { return total_sets_; }
+
+  // Prints "time  get_rate set_rate p50 p90 p99 p999" rows.
+  void PrintSeries(const std::string& label) const;
+
+ private:
+  WindowStats& WindowAt(sim::Time t);
+  sim::Task<void> DoGet(uint64_t key_idx, uint32_t batch);
+  sim::Task<void> DoSet(uint64_t key_idx);
+
+  cliquemap::Client& client_;
+  WorkloadProfile profile_;
+  Options options_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  sim::Time epoch_ = 0;
+  std::vector<WindowStats> windows_;
+  int outstanding_ = 0;
+  int64_t total_gets_ = 0;
+  int64_t total_sets_ = 0;
+  int64_t shed_ = 0;
+};
+
+}  // namespace cm::workload
+
+#endif  // CM_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/checksum.h"
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace cm {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("key missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "key missing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: key missing");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(0), 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = AbortedError("race");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(Hash, DeterministicAndSpread) {
+  Hash128 a = HashKey("key-1");
+  Hash128 b = HashKey("key-1");
+  Hash128 c = HashKey("key-2");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_FALSE(a.is_zero());
+}
+
+TEST(Hash, NoCollisionsOnSmallCorpus) {
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (int i = 0; i < 100000; ++i) {
+    Hash128 h = HashKey("key-" + std::to_string(i));
+    EXPECT_TRUE(seen.emplace(h.hi, h.lo).second) << "collision at " << i;
+  }
+}
+
+TEST(Hash, EmptyAndLongKeys) {
+  EXPECT_NE(HashKey(""), HashKey("x"));
+  std::string longkey(10000, 'a');
+  EXPECT_NE(HashKey(longkey), HashKey(longkey + "a"));
+}
+
+TEST(Hash, BucketSelectionIsUniformish) {
+  constexpr int kBuckets = 64;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < 64000; ++i) {
+    Hash128 h = HashKey("uniform-" + std::to_string(i));
+    counts[Mix64(h.lo) % kBuckets]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Crc32c, KnownVector) {
+  // CRC32C("123456789") = 0xE3069283 (iSCSI test vector).
+  EXPECT_EQ(ComputeCrc32c(AsByteSpan("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyIsZero) { EXPECT_EQ(ComputeCrc32c(ByteSpan{}), 0u); }
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  Crc32c inc;
+  inc.Update(AsByteSpan("hello ")).Update(AsByteSpan("world"));
+  EXPECT_EQ(inc.value(), ComputeCrc32c(AsByteSpan("hello world")));
+}
+
+TEST(Crc32c, DetectsSingleBitFlip) {
+  Bytes data = ToBytes("the quick brown fox");
+  uint32_t clean = ComputeCrc32c(data);
+  data[5] ^= std::byte{0x01};
+  EXPECT_NE(ComputeCrc32c(data), clean);
+}
+
+TEST(Crc32c, IntegerUpdatesMatchByteEncoding) {
+  Crc32c a;
+  a.UpdateU32(0xdeadbeef).UpdateU64(0x0123456789abcdefull);
+  std::byte buf[12];
+  StoreU32(buf, 0xdeadbeef);
+  StoreU64(buf + 4, 0x0123456789abcdefull);
+  EXPECT_EQ(a.value(), ComputeCrc32c(ByteSpan(buf, 12)));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, BoundedStaysInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.NextBounded(17), 17u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(11);
+  Rng b = a.Fork();
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, NormalMeanRoughlyCorrect) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.NextNormal(100.0, 10.0);
+  EXPECT_NEAR(sum / 20000, 100.0, 1.0);
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  Rng rng(17);
+  ZipfSampler z(100, 0.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) counts[z.Sample(rng)]++;
+  for (int c : counts) EXPECT_GT(c, 500);
+}
+
+TEST(Zipf, SkewedWhenThetaHigh) {
+  Rng rng(19);
+  ZipfSampler z(10000, 0.99);
+  int head = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (z.Sample(rng) < 100) ++head;
+  }
+  // With theta=0.99, the top 1% of keys should absorb a large share.
+  EXPECT_GT(head, 40000);
+}
+
+TEST(Zipf, AlwaysInRange) {
+  Rng rng(23);
+  ZipfSampler z(50, 0.9);
+  for (int i = 0; i < 50000; ++i) EXPECT_LT(z.Sample(rng), 50u);
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 10000);
+  int64_t p50 = h.Percentile(0.5);
+  int64_t p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_NEAR(double(p50), 5000.0, 500.0);
+  EXPECT_NEAR(double(p99), 9900.0, 600.0);
+}
+
+TEST(Histogram, MinMaxMean) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(1);
+  for (int i = 0; i < 100; ++i) b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200);
+  EXPECT_EQ(a.min(), 1);
+  EXPECT_EQ(a.max(), 1000000);
+}
+
+TEST(Histogram, LargeValues) {
+  Histogram h;
+  h.Record(int64_t{1} << 40);
+  EXPECT_GT(h.Percentile(0.5), int64_t{1} << 39);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.99), 0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace cm

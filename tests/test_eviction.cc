@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "cliquemap/eviction.h"
+#include "cliquemap/tombstone.h"
+#include "common/rng.h"
+
+namespace cm::cliquemap {
+namespace {
+
+Hash128 H(int i) { return HashKey("key-" + std::to_string(i)); }
+
+class PolicyTest : public ::testing::TestWithParam<EvictionPolicyKind> {
+ protected:
+  std::unique_ptr<EvictionPolicy> MakePolicy(size_t cap = 64) {
+    return MakeEvictionPolicy(GetParam(), cap, 7);
+  }
+};
+
+TEST_P(PolicyTest, EmptyPolicyHasNoVictim) {
+  auto p = MakePolicy();
+  EXPECT_TRUE(p->Victim().is_zero());
+  EXPECT_EQ(p->tracked(), 0u);
+}
+
+TEST_P(PolicyTest, VictimIsTracked) {
+  auto p = MakePolicy();
+  for (int i = 0; i < 10; ++i) p->OnInsert(H(i));
+  EXPECT_EQ(p->tracked(), 10u);
+  Hash128 v = p->Victim();
+  EXPECT_FALSE(v.is_zero());
+  bool found = false;
+  for (int i = 0; i < 10; ++i) found |= (v == H(i));
+  EXPECT_TRUE(found);
+}
+
+TEST_P(PolicyTest, RemoveForgets) {
+  auto p = MakePolicy();
+  p->OnInsert(H(1));
+  p->OnRemove(H(1));
+  EXPECT_EQ(p->tracked(), 0u);
+  EXPECT_TRUE(p->Victim().is_zero());
+}
+
+TEST_P(PolicyTest, RemoveOfUnknownIsSafe) {
+  auto p = MakePolicy();
+  p->OnRemove(H(42));
+  p->OnTouch(H(42));
+  EXPECT_EQ(p->tracked(), 0u);
+}
+
+TEST_P(PolicyTest, VictimAmongRestrictsToCandidates) {
+  auto p = MakePolicy();
+  for (int i = 0; i < 20; ++i) p->OnInsert(H(i));
+  std::vector<Hash128> candidates = {H(3), H(7), H(11)};
+  Hash128 v = p->VictimAmong(candidates);
+  EXPECT_TRUE(v == H(3) || v == H(7) || v == H(11));
+}
+
+TEST_P(PolicyTest, EvictToCapacityDrainsEverything) {
+  auto p = MakePolicy();
+  for (int i = 0; i < 50; ++i) p->OnInsert(H(i));
+  for (int i = 0; i < 50; ++i) {
+    Hash128 v = p->Victim();
+    ASSERT_FALSE(v.is_zero()) << "drained early at " << i;
+    p->OnRemove(v);
+  }
+  EXPECT_TRUE(p->Victim().is_zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
+                         ::testing::Values(EvictionPolicyKind::kLru,
+                                           EvictionPolicyKind::kArc,
+                                           EvictionPolicyKind::kClock,
+                                           EvictionPolicyKind::kRandom),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EvictionPolicyKind::kLru: return "Lru";
+                             case EvictionPolicyKind::kArc: return "Arc";
+                             case EvictionPolicyKind::kClock: return "Clock";
+                             case EvictionPolicyKind::kRandom: return "Random";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  auto p = MakeEvictionPolicy(EvictionPolicyKind::kLru, 0, 1);
+  p->OnInsert(H(1));
+  p->OnInsert(H(2));
+  p->OnInsert(H(3));
+  p->OnTouch(H(1));  // 2 is now least recent
+  EXPECT_EQ(p->Victim(), H(2));
+}
+
+TEST(Lru, VictimAmongPicksLeastRecent) {
+  auto p = MakeEvictionPolicy(EvictionPolicyKind::kLru, 0, 1);
+  for (int i = 0; i < 5; ++i) p->OnInsert(H(i));
+  p->OnTouch(H(0));
+  std::vector<Hash128> candidates = {H(0), H(4)};
+  EXPECT_EQ(p->VictimAmong(candidates), H(4));
+}
+
+TEST(Arc, FrequentKeysSurviveScan) {
+  // ARC's defining property: a scan of one-shot keys must not flush keys
+  // that are accessed repeatedly.
+  auto p = MakeEvictionPolicy(EvictionPolicyKind::kArc, 100, 1);
+  for (int i = 0; i < 50; ++i) {
+    p->OnInsert(H(i));
+    p->OnTouch(H(i));  // second access -> frequent (T2)
+  }
+  for (int i = 1000; i < 1100; ++i) p->OnInsert(H(i));  // one-shot scan
+  // Evict half the tracked population; frequent keys should mostly survive.
+  int frequent_evicted = 0;
+  for (int e = 0; e < 75; ++e) {
+    Hash128 v = p->Victim();
+    if (v.is_zero()) break;
+    for (int i = 0; i < 50; ++i) {
+      if (v == H(i)) ++frequent_evicted;
+    }
+    p->OnRemove(v);
+  }
+  EXPECT_LT(frequent_evicted, 15);
+}
+
+TEST(Clock, SecondChanceOrdering) {
+  auto p = MakeEvictionPolicy(EvictionPolicyKind::kClock, 0, 1);
+  p->OnInsert(H(1));
+  p->OnInsert(H(2));
+  // Both referenced; first sweep clears bits, second finds H(1) first.
+  Hash128 v = p->Victim();
+  EXPECT_EQ(v, H(1));
+  p->OnRemove(v);
+  // H(2)'s bit was cleared during the sweep.
+  EXPECT_EQ(p->Victim(), H(2));
+}
+
+TEST(Random, CoversAllKeysEventually) {
+  auto p = MakeEvictionPolicy(EvictionPolicyKind::kRandom, 0, 99);
+  for (int i = 0; i < 8; ++i) p->OnInsert(H(i));
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (int t = 0; t < 400; ++t) {
+    Hash128 v = p->Victim();
+    seen.insert({v.hi, v.lo});
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// TombstoneCache
+// ---------------------------------------------------------------------------
+
+TEST(Tombstones, RecordAndFind) {
+  TombstoneCache t(4);
+  t.Record(H(1), VersionNumber{10, 1, 1});
+  ASSERT_NE(t.Find(H(1)), nullptr);
+  EXPECT_EQ(t.Find(H(1))->tt_micros, 10u);
+  EXPECT_EQ(t.Find(H(2)), nullptr);
+}
+
+TEST(Tombstones, KeepsMaxVersionPerKey) {
+  TombstoneCache t(4);
+  t.Record(H(1), VersionNumber{10, 1, 1});
+  t.Record(H(1), VersionNumber{5, 1, 1});  // older; ignored
+  EXPECT_EQ(t.Find(H(1))->tt_micros, 10u);
+  t.Record(H(1), VersionNumber{20, 1, 1});
+  EXPECT_EQ(t.Find(H(1))->tt_micros, 20u);
+}
+
+TEST(Tombstones, EvictionFoldsIntoSummary) {
+  TombstoneCache t(2);
+  t.Record(H(1), VersionNumber{100, 1, 1});
+  t.Record(H(2), VersionNumber{50, 1, 1});
+  t.Record(H(3), VersionNumber{10, 1, 1});  // evicts H(1) (FIFO)
+  EXPECT_EQ(t.Find(H(1)), nullptr);
+  EXPECT_EQ(t.summary(), (VersionNumber{100, 1, 1}));
+  // Floor of the evicted key is now bounded by the summary.
+  EXPECT_EQ(t.Floor(H(1)), (VersionNumber{100, 1, 1}));
+}
+
+TEST(Tombstones, FloorOfUnknownKeyIsSummary) {
+  TombstoneCache t(2);
+  EXPECT_TRUE(t.Floor(H(9)).is_zero());
+  t.Record(H(1), VersionNumber{100, 1, 1});
+  t.Record(H(2), VersionNumber{1, 1, 1});
+  t.Record(H(3), VersionNumber{1, 1, 2});  // evict H(1) -> summary=100
+  EXPECT_EQ(t.Floor(H(9)).tt_micros, 100u);
+}
+
+TEST(Tombstones, FloorIsConservativeMaxOfEntryAndSummary) {
+  TombstoneCache t(2);
+  t.Record(H(1), VersionNumber{100, 1, 1});
+  t.Record(H(2), VersionNumber{1, 1, 1});
+  t.Record(H(3), VersionNumber{2, 1, 1});  // H(1)@100 folded into summary
+  // H(3)'s own tombstone (2) is below the summary (100): floor is the max.
+  EXPECT_EQ(t.Floor(H(3)).tt_micros, 100u);
+}
+
+TEST(Tombstones, MergeSummaryAndWorstCase) {
+  TombstoneCache t(8);
+  t.Record(H(1), VersionNumber{7, 1, 1});
+  t.MergeSummary(VersionNumber{50, 1, 1});
+  EXPECT_EQ(t.summary().tt_micros, 50u);
+  t.Record(H(2), VersionNumber{80, 1, 1});
+  EXPECT_EQ(t.WorstCaseSummary().tt_micros, 80u);
+}
+
+TEST(Tombstones, ClearRemovesEntry) {
+  TombstoneCache t(8);
+  t.Record(H(1), VersionNumber{7, 1, 1});
+  t.Clear(H(1));
+  EXPECT_EQ(t.Find(H(1)), nullptr);
+}
+
+TEST(Tombstones, CapacityBounded) {
+  TombstoneCache t(16);
+  for (int i = 0; i < 1000; ++i) t.Record(H(i), VersionNumber{uint64_t(i), 1, 1});
+  EXPECT_LE(t.size(), 16u);
+  EXPECT_EQ(t.summary().tt_micros, 983u);  // highest evicted
+}
+
+}  // namespace
+}  // namespace cm::cliquemap

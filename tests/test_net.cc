@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+#include "sim/simulator.h"
+
+namespace cm::net {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  sim::Simulator sim;
+  FabricConfig fcfg;
+  std::unique_ptr<Fabric> fabric;
+
+  void SetUp() override {
+    fcfg.base_rtt = sim::Microseconds(4);
+    fabric = std::make_unique<Fabric>(sim, fcfg);
+  }
+
+  HostId AddHost(double gbps = 50.0) {
+    HostConfig cfg;
+    cfg.nic_gbps = gbps;
+    return fabric->AddHost(cfg);
+  }
+};
+
+TEST_F(NetFixture, UnloadedSmallTransferCostsHalfRttPlusSerialization) {
+  HostId a = AddHost(), b = AddHost();
+  sim::Time arrival = fabric->ReserveTransfer(a, b, 64);
+  // 64B + 80B frame overhead at 50Gbps = 144B / 6.25 B/ns = 23ns, plus 2us.
+  EXPECT_GT(arrival, sim::Microseconds(2));
+  EXPECT_LT(arrival, sim::Microseconds(3));
+}
+
+TEST_F(NetFixture, LargeTransferDominatedBySerialization) {
+  HostId a = AddHost(), b = AddHost();
+  sim::Time arrival = fabric->ReserveTransfer(a, b, 64 * 1024);
+  // 64KB at 50Gbps ~ 10.5us serialization.
+  EXPECT_GT(arrival, sim::Microseconds(10));
+  EXPECT_LT(arrival, sim::Microseconds(20));
+}
+
+TEST_F(NetFixture, WireBytesIncludeFrameOverhead) {
+  AddHost();
+  EXPECT_EQ(fabric->WireBytes(100), 100 + 80);
+  // 12KB at 5000B MTU -> 3 frames.
+  EXPECT_EQ(fabric->WireBytes(12000), 12000 + 3 * 80);
+}
+
+TEST_F(NetFixture, ConcurrentTransfersQueueOnTx) {
+  HostId a = AddHost(), b = AddHost(), c = AddHost();
+  sim::Time t1 = fabric->ReserveTransfer(a, b, 50000);
+  sim::Time t2 = fabric->ReserveTransfer(a, c, 50000);
+  EXPECT_GT(t2, t1);  // second transfer waits behind the first on a's tx
+}
+
+TEST_F(NetFixture, IncastQueuesOnRx) {
+  HostId sink = AddHost();
+  std::vector<sim::Time> arrivals;
+  for (int i = 0; i < 4; ++i) {
+    HostId src = AddHost();
+    arrivals.push_back(fabric->ReserveTransfer(src, sink, 64 * 1024));
+  }
+  // Each 64KB takes ~10.5us on the sink's rx; arrivals must serialize.
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GT(arrivals[i], arrivals[i - 1] + sim::Microseconds(9));
+  }
+}
+
+TEST_F(NetFixture, TransferAwaitableCompletesAtArrival) {
+  HostId a = AddHost(), b = AddHost();
+  sim::Time done = -1;
+  sim.Spawn([](sim::Simulator& s, Fabric& f, HostId a, HostId b,
+               sim::Time& out) -> sim::Task<void> {
+    co_await f.Transfer(a, b, 4096);
+    out = s.now();
+  }(sim, *fabric, a, b, done));
+  sim.Run();
+  EXPECT_GT(done, sim::Microseconds(2));
+  EXPECT_LT(done, sim::Microseconds(4));
+}
+
+TEST_F(NetFixture, AntagonistInflatesLatency) {
+  HostId a = AddHost(), b = AddHost();
+  // Baseline 64KB transfer.
+  sim::Simulator sim2;
+  Fabric f2(sim2, fcfg);
+  HostId a2 = f2.AddHost(HostConfig{}), b2 = f2.AddHost(HostConfig{});
+  sim::Time clean = f2.ReserveTransfer(a2, b2, 64 * 1024);
+
+  // A saturating ~95Gbps antagonist on b's 50Gbps rx (the paper's setup):
+  // it maintains a standing queue that victim transfers wait behind.
+  fabric->StartAntagonist(b, 95.0, /*tx=*/false, /*rx=*/true);
+  sim.RunUntil(sim::Milliseconds(1));
+  sim::Time start = sim.now();
+  sim::Time loaded = fabric->ReserveTransfer(a, b, 64 * 1024);
+  EXPECT_GT(loaded - start, 2 * clean);
+}
+
+TEST_F(NetFixture, StoppedAntagonistReleasesBandwidth) {
+  HostId a = AddHost(), b = AddHost();
+  int id = fabric->StartAntagonist(b, 45.0, false, true);
+  sim.RunUntil(sim::Milliseconds(1));
+  fabric->StopAntagonist(id);
+  // Drain: after the antagonist stops and the queue clears, transfers are
+  // fast again.
+  sim.RunUntil(sim::Milliseconds(5));
+  sim::Time start = sim.now();
+  sim::Time arrival = fabric->ReserveTransfer(a, b, 4096);
+  EXPECT_LT(arrival - start, sim::Microseconds(10));
+}
+
+TEST_F(NetFixture, PerHostBytesAccounted) {
+  HostId a = AddHost(), b = AddHost();
+  fabric->ReserveTransfer(a, b, 1000);
+  EXPECT_EQ(fabric->host(a).tx().total_bytes, fabric->WireBytes(1000));
+  EXPECT_EQ(fabric->host(b).rx().total_bytes, fabric->WireBytes(1000));
+}
+
+TEST_F(NetFixture, FasterNicIsFaster) {
+  HostId a = AddHost(100.0), b = AddHost(100.0);
+  HostId c = AddHost(10.0), d = AddHost(10.0);
+  sim::Time fast = fabric->ReserveTransfer(a, b, 64 * 1024);
+  sim::Time slow = fabric->ReserveTransfer(c, d, 64 * 1024);
+  EXPECT_LT(fast, slow);
+}
+
+}  // namespace
+}  // namespace cm::net

@@ -1,0 +1,139 @@
+// Protocol codec tests: packed record formats and the cell-view codec,
+// including forward/backward-compat properties.
+#include <gtest/gtest.h>
+
+#include "cliquemap/config_service.h"
+#include "cliquemap/proto.h"
+
+namespace cm::cliquemap::proto {
+namespace {
+
+TEST(RepairRecords, RoundTrip) {
+  Bytes blob;
+  std::vector<RepairRecord> in;
+  for (int i = 0; i < 10; ++i) {
+    RepairRecord r;
+    r.keyhash = HashKey("k" + std::to_string(i));
+    r.version = VersionNumber{uint64_t(100 + i), uint32_t(i), uint32_t(i * 2)};
+    r.erased = (i % 3) == 0;
+    in.push_back(r);
+    AppendRepairRecord(blob, r);
+  }
+  EXPECT_EQ(blob.size(), 10 * kRepairRecordBytes);
+  auto out = ParseRepairRecords(blob);
+  ASSERT_EQ(out.size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].keyhash, in[i].keyhash);
+    EXPECT_EQ(out[i].version, in[i].version);
+    EXPECT_EQ(out[i].erased, in[i].erased);
+  }
+}
+
+TEST(RepairRecords, TruncatedTailIgnored) {
+  Bytes blob;
+  AppendRepairRecord(blob, RepairRecord{HashKey("a"), {1, 1, 1}, false});
+  blob.resize(blob.size() + 7);  // garbage partial record
+  EXPECT_EQ(ParseRepairRecords(blob).size(), 1u);
+}
+
+TEST(TouchRecords, RoundTrip) {
+  Bytes blob;
+  std::vector<Hash128> in;
+  for (int i = 0; i < 64; ++i) {
+    in.push_back(HashKey("t" + std::to_string(i)));
+    AppendTouchRecord(blob, in.back());
+  }
+  auto out = ParseTouchRecords(blob);
+  ASSERT_EQ(out.size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(BulkRecords, RoundTripMixed) {
+  Bytes blob;
+  AppendBulkRecord(blob, "live-key", AsByteSpan("payload"),
+                   VersionNumber{5, 6, 7});
+  AppendBulkRecord(blob, "erased-key", {}, VersionNumber{9, 9, 9}, true);
+  AppendBulkRecord(blob, "", {}, VersionNumber{100, 0, 0}, true);  // summary
+  auto out = ParseBulkRecords(blob);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].key, "live-key");
+  EXPECT_EQ(ToString(out[0].value), "payload");
+  EXPECT_FALSE(out[0].erased);
+  EXPECT_TRUE(out[1].erased);
+  EXPECT_TRUE(out[2].key.empty());
+  EXPECT_EQ(out[2].version.tt_micros, 100u);
+}
+
+TEST(BulkRecords, EmptyAndHugeValues) {
+  Bytes blob;
+  Bytes big(100000, std::byte{0x77});
+  AppendBulkRecord(blob, "big", big, VersionNumber{1, 1, 1});
+  auto out = ParseBulkRecords(blob);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value.size(), big.size());
+}
+
+TEST(VersionCodec, PutGetRoundTrip) {
+  rpc::WireWriter w;
+  PutVersion(w, VersionNumber{0xDEADBEEF12345678ull, 42, 7});
+  PutVersion(w, VersionNumber{1, 2, 3}, kTagExpectedTt);
+  rpc::WireReader r(w.bytes());
+  auto v = GetVersion(r);
+  auto e = GetVersion(r, kTagExpectedTt);
+  ASSERT_TRUE(v && e);
+  EXPECT_EQ(v->tt_micros, 0xDEADBEEF12345678ull);
+  EXPECT_EQ(e->seq, 3u);
+}
+
+TEST(VersionCodec, MissingFieldsAreNullopt) {
+  rpc::WireWriter w;
+  w.PutU64(kTagVersionTt, 1);  // client/seq absent
+  rpc::WireReader r(w.bytes());
+  EXPECT_FALSE(GetVersion(r).has_value());
+}
+
+TEST(CellViewCodec, RoundTrip) {
+  CellView v;
+  v.generation = 17;
+  v.mode = ReplicationMode::kR32;
+  v.shard_hosts = {5, 9, 13, 2};
+  v.shard_config_ids = {1001, 2002, 3003, 4004};
+  auto decoded = DecodeCellView(EncodeCellView(v));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->generation, 17u);
+  EXPECT_EQ(decoded->mode, ReplicationMode::kR32);
+  EXPECT_EQ(decoded->shard_hosts, v.shard_hosts);
+  EXPECT_EQ(decoded->shard_config_ids, v.shard_config_ids);
+}
+
+TEST(CellViewCodec, ForwardCompatWithExtraFields) {
+  // A future config service appends fields old clients don't know.
+  CellView v;
+  v.generation = 1;
+  v.mode = ReplicationMode::kR1;
+  v.shard_hosts = {3};
+  v.shard_config_ids = {99};
+  Bytes encoded = EncodeCellView(v);
+  rpc::WireWriter extra;
+  extra.PutString(500, "future shard attribute");
+  Bytes combined = encoded;
+  combined.insert(combined.end(), extra.bytes().begin(), extra.bytes().end());
+  auto decoded = DecodeCellView(combined);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->shard_hosts, v.shard_hosts);
+}
+
+TEST(CellViewCodec, MalformedRejected) {
+  EXPECT_FALSE(DecodeCellView(ToBytes("garbage")).ok());
+  // Hand-build a view whose shard list is shorter than its declared count.
+  rpc::WireWriter w;
+  w.PutU32(kTagGeneration, 1);
+  w.PutU32(kTagMode, 0);
+  w.PutU32(kTagNumShards, 3);
+  w.PutU32(kTagShardHost, 7);  // only one of three
+  w.PutU32(kTagShardConfigId, 99);
+  EXPECT_FALSE(DecodeCellView(w.bytes()).ok());
+}
+
+}  // namespace
+}  // namespace cm::cliquemap::proto

@@ -1,0 +1,202 @@
+// Race-condition tests (§5.3, Fig 5): concurrent GETs and mutations with
+// no coordination, resolved by self-validating responses and retries.
+#include <gtest/gtest.h>
+
+#include "cliquemap/cell.h"
+
+namespace cm::cliquemap {
+namespace {
+
+CellOptions RaceCell(ReplicationMode mode) {
+  CellOptions o;
+  o.num_shards = 3;
+  o.mode = mode;
+  o.backend.initial_buckets = 64;
+  // Slow the backend's memcpy so the torn-read window is wide and races
+  // are frequent rather than rare.
+  o.backend.write_bytes_per_ns = 0.01;  // 10MB/s -> 400us for a 4KB entry
+  return o;
+}
+
+struct RaceFixture : ::testing::Test {
+  sim::Simulator sim;
+  std::unique_ptr<Cell> cell;
+  Client* reader = nullptr;
+  Client* writer = nullptr;
+
+  void Init(ReplicationMode mode) {
+    cell = std::make_unique<Cell>(sim, RaceCell(mode));
+    cell->Start();
+    reader = cell->AddClient();
+    writer = cell->AddClient();
+    sim.Spawn([](Client* a, Client* b) -> sim::Task<void> {
+      (void)co_await a->Connect();
+      (void)co_await b->Connect();
+    }(reader, writer));
+    sim.Run();
+  }
+};
+
+TEST_F(RaceFixture, GetRacingSetSeesOldNewOrRetries) {
+  Init(ReplicationMode::kR32);
+  const std::string key = "raced";
+  sim.Spawn([](Client* w, std::string key) -> sim::Task<void> {
+    (void)co_await w->Set(std::move(key), Bytes(4096, std::byte{0x00}));
+  }(writer, key));
+  sim.Run();
+
+  // Warm reader connections.
+  sim.Spawn([](Client* r, std::string key) -> sim::Task<void> {
+    (void)co_await r->Get(std::move(key));
+  }(reader, key));
+  sim.Run();
+
+  // Two back-to-back SETs: the second reuses the chunk the first reclaimed
+  // (LIFO slab free list), overwriting bytes that stragglers holding the
+  // pre-flip pointer are still fetching — the Fig 5 torn-read scenario.
+  std::vector<StatusOr<GetResult>> results;
+  sim.Spawn([](Client* w, std::string key) -> sim::Task<void> {
+    (void)co_await w->Set(key, Bytes(4096, std::byte{0x11}));
+    (void)co_await w->Set(key, Bytes(4096, std::byte{0x22}));
+  }(writer, key));
+  for (int i = 0; i < 300; ++i) {
+    sim.PostAfter(sim::Microseconds(5 * i), [this, &key, &results] {
+      sim.Spawn([](Client* r, const std::string& key,
+                   std::vector<StatusOr<GetResult>>& out) -> sim::Task<void> {
+        out.push_back(co_await r->Get(key));
+      }(reader, key, results));
+    });
+  }
+  sim.Run();
+
+  // Every GET must linearize: the value is entirely one of the three
+  // versions — never a torn mixture (the checksum catches those and the
+  // client retries).
+  ASSERT_EQ(results.size(), 300u);
+  int v0 = 0, v1 = 0, v2 = 0;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->value.size(), 4096u);
+    const std::byte first = r->value[0];
+    for (std::byte b : r->value) ASSERT_EQ(b, first) << "torn value escaped!";
+    if (first == std::byte{0x00}) ++v0;
+    if (first == std::byte{0x11}) ++v1;
+    if (first == std::byte{0x22}) ++v2;
+  }
+  EXPECT_EQ(v0 + v1 + v2, 300);
+  EXPECT_GT(v2, 0);  // the final SET became visible
+  // The self-validation/retry machinery was exercised.
+  EXPECT_GT(reader->stats().torn_reads + reader->stats().retries +
+                reader->stats().preferred_mismatch + reader->stats().inquorate,
+            0);
+}
+
+TEST_F(RaceFixture, ConcurrentWritersConvergeToOneValue) {
+  Init(ReplicationMode::kR32);
+  const std::string key = "multi-writer";
+  // Two writers race 20 SETs each; all backends must converge to the same
+  // final value: version order is total ({TrueTime, ClientId, Seq}) and
+  // backends apply monotonically, independent of arrival order (§5.2).
+  for (int i = 0; i < 20; ++i) {
+    sim.PostAfter(sim::Microseconds(5 * i), [this, &key, i] {
+      sim.Spawn([](Client* w, const std::string& key, int i) -> sim::Task<void> {
+        (void)co_await w->Set(key, ToBytes("w1-" + std::to_string(i)));
+      }(writer, key, i));
+      sim.Spawn([](Client* r, const std::string& key, int i) -> sim::Task<void> {
+        (void)co_await r->Set(key, ToBytes("w2-" + std::to_string(i)));
+      }(reader, key, i));
+    });
+  }
+  sim.Run();
+  auto va = cell->backend(0).LookupVersion(key);
+  auto vb = cell->backend(1).LookupVersion(key);
+  auto vc = cell->backend(2).LookupVersion(key);
+  ASSERT_TRUE(va && vb && vc);
+  EXPECT_EQ(*va, *vb);
+  EXPECT_EQ(*vb, *vc);
+}
+
+TEST_F(RaceFixture, ObstructionFreeGetsSucceedWithoutCompetingSets) {
+  Init(ReplicationMode::kR32);
+  sim.Spawn([](Client* w) -> sim::Task<void> {
+    (void)co_await w->Set("calm", ToBytes("value"));
+  }(writer));
+  sim.Run();
+  // With no competing SET, GETs must always succeed (obstruction freedom,
+  // §5.3) — across many trials.
+  int ok = 0;
+  for (int i = 0; i < 300; ++i) {
+    sim.Spawn([](Client* r, int& ok) -> sim::Task<void> {
+      auto got = co_await r->Get("calm");
+      if (got.ok()) ++ok;
+    }(reader, ok));
+    sim.Run();
+  }
+  EXPECT_EQ(ok, 300);
+}
+
+TEST_F(RaceFixture, EraseRacingGetNeverReturnsGarbage) {
+  Init(ReplicationMode::kR32);
+  sim.Spawn([](Client* w) -> sim::Task<void> {
+    (void)co_await w->Set("vanishing", Bytes(4096, std::byte{0x77}));
+  }(writer));
+  sim.Run();
+  sim.Spawn([](Client* r) -> sim::Task<void> { (void)co_await r->Get("vanishing"); }(reader));
+  sim.Run();
+
+  std::vector<StatusOr<GetResult>> results;
+  sim.Spawn([](Client* w) -> sim::Task<void> {
+    (void)co_await w->Erase("vanishing");
+  }(writer));
+  for (int i = 0; i < 100; ++i) {
+    sim.PostAfter(sim::Microseconds(i), [this, &results] {
+      sim.Spawn([](Client* r,
+                   std::vector<StatusOr<GetResult>>& out) -> sim::Task<void> {
+        out.push_back(co_await r->Get("vanishing"));
+      }(reader, results));
+    });
+  }
+  sim.Run();
+  for (const auto& r : results) {
+    if (r.ok()) {
+      // Ordered-before the erase: full old value.
+      ASSERT_EQ(r->value.size(), 4096u);
+      for (std::byte b : r->value) ASSERT_EQ(b, std::byte{0x77});
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kNotFound)
+          << r.status().ToString();
+    }
+  }
+}
+
+TEST_F(RaceFixture, R1TornReadsAreRetriedToConsistency) {
+  Init(ReplicationMode::kR1);
+  sim.Spawn([](Client* w) -> sim::Task<void> {
+    (void)co_await w->Set("r1race", Bytes(8192, std::byte{0xAA}));
+  }(writer));
+  sim.Run();
+  sim.Spawn([](Client* r) -> sim::Task<void> { (void)co_await r->Get("r1race"); }(reader));
+  sim.Run();
+
+  std::vector<StatusOr<GetResult>> results;
+  sim.Spawn([](Client* w) -> sim::Task<void> {
+    (void)co_await w->Set("r1race", Bytes(8192, std::byte{0xBB}));
+  }(writer));
+  for (int i = 0; i < 100; ++i) {
+    sim.PostAfter(sim::Microseconds(8 * i), [this, &results] {
+      sim.Spawn([](Client* r,
+                   std::vector<StatusOr<GetResult>>& out) -> sim::Task<void> {
+        out.push_back(co_await r->Get("r1race"));
+      }(reader, results));
+    });
+  }
+  sim.Run();
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    const std::byte first = r->value[0];
+    for (std::byte b : r->value) ASSERT_EQ(b, first);
+  }
+}
+
+}  // namespace
+}  // namespace cm::cliquemap

@@ -1,0 +1,241 @@
+// Quorum repair and crash recovery (§5.4) plus warm-spare migration (§6.1).
+#include <gtest/gtest.h>
+
+#include "cliquemap/cell.h"
+
+namespace cm::cliquemap {
+namespace {
+
+template <typename T>
+T RunOp(sim::Simulator& sim, sim::Task<T> task) {
+  auto out = std::make_shared<std::optional<T>>();
+  sim.Spawn([](sim::Task<T> t,
+               std::shared_ptr<std::optional<T>> out) -> sim::Task<void> {
+    *out = co_await std::move(t);
+  }(std::move(task), out));
+  sim.Run();
+  EXPECT_TRUE(out->has_value());
+  return **out;
+}
+
+CellOptions RepairCell() {
+  CellOptions o;
+  o.num_shards = 4;
+  o.mode = ReplicationMode::kR32;
+  o.backend.initial_buckets = 64;
+  return o;
+}
+
+struct RepairFixture : ::testing::Test {
+  sim::Simulator sim;
+  std::unique_ptr<Cell> cell;
+  Client* client = nullptr;
+
+  void Init(CellOptions o = RepairCell()) {
+    cell = std::make_unique<Cell>(sim, std::move(o));
+    cell->Start();
+    client = cell->AddClient();
+    ASSERT_TRUE(RunOp(sim, client->Connect()).ok());
+  }
+
+  // Finds a key whose primary replica is the given shard.
+  std::string KeyOnShard(uint32_t shard, const std::string& prefix) {
+    for (int i = 0;; ++i) {
+      std::string key = prefix + std::to_string(i);
+      if (PrimaryShard(HashKey(key), cell->num_shards()) == shard) return key;
+    }
+  }
+};
+
+TEST_F(RepairFixture, DirtyQuorumRepairedByScan) {
+  Init();
+  const std::string key = KeyOnShard(0, "dirty-");
+  ASSERT_TRUE(RunOp(sim, client->Set(key, ToBytes("payload"))).ok());
+
+  // Make replica 2 dirty: crash it, write nothing, restart it empty (no
+  // recovery) — now backends disagree on the key's existence.
+  Backend& dirty = cell->backend(2);
+  dirty.Crash();
+  dirty.Start(cell->config_service().UpdateShard(2, dirty.host()));
+  dirty.SetConfigId(cell->config_service().view().shard_config_ids[2]);
+  EXPECT_FALSE(dirty.LookupVersion(key).has_value());
+
+  // A cohort scan from a healthy replica repairs the dirty one and settles
+  // all three on one fresh version.
+  RunOp(sim, [](Backend* b) -> sim::Task<Status> {
+    co_await b->RepairScanOnce();
+    co_return OkStatus();
+  }(&cell->backend(0)));
+
+  auto v0 = cell->backend(0).LookupVersion(key);
+  auto v1 = cell->backend(1).LookupVersion(key);
+  auto v2 = cell->backend(2).LookupVersion(key);
+  ASSERT_TRUE(v0 && v1 && v2);
+  EXPECT_EQ(*v0, *v1);
+  EXPECT_EQ(*v1, *v2);
+  EXPECT_GT(cell->backend(0).stats().repairs_issued, 0);
+  // And the value round-trips.
+  auto got = RunOp(sim, client->Get(key));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(got->value), "payload");
+}
+
+TEST_F(RepairFixture, RestartRecoversEnMasseFromCohort) {
+  Init();
+  std::vector<std::string> keys;
+  for (int i = 0; i < 60; ++i) {
+    keys.push_back("bulk-" + std::to_string(i));
+    ASSERT_TRUE(RunOp(sim, client->Set(keys.back(), ToBytes("v"))).ok());
+  }
+  const size_t entries_before = cell->backend(1).live_entries();
+  ASSERT_GT(entries_before, 0u);
+
+  ASSERT_TRUE(
+      RunOp(sim, cell->CrashAndRestart(1, sim::Seconds(5))).ok());
+  // The restarted backend re-learned its shard contents from the cohort.
+  EXPECT_EQ(cell->backend(1).live_entries(), entries_before);
+  for (const auto& key : keys) {
+    EXPECT_TRUE(RunOp(sim, client->Get(key)).ok()) << key;
+  }
+}
+
+TEST_F(RepairFixture, EraseWinsOverStaleValueDuringRepair) {
+  Init();
+  const std::string key = KeyOnShard(0, "erase-repair-");
+  ASSERT_TRUE(RunOp(sim, client->Set(key, ToBytes("old"))).ok());
+
+  // Replica 2 misses the erase (simulate by crashing it around the erase).
+  cell->backend(2).Crash();
+  ASSERT_TRUE(RunOp(sim, client->Erase(key)).ok());  // quorum 2/3 applies
+  Backend& b2 = cell->backend(2);
+  b2.Start(cell->config_service().UpdateShard(2, b2.host()));
+  b2.SetConfigId(cell->config_service().view().shard_config_ids[2]);
+  // b2 is empty (it lost the value AND the erase); re-install the stale
+  // value directly to simulate "missed the erase, kept the value".
+  {
+    rpc::WireWriter w;
+    w.PutString(proto::kTagKey, key);
+    w.PutBytes(proto::kTagValue, ToBytes("old"));
+    proto::PutVersion(w, VersionNumber{1, 1, 1});  // ancient version
+    rpc::RpcChannel ch(cell->rpc_network(), client->host(), b2.host());
+    auto resp = RunOp(sim, ch.Call(proto::kMethodSet, std::move(w).Take(),
+                                   sim::Milliseconds(10)));
+    ASSERT_TRUE(resp.ok());
+  }
+  ASSERT_TRUE(b2.LookupVersion(key).has_value());
+
+  // Repair from a backend holding the tombstone: the erase must propagate,
+  // not the stale value resurrect.
+  RunOp(sim, [](Backend* b) -> sim::Task<Status> {
+    co_await b->RepairScanOnce();
+    co_return OkStatus();
+  }(&cell->backend(0)));
+  EXPECT_FALSE(b2.LookupVersion(key).has_value());
+  EXPECT_EQ(RunOp(sim, client->Get(key)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RepairFixture, RepairLoopRunsPeriodically) {
+  Init();
+  cell->backend(0).StartRepairLoop(sim::Seconds(10));
+  sim.RunUntil(sim.now() + sim::Seconds(35));
+  EXPECT_GE(cell->backend(0).stats().repair_scans, 3);
+  cell->backend(0).StopRepairLoop();
+}
+
+// ---------------------------------------------------------------------------
+// Warm spares / planned maintenance (§6.1)
+// ---------------------------------------------------------------------------
+
+TEST_F(RepairFixture, PlannedMaintenanceIsHitless) {
+  CellOptions o = RepairCell();
+  o.num_spares = 1;
+  o.restart_duration = sim::Seconds(10);
+  Init(std::move(o));
+  std::vector<std::string> keys;
+  for (int i = 0; i < 40; ++i) {
+    keys.push_back("maint-" + std::to_string(i));
+    ASSERT_TRUE(RunOp(sim, client->Set(keys.back(), ToBytes("v"))).ok());
+  }
+
+  // Run maintenance on shard 0 while the client keeps reading.
+  int hits = 0, errors = 0;
+  sim.Spawn([](Cell* cell) -> sim::Task<void> {
+    Status s = co_await cell->PlannedMaintenance(0);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }(cell.get()));
+  for (int t = 0; t < 200; ++t) {
+    sim.PostAfter(sim::Milliseconds(100 * t), [this, &keys, t, &hits, &errors] {
+      sim.Spawn([](Client* c, const std::string& key, int& hits,
+                   int& errors) -> sim::Task<void> {
+        auto got = co_await c->Get(key);
+        (got.ok() ? hits : errors)++;
+      }(client, keys[size_t(t) % keys.size()], hits, errors));
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(hits + errors, 200);
+  // "fewer than 1 op in 1000 observes degraded performance" — here: no op
+  // may fail outright under R=3.2 with a spare.
+  EXPECT_EQ(errors, 0);
+  // Data survived the full round trip (primary -> spare -> primary).
+  for (const auto& key : keys) {
+    EXPECT_TRUE(RunOp(sim, client->Get(key)).ok()) << key;
+  }
+}
+
+TEST_F(RepairFixture, PlannedMaintenanceR1KeepsDataViaSpare) {
+  CellOptions o = RepairCell();
+  o.mode = ReplicationMode::kR1;
+  o.num_spares = 1;
+  o.restart_duration = sim::Seconds(5);
+  Init(std::move(o));
+  const std::string key = KeyOnShard(0, "r1-spare-");
+  ASSERT_TRUE(RunOp(sim, client->Set(key, ToBytes("precious"))).ok());
+
+  // Without a spare this rollout would drop the whole shard (§6.1).
+  ASSERT_TRUE(RunOp(sim, cell->PlannedMaintenance(0)).ok());
+  auto got = RunOp(sim, client->Get(key));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(ToString(got->value), "precious");
+}
+
+TEST_F(RepairFixture, MigrationMovesRpcBytes) {
+  CellOptions o = RepairCell();
+  o.num_spares = 1;
+  Init(std::move(o));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(RunOp(sim, client->Set("bytes-" + std::to_string(i),
+                                       Bytes(2048, std::byte{1})))
+                    .ok());
+  }
+  const int64_t rpc_before = cell->TotalRpcBytes();
+  ASSERT_TRUE(RunOp(sim, cell->PlannedMaintenance(0)).ok());
+  // The migration moved the shard's contents twice (to the spare and
+  // back) over RPC — a visible byte surge (Fig 13).
+  EXPECT_GT(cell->TotalRpcBytes() - rpc_before, 2 * 10 * 2048);
+}
+
+TEST_F(RepairFixture, ClientDiscoversSpareViaConfigMismatch) {
+  CellOptions o = RepairCell();
+  o.num_spares = 1;
+  o.restart_duration = sim::Seconds(3600);  // long upgrade: spare serves
+  Init(std::move(o));
+  const std::string key = KeyOnShard(0, "cfg-");
+  ASSERT_TRUE(RunOp(sim, client->Set(key, ToBytes("x"))).ok());
+  ASSERT_TRUE(RunOp(sim, client->Get(key)).ok());  // warm connection
+
+  const int64_t refreshes_before = client->stats().config_refreshes;
+  sim.Spawn([](Cell* cell) -> sim::Task<void> {
+    (void)co_await cell->PlannedMaintenance(0);
+  }(cell.get()));
+  sim.RunUntil(sim.now() + sim::Seconds(60));  // primary still down
+
+  auto got = RunOp(sim, client->Get(key));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_GT(client->stats().config_refreshes, refreshes_before);
+  sim.Run();  // let maintenance finish
+}
+
+}  // namespace
+}  // namespace cm::cliquemap

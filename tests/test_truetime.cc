@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "truetime/truetime.h"
+
+namespace cm::truetime {
+namespace {
+
+TEST(TrueTime, IntervalContainsTrueTime) {
+  sim::Simulator sim;
+  TrueTime tt(sim, sim::Milliseconds(1));
+  sim.PostAt(sim::Seconds(5), [] {});
+  sim.Run();
+  for (uint32_t host = 0; host < 16; ++host) {
+    TtInterval i = tt.Now(host);
+    EXPECT_LE(i.earliest, sim.now());
+    EXPECT_GE(i.latest, sim.now());
+  }
+}
+
+TEST(TrueTime, UncertaintyBoundIsTwoEpsilon) {
+  sim::Simulator sim;
+  TrueTime tt(sim, sim::Microseconds(100));
+  TtInterval i = tt.Now(3);
+  EXPECT_EQ(i.latest - i.earliest, 2 * sim::Microseconds(100));
+}
+
+TEST(TrueTime, PerHostSkewIsStable) {
+  sim::Simulator sim;
+  TrueTime tt(sim, sim::Milliseconds(1));
+  TtInterval a1 = tt.Now(7);
+  TtInterval a2 = tt.Now(7);
+  EXPECT_EQ(a1.earliest, a2.earliest);
+  TtInterval b = tt.Now(8);
+  EXPECT_NE(a1.earliest, b.earliest);  // different hosts skew differently
+}
+
+TEST(TrueTime, MicrosAdvancesWithSimTime) {
+  sim::Simulator sim;
+  TrueTime tt(sim, sim::Milliseconds(1));
+  uint64_t t0 = tt.NowMicros(1);
+  sim.PostAt(sim::Seconds(10), [] {});
+  sim.Run();
+  uint64_t t1 = tt.NowMicros(1);
+  EXPECT_GE(t1, t0 + 9'000'000u);
+}
+
+TEST(TrueTime, MonotonePerHost) {
+  sim::Simulator sim;
+  TrueTime tt(sim, sim::Milliseconds(2), 99);
+  uint64_t prev = 0;
+  for (int step = 0; step < 100; ++step) {
+    sim.PostAt(sim.now() + sim::Milliseconds(10), [] {});
+    sim.Run();
+    uint64_t now = tt.NowMicros(5);
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace cm::truetime

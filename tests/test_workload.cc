@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "cliquemap/cell.h"
+#include "workload/workload.h"
+
+namespace cm::workload {
+namespace {
+
+TEST(SizeDistribution, FixedIsExact) {
+  Rng rng(1);
+  SizeDistribution d = SizeDistribution::Fixed(4096);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.Sample(rng), 4096u);
+}
+
+TEST(SizeDistribution, AdsShapeMatchesFig10) {
+  // Fig 10: objects "tend to be small, typically at most a few KB ... but
+  // there is a tail of larger objects".
+  Rng rng(2);
+  std::vector<uint32_t> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(SizeDistribution::Ads().Sample(rng));
+  std::sort(samples.begin(), samples.end());
+  const uint32_t p50 = samples[samples.size() / 2];
+  const uint32_t p99 = samples[samples.size() * 99 / 100];
+  EXPECT_GT(p50, 100u);
+  EXPECT_LT(p50, 4096u);       // median: small
+  EXPECT_GT(p99, 8 * 1024u);   // tail: tens of KB+
+  EXPECT_LE(samples.back(), 1024u * 1024u);
+}
+
+TEST(SizeDistribution, GeoSmallerThanAds) {
+  Rng rng(3);
+  uint64_t geo_sum = 0, ads_sum = 0;
+  SizeDistribution geo = SizeDistribution::Geo();
+  SizeDistribution ads = SizeDistribution::Ads();
+  for (int i = 0; i < 20000; ++i) {
+    geo_sum += geo.Sample(rng);
+    ads_sum += ads.Sample(rng);
+  }
+  EXPECT_LT(geo_sum, ads_sum);
+}
+
+TEST(BatchDistribution, TailReachesConfiguredMax) {
+  // "batch sizes reach 30-300 KV pairs in the 99.9th percentile" (§7.1).
+  Rng rng(4);
+  BatchDistribution b(24, 300);
+  uint32_t max_seen = 0;
+  uint64_t sum = 0;
+  for (int i = 0; i < 50000; ++i) {
+    uint32_t v = b.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 300u);
+    max_seen = std::max(max_seen, v);
+    sum += v;
+  }
+  EXPECT_GT(max_seen, 150u);       // tail actually explored
+  EXPECT_LT(sum / 50000, 60u);     // typical stays modest
+}
+
+TEST(DiurnalRate, MeanIsOneAndSwingMatches) {
+  DiurnalRate r(3.0);  // Geo's ~3x daily swing (Fig 9)
+  double lo = 1e9, hi = 0, sum = 0;
+  const int n = 24 * 60;
+  for (int i = 0; i < n; ++i) {
+    double m = r.MultiplierAt(int64_t(i) * sim::kMinute);
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+    sum += m;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+  EXPECT_NEAR(hi / lo, 3.0, 0.2);
+}
+
+TEST(Profiles, AdsAndGeoAreGetHeavy) {
+  Rng rng(1);
+  EXPECT_GT(WorkloadProfile::Ads().get_fraction, 0.9);
+  EXPECT_GT(WorkloadProfile::Geo().get_fraction, 0.8);
+  EXPECT_GT(WorkloadProfile::Ads().batches.Sample(rng), 0u);
+}
+
+TEST(LoadDriver, DrivesTrafficAndRecordsWindows) {
+  sim::Simulator sim;
+  cliquemap::CellOptions o;
+  o.num_shards = 3;
+  o.mode = cliquemap::ReplicationMode::kR32;
+  cliquemap::Cell cell(sim, std::move(o));
+  cell.Start();
+  cliquemap::Client* client = cell.AddClient();
+
+  WorkloadProfile profile = WorkloadProfile::Uniform(200, 512, 0.9);
+  LoadDriver::Options opts;
+  opts.qps = 2000;
+  opts.duration = sim::Seconds(3);
+  opts.window = sim::Seconds(1);
+  LoadDriver driver(*client, profile, opts);
+
+  sim.Spawn([](cliquemap::Client* c, LoadDriver* d) -> sim::Task<void> {
+    (void)co_await c->Connect();
+    Status s = co_await d->Preload();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    co_await d->Run();
+  }(client, &driver));
+  sim.Run();
+
+  EXPECT_GE(driver.windows().size(), 3u);
+  int64_t gets = 0, sets = 0;
+  for (const auto& w : driver.windows()) {
+    gets += w.gets;
+    sets += w.sets;
+    EXPECT_EQ(w.get_errors, 0) << "errors in window";
+  }
+  // ~2000 qps x 3s with 90/10 mix.
+  EXPECT_NEAR(double(gets), 0.9 * 6000, 600);
+  EXPECT_NEAR(double(sets), 0.1 * 6000, 250);
+  // Latencies recorded and sane (< 1ms for an unloaded small cell).
+  EXPECT_GT(driver.windows()[1].get_ns.count(), 0);
+  EXPECT_LT(driver.windows()[1].get_ns.Percentile(0.5), sim::Milliseconds(1));
+}
+
+TEST(LoadDriver, DiurnalMultiplierShapesRate) {
+  sim::Simulator sim;
+  cliquemap::CellOptions o;
+  o.num_shards = 2;
+  o.mode = cliquemap::ReplicationMode::kR1;
+  cliquemap::Cell cell(sim, std::move(o));
+  cell.Start();
+  cliquemap::Client* client = cell.AddClient();
+
+  WorkloadProfile profile = WorkloadProfile::Uniform(50, 64, 1.0);
+  LoadDriver::Options opts;
+  opts.qps = 1000;
+  opts.duration = sim::Seconds(8);
+  opts.window = sim::Seconds(1);
+  // Square-wave multiplier: halves 0.5x, then 1.5x.
+  opts.rate_multiplier = [](sim::Time t) {
+    return t < sim::Seconds(4) ? 0.5 : 1.5;
+  };
+  LoadDriver driver(*client, profile, opts);
+  sim.Spawn([](cliquemap::Client* c, LoadDriver* d) -> sim::Task<void> {
+    (void)co_await c->Connect();
+    (void)co_await d->Preload();
+    co_await d->Run();
+  }(client, &driver));
+  sim.Run();
+
+  int64_t first_half = 0, second_half = 0;
+  for (const auto& w : driver.windows()) {
+    (w.start < sim::Seconds(4) ? first_half : second_half) += w.gets;
+  }
+  EXPECT_GT(second_half, 2 * first_half);
+}
+
+}  // namespace
+}  // namespace cm::workload
