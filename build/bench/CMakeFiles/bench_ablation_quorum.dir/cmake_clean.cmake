@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quorum.dir/bench_ablation_quorum.cc.o"
+  "CMakeFiles/bench_ablation_quorum.dir/bench_ablation_quorum.cc.o.d"
+  "bench_ablation_quorum"
+  "bench_ablation_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

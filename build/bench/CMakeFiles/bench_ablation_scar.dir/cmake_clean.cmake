@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scar.dir/bench_ablation_scar.cc.o"
+  "CMakeFiles/bench_ablation_scar.dir/bench_ablation_scar.cc.o.d"
+  "bench_ablation_scar"
+  "bench_ablation_scar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

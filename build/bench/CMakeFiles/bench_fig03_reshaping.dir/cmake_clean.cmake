@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_reshaping.dir/bench_fig03_reshaping.cc.o"
+  "CMakeFiles/bench_fig03_reshaping.dir/bench_fig03_reshaping.cc.o.d"
+  "bench_fig03_reshaping"
+  "bench_fig03_reshaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_reshaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

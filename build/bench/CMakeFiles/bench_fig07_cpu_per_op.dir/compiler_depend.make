@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_cpu_per_op.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_ads.dir/bench_fig08_ads.cc.o"
+  "CMakeFiles/bench_fig08_ads.dir/bench_fig08_ads.cc.o.d"
+  "bench_fig08_ads"
+  "bench_fig08_ads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_ads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_preferred_backend.dir/bench_fig11_preferred_backend.cc.o"
+  "CMakeFiles/bench_fig11_preferred_backend.dir/bench_fig11_preferred_backend.cc.o.d"
+  "bench_fig11_preferred_backend"
+  "bench_fig11_preferred_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_preferred_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

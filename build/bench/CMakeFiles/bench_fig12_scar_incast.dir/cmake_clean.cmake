@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_scar_incast.dir/bench_fig12_scar_incast.cc.o"
+  "CMakeFiles/bench_fig12_scar_incast.dir/bench_fig12_scar_incast.cc.o.d"
+  "bench_fig12_scar_incast"
+  "bench_fig12_scar_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_scar_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

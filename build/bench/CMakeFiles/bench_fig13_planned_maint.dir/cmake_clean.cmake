@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_planned_maint.dir/bench_fig13_planned_maint.cc.o"
+  "CMakeFiles/bench_fig13_planned_maint.dir/bench_fig13_planned_maint.cc.o.d"
+  "bench_fig13_planned_maint"
+  "bench_fig13_planned_maint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_planned_maint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

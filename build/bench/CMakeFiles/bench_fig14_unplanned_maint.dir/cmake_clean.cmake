@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_unplanned_maint.dir/bench_fig14_unplanned_maint.cc.o"
+  "CMakeFiles/bench_fig14_unplanned_maint.dir/bench_fig14_unplanned_maint.cc.o.d"
+  "bench_fig14_unplanned_maint"
+  "bench_fig14_unplanned_maint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_unplanned_maint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_17_1rma_ramp.dir/bench_fig16_17_1rma_ramp.cc.o"
+  "CMakeFiles/bench_fig16_17_1rma_ramp.dir/bench_fig16_17_1rma_ramp.cc.o.d"
+  "bench_fig16_17_1rma_ramp"
+  "bench_fig16_17_1rma_ramp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_17_1rma_ramp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpc_vs_rma.dir/bench_rpc_vs_rma.cc.o"
+  "CMakeFiles/bench_rpc_vs_rma.dir/bench_rpc_vs_rma.cc.o.d"
+  "bench_rpc_vs_rma"
+  "bench_rpc_vs_rma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpc_vs_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ads_serving.cpp" "examples/CMakeFiles/ads_serving.dir/ads_serving.cpp.o" "gcc" "examples/CMakeFiles/ads_serving.dir/ads_serving.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cliquemap/CMakeFiles/cm_cliquemap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/rma/CMakeFiles/cm_rma.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/cm_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/truetime/CMakeFiles/cm_truetime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_serving.dir/ads_serving.cpp.o"
+  "CMakeFiles/ads_serving.dir/ads_serving.cpp.o.d"
+  "ads_serving"
+  "ads_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_traffic.dir/geo_traffic.cpp.o"
+  "CMakeFiles/geo_traffic.dir/geo_traffic.cpp.o.d"
+  "geo_traffic"
+  "geo_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

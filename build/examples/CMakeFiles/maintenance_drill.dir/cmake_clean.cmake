@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_drill.dir/maintenance_drill.cpp.o"
+  "CMakeFiles/maintenance_drill.dir/maintenance_drill.cpp.o.d"
+  "maintenance_drill"
+  "maintenance_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyglot.dir/polyglot.cpp.o"
+  "CMakeFiles/polyglot.dir/polyglot.cpp.o.d"
+  "polyglot"
+  "polyglot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyglot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

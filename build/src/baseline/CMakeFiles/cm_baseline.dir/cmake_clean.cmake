@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_baseline.dir/memcacheg.cc.o"
+  "CMakeFiles/cm_baseline.dir/memcacheg.cc.o.d"
+  "libcm_baseline.a"
+  "libcm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cliquemap/backend.cc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/backend.cc.o" "gcc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/backend.cc.o.d"
+  "/root/repo/src/cliquemap/cell.cc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/cell.cc.o" "gcc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/cell.cc.o.d"
+  "/root/repo/src/cliquemap/client.cc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/client.cc.o" "gcc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/client.cc.o.d"
+  "/root/repo/src/cliquemap/compress.cc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/compress.cc.o" "gcc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/compress.cc.o.d"
+  "/root/repo/src/cliquemap/config_service.cc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/config_service.cc.o" "gcc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/config_service.cc.o.d"
+  "/root/repo/src/cliquemap/eviction.cc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/eviction.cc.o" "gcc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/eviction.cc.o.d"
+  "/root/repo/src/cliquemap/layout.cc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/layout.cc.o" "gcc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/layout.cc.o.d"
+  "/root/repo/src/cliquemap/shim.cc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/shim.cc.o" "gcc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/shim.cc.o.d"
+  "/root/repo/src/cliquemap/slab.cc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/slab.cc.o" "gcc" "src/cliquemap/CMakeFiles/cm_cliquemap.dir/slab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rma/CMakeFiles/cm_rma.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/cm_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/truetime/CMakeFiles/cm_truetime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

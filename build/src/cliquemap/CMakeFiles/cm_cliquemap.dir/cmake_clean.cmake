@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_cliquemap.dir/backend.cc.o"
+  "CMakeFiles/cm_cliquemap.dir/backend.cc.o.d"
+  "CMakeFiles/cm_cliquemap.dir/cell.cc.o"
+  "CMakeFiles/cm_cliquemap.dir/cell.cc.o.d"
+  "CMakeFiles/cm_cliquemap.dir/client.cc.o"
+  "CMakeFiles/cm_cliquemap.dir/client.cc.o.d"
+  "CMakeFiles/cm_cliquemap.dir/compress.cc.o"
+  "CMakeFiles/cm_cliquemap.dir/compress.cc.o.d"
+  "CMakeFiles/cm_cliquemap.dir/config_service.cc.o"
+  "CMakeFiles/cm_cliquemap.dir/config_service.cc.o.d"
+  "CMakeFiles/cm_cliquemap.dir/eviction.cc.o"
+  "CMakeFiles/cm_cliquemap.dir/eviction.cc.o.d"
+  "CMakeFiles/cm_cliquemap.dir/layout.cc.o"
+  "CMakeFiles/cm_cliquemap.dir/layout.cc.o.d"
+  "CMakeFiles/cm_cliquemap.dir/shim.cc.o"
+  "CMakeFiles/cm_cliquemap.dir/shim.cc.o.d"
+  "CMakeFiles/cm_cliquemap.dir/slab.cc.o"
+  "CMakeFiles/cm_cliquemap.dir/slab.cc.o.d"
+  "libcm_cliquemap.a"
+  "libcm_cliquemap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_cliquemap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

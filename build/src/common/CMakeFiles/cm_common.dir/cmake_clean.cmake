@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_common.dir/checksum.cc.o"
+  "CMakeFiles/cm_common.dir/checksum.cc.o.d"
+  "CMakeFiles/cm_common.dir/hash.cc.o"
+  "CMakeFiles/cm_common.dir/hash.cc.o.d"
+  "CMakeFiles/cm_common.dir/histogram.cc.o"
+  "CMakeFiles/cm_common.dir/histogram.cc.o.d"
+  "CMakeFiles/cm_common.dir/rng.cc.o"
+  "CMakeFiles/cm_common.dir/rng.cc.o.d"
+  "CMakeFiles/cm_common.dir/status.cc.o"
+  "CMakeFiles/cm_common.dir/status.cc.o.d"
+  "libcm_common.a"
+  "libcm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_net.dir/fabric.cc.o"
+  "CMakeFiles/cm_net.dir/fabric.cc.o.d"
+  "libcm_net.a"
+  "libcm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_rma.dir/hwrma.cc.o"
+  "CMakeFiles/cm_rma.dir/hwrma.cc.o.d"
+  "CMakeFiles/cm_rma.dir/memory.cc.o"
+  "CMakeFiles/cm_rma.dir/memory.cc.o.d"
+  "CMakeFiles/cm_rma.dir/softnic.cc.o"
+  "CMakeFiles/cm_rma.dir/softnic.cc.o.d"
+  "libcm_rma.a"
+  "libcm_rma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

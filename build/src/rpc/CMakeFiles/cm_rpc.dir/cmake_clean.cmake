@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_rpc.dir/rpc.cc.o"
+  "CMakeFiles/cm_rpc.dir/rpc.cc.o.d"
+  "CMakeFiles/cm_rpc.dir/wire.cc.o"
+  "CMakeFiles/cm_rpc.dir/wire.cc.o.d"
+  "libcm_rpc.a"
+  "libcm_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_sim.dir/cpu.cc.o"
+  "CMakeFiles/cm_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/cm_sim.dir/simulator.cc.o"
+  "CMakeFiles/cm_sim.dir/simulator.cc.o.d"
+  "libcm_sim.a"
+  "libcm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

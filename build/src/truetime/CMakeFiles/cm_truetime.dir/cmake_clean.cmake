@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_truetime.dir/truetime.cc.o"
+  "CMakeFiles/cm_truetime.dir/truetime.cc.o.d"
+  "libcm_truetime.a"
+  "libcm_truetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_truetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

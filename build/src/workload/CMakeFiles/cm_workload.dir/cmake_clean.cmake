@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_workload.dir/workload.cc.o"
+  "CMakeFiles/cm_workload.dir/workload.cc.o.d"
+  "libcm_workload.a"
+  "libcm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

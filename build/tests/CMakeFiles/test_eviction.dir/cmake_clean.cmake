@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eviction.dir/test_eviction.cc.o"
+  "CMakeFiles/test_eviction.dir/test_eviction.cc.o.d"
+  "test_eviction"
+  "test_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

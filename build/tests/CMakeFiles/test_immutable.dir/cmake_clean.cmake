@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_immutable.dir/test_immutable.cc.o"
+  "CMakeFiles/test_immutable.dir/test_immutable.cc.o.d"
+  "test_immutable"
+  "test_immutable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_immutable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

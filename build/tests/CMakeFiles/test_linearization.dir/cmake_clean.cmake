@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linearization.dir/test_linearization.cc.o"
+  "CMakeFiles/test_linearization.dir/test_linearization.cc.o.d"
+  "test_linearization"
+  "test_linearization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linearization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

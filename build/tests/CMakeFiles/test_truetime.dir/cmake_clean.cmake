@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truetime.dir/test_truetime.cc.o"
+  "CMakeFiles/test_truetime.dir/test_truetime.cc.o.d"
+  "test_truetime"
+  "test_truetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
