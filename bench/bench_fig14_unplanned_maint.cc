@@ -28,12 +28,14 @@ int main() {
   WorkloadProfile profile = WorkloadProfile::Uniform(3000, 1024, 1.0);
   constexpr int kClients = 5;
   auto loaded = std::make_shared<sim::Notification>(sim);
+  std::vector<Client*> clients;
   std::vector<std::unique_ptr<LoadDriver>> drivers;
   std::vector<sim::Task<void>> tasks;
   for (int c = 0; c < kClients; ++c) {
     ClientConfig cc;
     cc.client_id = uint32_t(c + 1);
     Client* client = cell.AddClient(cc);
+    clients.push_back(client);
     LoadDriver::Options opts;
     opts.qps = 2000;
     opts.duration = sim::Seconds(240);
@@ -101,6 +103,37 @@ int main() {
                 double(bytes - prev_bytes) / 10.0, note);
     prev_bytes = bytes;
   }
+  // Fault/retry observability: how the client fleet and the repair plane
+  // absorbed the crash (the same counters the chaos harness asserts on).
+  int64_t retries = 0, op_timeouts = 0, backoffs = 0, backoff_ns = 0;
+  int64_t torn = 0, inquorate = 0, budget = 0;
+  for (const Client* c : clients) {
+    const ClientStats& s = c->stats();
+    retries += s.retries;
+    op_timeouts += s.op_timeouts;
+    backoffs += s.backoff_events;
+    backoff_ns += s.backoff_ns;
+    torn += s.torn_reads;
+    inquorate += s.inquorate;
+    budget += s.budget_exhausted;
+  }
+  const BackendStats bs = cell.AggregateBackendStats();
+  std::printf(
+      "\nFault/retry counters:\n"
+      "  client: retries=%lld op_timeouts=%lld torn_reads=%lld "
+      "inquorate=%lld budget_exhausted=%lld\n"
+      "  client: backoff_events=%lld backoff_total_ms=%.1f\n"
+      "  repair: pulls_sent=%lld pulls_served=%lld pull_failures=%lld "
+      "repairs_issued=%lld bump_versions=%lld bulk_installed=%lld\n",
+      static_cast<long long>(retries), static_cast<long long>(op_timeouts),
+      static_cast<long long>(torn), static_cast<long long>(inquorate),
+      static_cast<long long>(budget), static_cast<long long>(backoffs),
+      double(backoff_ns) / 1e6, static_cast<long long>(bs.repair_pulls_sent),
+      static_cast<long long>(bs.repair_pulls_served),
+      static_cast<long long>(bs.repair_pull_failures),
+      static_cast<long long>(bs.repairs_issued),
+      static_cast<long long>(bs.bump_versions),
+      static_cast<long long>(bs.bulk_installed));
   std::printf(
       "\nTakeaway check: a repair-RPC burst right after the restart window;\n"
       "GETs keep succeeding via the 2/3 quorum while degraded; latency\n"

@@ -158,29 +158,37 @@ void Backend::Start(uint32_t config_id) {
         return ExecuteScar(hi, lo, region, off, len);
       });
 
-  // RPC surface.
-  rpc_server_ = std::make_unique<rpc::RpcServer>(rpc_network_, host_);
-  auto bind = [this](auto method) {
-    return [this, method](ByteSpan req) -> sim::Task<StatusOr<Bytes>> {
-      return (this->*method)(req);
+  // RPC surface. The server object lives for the backend's lifetime and is
+  // only marked down across stop/crash windows: in-flight RpcChannel::Call
+  // coroutines (and suspended handler frames referencing the registered
+  // closures) may outlive an incarnation, so neither the server nor its
+  // method table may be destroyed while the simulation is running.
+  if (!rpc_server_) {
+    rpc_server_ = std::make_unique<rpc::RpcServer>(rpc_network_, host_);
+    auto bind = [this](auto method) {
+      return [this, method](ByteSpan req) -> sim::Task<StatusOr<Bytes>> {
+        return (this->*method)(req);
+      };
     };
-  };
-  rpc_server_->RegisterMethod(proto::kMethodSet, bind(&Backend::HandleSet));
-  rpc_server_->RegisterMethod(proto::kMethodErase,
-                              bind(&Backend::HandleErase));
-  rpc_server_->RegisterMethod(proto::kMethodCas, bind(&Backend::HandleCas));
-  rpc_server_->RegisterMethod(proto::kMethodGet, bind(&Backend::HandleGet));
-  rpc_server_->RegisterMethod(proto::kMethodTouch,
-                              bind(&Backend::HandleTouch));
-  rpc_server_->RegisterMethod(proto::kMethodInfo, bind(&Backend::HandleInfo));
-  rpc_server_->RegisterMethod(proto::kMethodRepairPull,
-                              bind(&Backend::HandleRepairPull));
-  rpc_server_->RegisterMethod(proto::kMethodGetByHash,
-                              bind(&Backend::HandleGetByHash));
-  rpc_server_->RegisterMethod(proto::kMethodBumpVersion,
-                              bind(&Backend::HandleBumpVersion));
-  rpc_server_->RegisterMethod(proto::kMethodInstallBulk,
-                              bind(&Backend::HandleInstallBulk));
+    rpc_server_->RegisterMethod(proto::kMethodSet, bind(&Backend::HandleSet));
+    rpc_server_->RegisterMethod(proto::kMethodErase,
+                                bind(&Backend::HandleErase));
+    rpc_server_->RegisterMethod(proto::kMethodCas, bind(&Backend::HandleCas));
+    rpc_server_->RegisterMethod(proto::kMethodGet, bind(&Backend::HandleGet));
+    rpc_server_->RegisterMethod(proto::kMethodTouch,
+                                bind(&Backend::HandleTouch));
+    rpc_server_->RegisterMethod(proto::kMethodInfo,
+                                bind(&Backend::HandleInfo));
+    rpc_server_->RegisterMethod(proto::kMethodRepairPull,
+                                bind(&Backend::HandleRepairPull));
+    rpc_server_->RegisterMethod(proto::kMethodGetByHash,
+                                bind(&Backend::HandleGetByHash));
+    rpc_server_->RegisterMethod(proto::kMethodBumpVersion,
+                                bind(&Backend::HandleBumpVersion));
+    rpc_server_->RegisterMethod(proto::kMethodInstallBulk,
+                                bind(&Backend::HandleInstallBulk));
+  }
+  rpc_server_->SetDown(false);
 
   serving_ = true;
 }
@@ -190,8 +198,9 @@ void Backend::Stop() {
   if (index_region_ != rma::kInvalidRegion) registry_.Revoke(index_region_);
   for (auto r : data_regions_) registry_.Revoke(r);
   rma_network_.Detach(host_);
-  if (rpc_server_) lifetime_rpc_bytes_ += rpc_server_->total_bytes();
-  rpc_server_.reset();
+  // Crash semantics without destruction (see Start): down servers answer
+  // nothing, so clients burn their connect timeout and back off.
+  if (rpc_server_) rpc_server_->SetDown(true);
   if (resize_done_) resize_done_->Notify();  // release stalled mutations
   if (grow_done_) grow_done_->Notify();      // release allocation waiters
 }
@@ -768,6 +777,7 @@ sim::Task<StatusOr<Bytes>> Backend::HandleInfo(ByteSpan) {
 }
 
 sim::Task<StatusOr<Bytes>> Backend::HandleRepairPull(ByteSpan req) {
+  ++stats_.repair_pulls_served;
   co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
   rpc::WireReader r(req);
   auto shard_filter = r.GetU32(proto::kTagFlags);
@@ -811,7 +821,9 @@ sim::Task<StatusOr<Bytes>> Backend::HandleGetByHash(ByteSpan req) {
     co_return NotFoundError("hash not resident");
   }
   IndexEntry e = ReadEntry(it->second.bucket, it->second.way);
-  auto view = DecodeDataEntry(ReadData(e.pointer));
+  // The view aliases `raw`; keep it alive until the response is serialized.
+  Bytes raw = ReadData(e.pointer);
+  auto view = DecodeDataEntry(raw);
   if (!view.ok()) co_return view.status();
   rpc::WireWriter w;
   w.PutString(proto::kTagKey, view->key);
@@ -1007,9 +1019,13 @@ sim::Task<void> Backend::RepairShardAgainstCohort(
     w.PutU32(proto::kTagFlags, shard);
     w.PutU32(proto::kTagRecordCount, n);
     rpc::RpcChannel ch(rpc_network_, host_, cohort[i]);
+    ++stats_.repair_pulls_sent;
     auto resp = co_await ch.Call(proto::kMethodRepairPull,
                                  std::move(w).Take(), sim::Seconds(1));
-    if (!resp.ok()) continue;  // peer unreachable
+    if (!resp.ok()) {
+      ++stats_.repair_pull_failures;
+      continue;  // peer unreachable
+    }
     rpc::WireReader rr(*resp);
     auto blob = rr.GetBytes(proto::kTagRecords);
     if (!blob) continue;
@@ -1085,9 +1101,9 @@ sim::Task<void> Backend::RepairKey(uint32_t shard, Hash128 hash,
       if (i == 0) {
         auto it = locations_.find(hash);
         if (it == locations_.end()) continue;
-        auto view = DecodeDataEntry(ReadData(ReadEntry(it->second.bucket,
-                                                       it->second.way)
-                                                 .pointer));
+        Bytes raw =
+            ReadData(ReadEntry(it->second.bucket, it->second.way).pointer);
+        auto view = DecodeDataEntry(raw);  // view aliases `raw`
         if (!view.ok()) continue;
         key = std::string(view->key);
         (void)co_await ApplyErase(key, fresh);
@@ -1143,8 +1159,9 @@ sim::Task<void> Backend::RepairKey(uint32_t shard, Hash128 hash,
       key = ov->first;
       value = ov->second.first;
     } else {
-      auto view = DecodeDataEntry(
-          ReadData(ReadEntry(it->second.bucket, it->second.way).pointer));
+      Bytes raw =
+          ReadData(ReadEntry(it->second.bucket, it->second.way).pointer);
+      auto view = DecodeDataEntry(raw);  // view aliases `raw`
       if (!view.ok()) co_return;
       key = std::string(view->key);
       value.assign(view->value.begin(), view->value.end());
@@ -1280,7 +1297,8 @@ sim::Task<Status> Backend::MigrateTo(net::HostId target_host) {
     auto it = locations_.find(hash);
     if (it == locations_.end()) continue;
     IndexEntry e = ReadEntry(it->second.bucket, it->second.way);
-    auto view = DecodeDataEntry(ReadData(e.pointer));
+    Bytes raw = ReadData(e.pointer);
+    auto view = DecodeDataEntry(raw);  // view aliases `raw`
     if (!view.ok()) continue;
     proto::AppendBulkRecord(batch, view->key, view->value, view->version);
     if (batch.size() >= kBatchBytes) {

@@ -85,6 +85,13 @@ struct BackendStats {
   int64_t repairs_issued = 0;
   int64_t bump_versions = 0;
   int64_t bulk_installed = 0;
+  // Repair-pull traffic (chaos observability): pulls this backend served as
+  // a cohort member, pulls it sent as the designated repairer, and sent
+  // pulls that failed (partition / fault injection) and left peers marked
+  // unreachable rather than empty.
+  int64_t repair_pulls_served = 0;
+  int64_t repair_pulls_sent = 0;
+  int64_t repair_pull_failures = 0;
 };
 
 class Backend {

@@ -220,6 +220,9 @@ BackendStats Cell::AggregateBackendStats() const {
     agg.repairs_issued += s.repairs_issued;
     agg.bump_versions += s.bump_versions;
     agg.bulk_installed += s.bulk_installed;
+    agg.repair_pulls_served += s.repair_pulls_served;
+    agg.repair_pulls_sent += s.repair_pulls_sent;
+    agg.repair_pull_failures += s.repair_pull_failures;
   };
   for (const auto& b : backends_) add(b->stats());
   for (const auto& s : spares_) add(s->stats());

@@ -17,6 +17,7 @@ Client::Client(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
       host_(host),
       config_host_(config_host),
       config_(config),
+      rng_(0x5eedC11E4DABull ^ (uint64_t{config.client_id} * 0x9E3779B97F4A7C15ull)),
       alive_(std::make_shared<bool>(true)) {}
 
 Client::~Client() { *alive_ = false; }
@@ -97,6 +98,7 @@ sim::Task<Status> Client::EnsureConnected(uint32_t shard) {
     conn.ways = *ways;
     conn.config_id = *config_id;
     conn.dead_until = 0;
+    conn.backoff_cur = 0;  // healthy again: reset the jitter state
     conn.ever_failed = false;
     co_return OkStatus();
   }
@@ -104,9 +106,22 @@ sim::Task<Status> Client::EnsureConnected(uint32_t shard) {
 }
 
 void Client::NoteReplicaFailure(uint32_t shard) {
-  conns_[shard].connected = false;
-  conns_[shard].dead_until = sim_.now() + config_.replica_backoff;
-  conns_[shard].ever_failed = true;
+  Conn& conn = conns_[shard];
+  conn.connected = false;
+  conn.ever_failed = true;
+  // Decorrelated jitter: sleep = min(cap, uniform[base, 3 * prev_sleep]).
+  // Grows toward the cap under persistent failure, and spreads a fleet of
+  // clients out so a recovering backend is not hit by a probe incast.
+  const sim::Duration base = config_.replica_backoff;
+  const sim::Duration prev = std::max(conn.backoff_cur, base);
+  const auto span = double(3 * prev - base);
+  const auto next = std::min<sim::Duration>(
+      config_.replica_backoff_max,
+      base + static_cast<sim::Duration>(rng_.NextDouble() * span));
+  conn.backoff_cur = next;
+  conn.dead_until = sim_.now() + next;
+  ++stats_.backoff_events;
+  stats_.backoff_ns += next;
   // A connection failure often means the serving task moved (migration,
   // spare promotion, restart): refresh the cell view in the background
   // while quorum reads keep being served by the healthy replicas (§7.2.3).
@@ -130,7 +145,8 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
   const Hash128 hash = config_.hash_fn(key);
 
   StatusOr<GetResult> result = DeadlineExceededError("retries exhausted");
-  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+  int attempt = 0;
+  for (; attempt <= config_.max_retries; ++attempt) {
     if (attempt > 0) ++stats_.retries;
     if (!view_valid_) {
       Status s = co_await RefreshConfig();
@@ -153,6 +169,26 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
       (void)co_await RefreshConfig();
     }
     if (code == StatusCode::kDeadlineExceeded) break;
+    // Full-jittered exponential backoff before the next attempt, bounded by
+    // both the configured cap and the remaining deadline. Without jitter,
+    // every client whose op raced the same fault retries at the same
+    // instant, turning one drop into a retry incast.
+    const sim::Duration cap = std::min<sim::Duration>(
+        config_.retry_backoff_max,
+        config_.retry_backoff_base << std::min(attempt, 10));
+    sim::Duration sleep = static_cast<sim::Duration>(
+        rng_.NextDouble() * double(cap));
+    sleep = std::min<sim::Duration>(sleep, deadline_at - sim_.now());
+    if (sleep > 0) {
+      ++stats_.backoff_events;
+      stats_.backoff_ns += sleep;
+      co_await sim_.Delay(sleep);
+    }
+  }
+  if (!result.ok() && result.status().code() != StatusCode::kNotFound &&
+      attempt > config_.max_retries) {
+    // The whole per-op retry budget was spent without success (§5.4).
+    ++stats_.budget_exhausted;
   }
 
   // Transparent decompression (stored values are marker-prefixed).
@@ -338,6 +374,10 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
         NoteReplicaFailure(vote.shard);
       } else if (vote.status.code() == StatusCode::kFailedPrecondition) {
         config_mismatch = true;
+      } else if (vote.status.code() == StatusCode::kDeadlineExceeded) {
+        // A lost RMA op (fault injection): the replica itself may be fine,
+        // so no replica backoff — the op-level retry loop handles it.
+        ++stats_.op_timeouts;
       }
       if (static_cast<int>(targets.size()) - failures < quorum) {
         // Quorum impossible this attempt.
@@ -492,6 +532,8 @@ sim::Task<StatusOr<GetResult>> Client::FetchData(const std::string& key,
     if (r.status().code() == StatusCode::kPermissionDenied) {
       ++stats_.window_errors;
       conns_[shard].connected = false;
+    } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.op_timeouts;
     }
     co_return r.status();
   }

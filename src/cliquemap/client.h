@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/rng.h"
 #include "cliquemap/config_service.h"
 #include "cliquemap/layout.h"
 #include "cliquemap/proto.h"
@@ -36,10 +37,19 @@ struct ClientConfig {
   LookupStrategy strategy = LookupStrategy::kAuto;
   sim::Duration op_deadline = sim::Milliseconds(10);
   int max_retries = 8;
-  // A replica that failed a connection is skipped for this long ("clients
-  // only send two out of three operations per GET, as they await
-  // reconnect", §7.2.3).
+  // A replica that failed a connection is skipped while it backs off
+  // ("clients only send two out of three operations per GET, as they await
+  // reconnect", §7.2.3). `replica_backoff` is the *base*: the actual skip
+  // interval uses decorrelated jitter in [base, replica_backoff_max], growing
+  // with consecutive failures, so a fleet of clients does not re-probe a
+  // recovering backend in lockstep (retry incast).
   sim::Duration replica_backoff = sim::Milliseconds(200);
+  sim::Duration replica_backoff_max = sim::Seconds(2);
+
+  // Between GET retry attempts under transient faults the client sleeps a
+  // full-jittered exponential backoff, bounded by the op deadline.
+  sim::Duration retry_backoff_base = sim::Microseconds(50);
+  sim::Duration retry_backoff_max = sim::Milliseconds(2);
 
   // Access recording (§4.2).
   sim::Duration touch_flush_interval = sim::Milliseconds(50);
@@ -83,6 +93,11 @@ struct ClientStats {
   int64_t config_refreshes = 0;
   int64_t rpc_fallback_gets = 0;
   int64_t touch_rpcs = 0;
+  // Fault/retry observability (chaos harness).
+  int64_t op_timeouts = 0;        // transport ops lost → completed by timeout
+  int64_t backoff_events = 0;     // jittered backoffs taken (retry + replica)
+  int64_t backoff_ns = 0;         // total time spent backing off
+  int64_t budget_exhausted = 0;   // ops that spent the whole retry budget
   int64_t compress_bytes_in = 0;   // raw value bytes offered to compression
   int64_t compress_bytes_out = 0;  // stored bytes after compression
   Histogram get_latency_ns;
@@ -138,6 +153,7 @@ class Client {
     uint32_t ways = 0;
     uint32_t config_id = 0;
     sim::Time dead_until = 0;   // backoff after connection failures
+    sim::Duration backoff_cur = 0;  // decorrelated-jitter state
     bool ever_failed = false;   // reconnects probe off the serving path
     bool probe_in_flight = false;
   };
@@ -192,6 +208,10 @@ class Client {
   net::HostId host_;
   net::HostId config_host_;
   ClientConfig config_;
+
+  // Client-private randomness for backoff jitter; seeded from client_id so
+  // runs stay deterministic while distinct clients desynchronize.
+  Rng rng_;
 
   CellView view_;
   bool view_valid_ = false;

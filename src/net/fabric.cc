@@ -71,6 +71,43 @@ sim::Task<void> Fabric::Transfer(HostId src, HostId dst,
   co_await sim_.WaitUntil(std::max(rx_end, tx_end + config_.base_rtt / 2));
 }
 
+sim::Task<MessageFate> Fabric::TransferFaulty(HostId src, HostId dst,
+                                              int64_t payload_bytes) {
+  assert(src < hosts_.size() && dst < hosts_.size());
+  MessageFate fate;
+  if (faults_ != nullptr) {
+    // A paused source NIC moves no bytes: the send begins after the stall.
+    const sim::Time resume = faults_->PausedUntil(sim_.now(), src);
+    if (resume > sim_.now()) {
+      faults_->NotePauseStall(sim_.now(), src);
+      co_await sim_.WaitUntil(resume);
+    }
+    fate = faults_->Roll(sim_.now(), src, dst);
+  }
+  const int64_t wire = WireBytes(payload_bytes);
+  const int64_t wire_total = fate.duplicate ? 2 * wire : wire;
+  auto [tx_start, tx_end] = hosts_[src]->tx().Reserve(sim_.now(), wire_total);
+  if (!fate.delivered) {
+    // Dropped / partition-blocked: the sender pays serialization, nothing
+    // reaches the receiver. The caller imposes its own timeout semantics.
+    co_await sim_.WaitUntil(tx_end);
+    co_return fate;
+  }
+  co_await sim_.WaitUntil(tx_start + config_.base_rtt / 2 + fate.extra_delay);
+  if (faults_ != nullptr) {
+    // A paused destination NIC cannot accept the frame train.
+    const sim::Time resume = faults_->PausedUntil(sim_.now(), dst);
+    if (resume > sim_.now()) {
+      faults_->NotePauseStall(sim_.now(), dst);
+      co_await sim_.WaitUntil(resume);
+    }
+  }
+  auto [rx_start, rx_end] = hosts_[dst]->rx().Reserve(sim_.now(), wire_total);
+  (void)rx_start;
+  co_await sim_.WaitUntil(std::max(rx_end, tx_end + config_.base_rtt / 2));
+  co_return fate;
+}
+
 int Fabric::StartAntagonist(HostId target, double gbps, bool tx_side,
                             bool rx_side, sim::Duration max_backlog) {
   auto a = std::make_shared<Antagonist>(

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/faults.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
@@ -86,8 +87,26 @@ class Fabric {
   // Books a one-way transfer; returns delivery (last byte at rx) time.
   sim::Time ReserveTransfer(HostId src, HostId dst, int64_t payload_bytes);
 
-  // Awaitable transfer: suspends the caller until delivery.
+  // Awaitable transfer: suspends the caller until delivery. Fault-blind
+  // (always delivers); serving paths use TransferFaulty instead.
   sim::Task<void> Transfer(HostId src, HostId dst, int64_t payload_bytes);
+
+  // Fault injection ------------------------------------------------------
+  // Attaches a fault plan; all subsequent TransferFaulty calls roll against
+  // it. Pass nullptr to stop injecting.
+  void InstallFaults(std::shared_ptr<FaultPlan> plan) {
+    faults_ = std::move(plan);
+  }
+  FaultPlan* faults() { return faults_.get(); }
+
+  // Awaitable transfer that consults the fault plan: the returned fate says
+  // whether the message was delivered, and whether its payload must be
+  // corrupted / was duplicated / was spike-delayed. A dropped or blocked
+  // message still pays tx serialization (the frame dies in the fabric);
+  // pauses stall the transfer on whichever side is paused. With no plan
+  // installed this is exactly Transfer().
+  sim::Task<MessageFate> TransferFaulty(HostId src, HostId dst,
+                                        int64_t payload_bytes);
 
   // Sustained background demand on a host's NIC (antagonist, §7.2.1). The
   // demand competes for tx and rx serialization with real traffic. When the
@@ -114,6 +133,7 @@ class Fabric {
   FabricConfig config_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::shared_ptr<Antagonist>> antagonists_;
+  std::shared_ptr<FaultPlan> faults_;
 };
 
 }  // namespace cm::net

@@ -27,7 +27,14 @@ sim::Task<StatusOr<Bytes>> HwRmaTransport::Read(net::HostId initiator,
   // Initiator NIC pipeline + command on the wire.
   stats_.initiator_nic_ns += config_.nic_pipeline_latency;
   co_await sim.Delay(config_.nic_pipeline_latency);
-  co_await fabric_.Transfer(initiator, target, config_.command_bytes);
+  net::MessageFate cmd =
+      co_await fabric_.TransferFaulty(initiator, target, config_.command_bytes);
+  if (!cmd.delivered || cmd.corrupt) {
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    co_return DeadlineExceededError("rma read command lost");
+  }
 
   // Target-side: pure hardware. DMA the payload over PCIe; the PCIe link is
   // a shared resource, so heavy op rates queue here (Fig 16's slight rise).
@@ -52,9 +59,19 @@ sim::Task<StatusOr<Bytes>> HwRmaTransport::Read(net::HostId initiator,
   }
   Bytes data = *std::move(mem);
 
-  co_await fabric_.Transfer(target, initiator,
-                            config_.response_header_bytes +
-                                static_cast<int64_t>(data.size()));
+  net::MessageFate resp = co_await fabric_.TransferFaulty(
+      target, initiator,
+      config_.response_header_bytes + static_cast<int64_t>(data.size()));
+  if (!resp.delivered) {
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    co_return DeadlineExceededError("rma read completion lost");
+  }
+  if (resp.corrupt && fabric_.faults() != nullptr && !data.empty()) {
+    ++stats_.corrupt_deliveries;
+    fabric_.faults()->CorruptBytes(data);
+  }
   hw_timestamps_.Record(sim.now() - hw_start);
   co_return data;
 }

@@ -27,6 +27,8 @@ struct HwRmaConfig {
   double pcie_gbps = 128.0;
   int64_t command_bytes = 64;
   int64_t response_header_bytes = 32;
+  // Completion timeout for commands/completions lost under fault injection.
+  sim::Duration op_timeout = sim::Milliseconds(1);
 
   static HwRmaConfig OneRma() { return HwRmaConfig{}; }
   static HwRmaConfig ClassicRdma() {

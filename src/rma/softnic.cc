@@ -61,7 +61,16 @@ sim::Task<StatusOr<Bytes>> SoftNicTransport::Read(net::HostId initiator,
   // Initiator engine prepares and posts the command.
   stats_.initiator_nic_ns += config_.initiator_op_cost;
   co_await sim.WaitUntil(engines(initiator).Reserve(config_.initiator_op_cost));
-  co_await fabric_.Transfer(initiator, target, config_.command_bytes);
+  net::MessageFate cmd =
+      co_await fabric_.TransferFaulty(initiator, target, config_.command_bytes);
+  if (!cmd.delivered || cmd.corrupt) {
+    // Lost in the fabric, or the target NIC's link CRC rejected the frame:
+    // either way no completion ever arrives and the op fails by timeout.
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    co_return DeadlineExceededError("rma read command lost");
+  }
 
   // Target engine executes the read against registered memory.
   stats_.target_nic_ns += config_.target_read_cost;
@@ -84,9 +93,21 @@ sim::Task<StatusOr<Bytes>> SoftNicTransport::Read(net::HostId initiator,
   }
   Bytes data = *std::move(mem);
 
-  co_await fabric_.Transfer(target, initiator,
-                            config_.response_header_bytes +
-                                static_cast<int64_t>(data.size()));
+  net::MessageFate resp = co_await fabric_.TransferFaulty(
+      target, initiator,
+      config_.response_header_bytes + static_cast<int64_t>(data.size()));
+  if (!resp.delivered) {
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    co_return DeadlineExceededError("rma read completion lost");
+  }
+  if (resp.corrupt && fabric_.faults() != nullptr && !data.empty()) {
+    // Payload bit flip below the link CRC (DMA/memory corruption): delivered
+    // as-is; only the client's end-to-end checksum can catch it (§5.1).
+    ++stats_.corrupt_deliveries;
+    fabric_.faults()->CorruptBytes(data);
+  }
   // Initiator engine processes the completion.
   stats_.initiator_nic_ns += config_.initiator_op_cost / 2;
   co_await sim.WaitUntil(
@@ -103,7 +124,14 @@ sim::Task<StatusOr<ScarResult>> SoftNicTransport::ScanAndRead(
 
   stats_.initiator_nic_ns += config_.initiator_op_cost;
   co_await sim.WaitUntil(engines(initiator).Reserve(config_.initiator_op_cost));
-  co_await fabric_.Transfer(initiator, target, config_.command_bytes);
+  net::MessageFate cmd =
+      co_await fabric_.TransferFaulty(initiator, target, config_.command_bytes);
+  if (!cmd.delivered || cmd.corrupt) {
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    co_return DeadlineExceededError("rma scar command lost");
+  }
 
   RmaHostState* host_state = rma_network_.Find(target);
   if (host_state == nullptr || !host_state->scar) {
@@ -127,10 +155,24 @@ sim::Task<StatusOr<ScarResult>> SoftNicTransport::ScanAndRead(
     co_return result.status();
   }
 
-  co_await fabric_.Transfer(
+  net::MessageFate resp = co_await fabric_.TransferFaulty(
       target, initiator,
       config_.response_header_bytes +
           static_cast<int64_t>(result->bucket.size() + result->data.size()));
+  if (!resp.delivered) {
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    co_return DeadlineExceededError("rma scar completion lost");
+  }
+  if (resp.corrupt && fabric_.faults() != nullptr) {
+    ++stats_.corrupt_deliveries;
+    if (!result->data.empty()) {
+      fabric_.faults()->CorruptBytes(result->data);
+    } else if (!result->bucket.empty()) {
+      fabric_.faults()->CorruptBytes(result->bucket);
+    }
+  }
   stats_.initiator_nic_ns += config_.initiator_op_cost / 2;
   co_await sim.WaitUntil(
       engines(initiator).Reserve(config_.initiator_op_cost / 2));
@@ -146,9 +188,17 @@ sim::Task<StatusOr<Bytes>> SoftNicTransport::Message(
 
   stats_.initiator_nic_ns += config_.initiator_op_cost;
   co_await sim.WaitUntil(engines(initiator).Reserve(config_.initiator_op_cost));
-  co_await fabric_.Transfer(
+  net::MessageFate cmd = co_await fabric_.TransferFaulty(
       initiator, target,
       config_.command_bytes + static_cast<int64_t>(payload.size()));
+  if (!cmd.delivered || cmd.corrupt) {
+    // Two-sided messaging carries a software checksum: a corrupted request
+    // is discarded at the receiver, indistinguishable from a drop.
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    co_return DeadlineExceededError("rma message request lost");
+  }
 
   // Engine receives the message, then must wake an application thread — the
   // overhead that makes MSG significantly costlier than SCAR (Fig 7).
@@ -164,9 +214,17 @@ sim::Task<StatusOr<Bytes>> SoftNicTransport::Message(
     co_return response.status();
   }
 
-  co_await fabric_.Transfer(
+  net::MessageFate resp = co_await fabric_.TransferFaulty(
       target, initiator,
       config_.response_header_bytes + static_cast<int64_t>(response->size()));
+  if (!resp.delivered || resp.corrupt) {
+    // The handler ran but the reply never reached the initiator: surfaces
+    // as a timeout, never as silent success.
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    co_return DeadlineExceededError("rma message response lost");
+  }
   stats_.initiator_nic_ns += config_.initiator_op_cost / 2;
   co_await sim.WaitUntil(
       engines(initiator).Reserve(config_.initiator_op_cost / 2));

@@ -26,6 +26,10 @@ struct SoftNicConfig {
   // Two-sided messaging: the engine must wake a server application thread.
   sim::Duration target_msg_wake_cost = sim::Microseconds(2);
 
+  // Completion timeout: a command or completion lost in the fabric (fault
+  // injection) surfaces as a failed op this long after the loss.
+  sim::Duration op_timeout = sim::Milliseconds(1);
+
   int max_engines = 4;
   sim::Duration scale_window = sim::Milliseconds(1);
   double scale_out_threshold = 0.80;   // window utilization to add an engine

@@ -69,6 +69,11 @@ struct RmaStats {
   int64_t scars = 0;
   int64_t messages = 0;
   int64_t failed_ops = 0;
+  // Fault-injection visibility: ops whose command/completion was lost and
+  // completed only by op_timeout, and payloads delivered with a bit flip
+  // (which only client-side validation can catch).
+  int64_t op_timeouts = 0;
+  int64_t corrupt_deliveries = 0;
   // NIC-level processing time consumed (software engines or hardware
   // pipeline), split by side. Figs 6b/7 report CPU-per-op from these.
   int64_t initiator_nic_ns = 0;

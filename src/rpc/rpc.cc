@@ -48,34 +48,61 @@ sim::Task<StatusOr<Bytes>> RpcChannel::Call(std::string method, Bytes request,
 
   const auto req_bytes =
       static_cast<int64_t>(request.size()) + costs_.header_bytes;
-  co_await fabric.Transfer(client_host_, server_host_, req_bytes);
+  net::MessageFate req_fate =
+      co_await fabric.TransferFaulty(client_host_, server_host_, req_bytes);
 
   RpcServer* server = network_.Find(server_host_);
-  if (server == nullptr || server->down()) {
-    // Crash semantics: nothing answers. The client burns its connect
-    // timeout (or the remaining deadline, whichever is smaller).
+  if (server == nullptr || server->down() || req_fate.partitioned) {
+    // Crash / partition semantics: nothing answers and the connection never
+    // establishes. The client burns its connect timeout (or the remaining
+    // deadline, whichever is smaller). Callers treat Unavailable as a dead
+    // replica and back off.
     sim::Duration wait = std::min(costs_.connect_timeout,
                                   std::max<sim::Duration>(
                                       deadline_at - sim.now(), 0));
     co_await sim.Delay(wait);
     co_return UnavailableError("server unreachable");
   }
+  if (!req_fate.delivered || req_fate.corrupt) {
+    // Mid-flight loss over an established connection (a corrupted frame is
+    // discarded by the transport CRC, indistinguishable from a drop): the
+    // call can only expire. Never silent success.
+    co_await sim.WaitUntil(deadline_at);
+    co_return DeadlineExceededError("rpc request lost");
+  }
 
-  server->total_bytes_ += req_bytes;
+  server->total_bytes_ += req_fate.duplicate ? 2 * req_bytes : req_bytes;
 
   // Server framework: dispatch, auth verification, unmarshal + marshal.
   co_await fabric.host(server_host_).cpu().Run(costs_.server_framework_cpu);
   StatusOr<Bytes> response =
       co_await server->Dispatch(client_host_, method, request);
+  if (req_fate.duplicate) {
+    // At-least-once delivery: the duplicated request is dispatched too and
+    // its result discarded. Version-gated mutations make the second apply a
+    // no-op; the server still pays the CPU.
+    co_await fabric.host(server_host_).cpu().Run(costs_.server_framework_cpu);
+    StatusOr<Bytes> dup = co_await server->Dispatch(client_host_, method,
+                                                    request);
+    (void)dup;
+  }
 
   int64_t resp_payload =
       response.ok() ? static_cast<int64_t>(response->size()) : 0;
   const int64_t resp_bytes = resp_payload + costs_.header_bytes;
   server->total_bytes_ += resp_bytes;
-  co_await fabric.Transfer(server_host_, client_host_, resp_bytes);
+  net::MessageFate resp_fate =
+      co_await fabric.TransferFaulty(server_host_, client_host_, resp_bytes);
 
   // Client receive path.
   co_await fabric.host(client_host_).cpu().Run(costs_.client_recv_cpu);
+  if (!resp_fate.delivered || resp_fate.corrupt || resp_fate.partitioned) {
+    // The server applied the call but the reply never arrived: the client
+    // observes only a deadline expiry (ambiguity is the point — retries must
+    // be idempotent / version-gated).
+    co_await sim.WaitUntil(deadline_at);
+    co_return DeadlineExceededError("rpc response lost");
+  }
 
   if (sim.now() > deadline_at) {
     co_return DeadlineExceededError("rpc deadline exceeded");

@@ -89,11 +89,15 @@ TEST_F(NetFixture, AntagonistInflatesLatency) {
 
   // A saturating ~95Gbps antagonist on b's 50Gbps rx (the paper's setup):
   // it maintains a standing queue that victim transfers wait behind.
-  fabric->StartAntagonist(b, 95.0, /*tx=*/false, /*rx=*/true);
+  const int ant = fabric->StartAntagonist(b, 95.0, /*tx=*/false, /*rx=*/true);
   sim.RunUntil(sim::Milliseconds(1));
   sim::Time start = sim.now();
   sim::Time loaded = fabric->ReserveTransfer(a, b, 64 * 1024);
   EXPECT_GT(loaded - start, 2 * clean);
+  // Let the antagonist observe the stop and retire (leak-free teardown
+  // under -DCM_SANITIZE=ON).
+  fabric->StopAntagonist(ant);
+  sim.RunUntil(sim.now() + sim::Microseconds(20));
 }
 
 TEST_F(NetFixture, StoppedAntagonistReleasesBandwidth) {

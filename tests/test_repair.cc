@@ -135,12 +135,65 @@ TEST_F(RepairFixture, EraseWinsOverStaleValueDuringRepair) {
             StatusCode::kNotFound);
 }
 
+TEST_F(RepairFixture, OneWayPartitionDoesNotReversionUnreachableHolder) {
+  Init();
+  const std::string key = KeyOnShard(0, "oneway-");
+  ASSERT_TRUE(RunOp(sim, client->Set(key, ToBytes("payload"))).ok());
+  const auto v2_before = cell->backend(2).LookupVersion(key);
+  ASSERT_TRUE(v2_before.has_value());
+
+  // Replica 1 goes dirty (restarted empty, no recovery) — the scan has a
+  // genuine repair to perform.
+  Backend& dirty = cell->backend(1);
+  dirty.Crash();
+  dirty.Start(cell->config_service().UpdateShard(1, dirty.host()));
+  dirty.SetConfigId(cell->config_service().view().shard_config_ids[1]);
+  ASSERT_FALSE(dirty.LookupVersion(key).has_value());
+
+  // One-way partition: the repairer (backend 0) cannot reach backend 2,
+  // though 2 could still reach 0. Backend 2 is healthy the whole time.
+  auto plan = std::make_shared<net::FaultPlan>(/*seed=*/7);
+  const sim::Time heal = sim.now() + sim::Seconds(30);
+  plan->AddPartition(cell->backend(0).host(), cell->backend(2).host(),
+                     sim.now(), heal);
+  cell->fabric().InstallFaults(plan);
+
+  RunOp(sim, [](Backend* b) -> sim::Task<Status> {
+    co_await b->RepairScanOnce();
+    co_return OkStatus();
+  }(&cell->backend(0)));
+
+  // The missing copy on 1 was reinstalled at the agreed version; the
+  // unreachable-but-healthy holder 2 was neither counted as missing nor
+  // re-versioned ("unreachable != empty", §5.4).
+  EXPECT_GT(cell->backend(0).stats().repair_pull_failures, 0);
+  auto v1 = cell->backend(1).LookupVersion(key);
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(*v1, *v2_before);
+  EXPECT_EQ(cell->backend(2).LookupVersion(key), v2_before);
+  EXPECT_EQ(cell->backend(2).stats().bump_versions, 0);
+
+  // After the partition heals, a rescan finds all three clean — still at
+  // the original version.
+  sim.RunUntil(heal + sim::Seconds(1));
+  RunOp(sim, [](Backend* b) -> sim::Task<Status> {
+    co_await b->RepairScanOnce();
+    co_return OkStatus();
+  }(&cell->backend(0)));
+  EXPECT_EQ(cell->backend(0).LookupVersion(key), v2_before);
+  EXPECT_EQ(cell->backend(1).LookupVersion(key), v2_before);
+  EXPECT_EQ(cell->backend(2).LookupVersion(key), v2_before);
+}
+
 TEST_F(RepairFixture, RepairLoopRunsPeriodically) {
   Init();
   cell->backend(0).StartRepairLoop(sim::Seconds(10));
   sim.RunUntil(sim.now() + sim::Seconds(35));
   EXPECT_GE(cell->backend(0).stats().repair_scans, 3);
   cell->backend(0).StopRepairLoop();
+  // Let the parked loop wake, observe the stop, and retire (keeps the
+  // test leak-free under -DCM_SANITIZE=ON).
+  sim.RunUntil(sim.now() + sim::Seconds(11));
 }
 
 // ---------------------------------------------------------------------------

@@ -268,14 +268,17 @@ TEST_F(RmaFixture, TornReadIsObservable) {
 TEST_F(RmaFixture, MessageChargesServerCpu) {
   SoftNicTransport t(fabric, rma_network);
   StatusOr<cm::Bytes> out = InternalError("never ran");
-  sim.Spawn([this, &t, &out]() -> sim::Task<void> {
+  // Pass state as coroutine parameters: a capturing lambda's closure dies
+  // at the end of this statement while the coroutine frame lives on.
+  sim.Spawn([](SoftNicTransport& t, net::HostId c, net::HostId s,
+               StatusOr<cm::Bytes>& out) -> sim::Task<void> {
     out = co_await t.Message(
-        client, server, cm::ToBytes("req"),
+        c, s, cm::ToBytes("req"),
         [](cm::ByteSpan req) -> sim::Task<StatusOr<cm::Bytes>> {
           co_return cm::Bytes(req.begin(), req.end());
         },
         sim::Microseconds(1));
-  }());
+  }(t, client, server, out));
   sim.Run();
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(cm::ToString(*out), "req");

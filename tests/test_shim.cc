@@ -34,6 +34,13 @@ struct ShimFixture : ::testing::Test {
     client = cell->AddClient();
     ASSERT_TRUE(RunOp(sim, client->Connect()).ok());
   }
+
+  void TearDown() override {
+    // ~LanguageShim wakes its serve loop through the event queue; drain it
+    // so the loop retires before the simulator dies (leak-free under
+    // -DCM_SANITIZE=ON).
+    sim.Run();
+  }
 };
 
 class ShimLangTest : public ShimFixture,
