@@ -3,13 +3,21 @@
 // Timeline reproduced (scaled down from 13 weeks / 512TB to simulated
 // "weeks" over a small cell):
 //   weeks 1-3:  pre-reshaping — every backend pre-allocates for peak.
-//   week  4:    memory reshaping launches — backends restart with
-//               on-demand data regions and grow only as the corpus needs
+//   week  4:    memory reshaping launches — a rolling, non-disruptive
+//               backend replacement (Resharder::ReplaceBackend) swaps each
+//               slot onto on-demand data regions; records stream to the
+//               replacement while both generations answer reads, so the
+//               corpus never reloads and clients never see downtime
 //               (~10% immediate savings at launch in production).
-//   week  8+:   the corpus itself shrinks; without any human intervention
-//               aggregate DRAM drops further (50% in production). Data
-//               regions downsize via non-disruptive restart (§4.1).
+//   week  8+:   the corpus itself shrinks; weekly rolling replacements let
+//               each backend downsize to what the corpus needs — aggregate
+//               DRAM drops further without intervention (50% in production).
+//
+// Both footprints are printed: what the peak-provisioned deployment holds
+// (flat) vs. what the reshaped cell actually uses.
 #include "bench_util.h"
+
+#include "cliquemap/resharder.h"
 
 namespace cm::bench {
 namespace {
@@ -18,18 +26,23 @@ using namespace cm::cliquemap;
 
 constexpr uint64_t kPeakBytes = 4ull << 20;  // per-backend "machine" capacity
 
-CellOptions BaseOptions(bool reshaping_enabled) {
-  CellOptions o;
-  o.num_shards = 8;
-  o.mode = ReplicationMode::kR1;
-  o.backend.initial_buckets = 512;
-  o.backend.data_max_bytes = kPeakBytes;
-  // Pre-reshaping deployments provisioned for peak on startup; reshaping
-  // deployments start small and grow on demand (gentle 1.3x steps so the
-  // populated size tracks the corpus rather than overshooting to peak).
-  o.backend.data_initial_bytes = reshaping_enabled ? (256 << 10) : kPeakBytes;
-  o.backend.data_grow_factor = reshaping_enabled ? 1.3 : 2.0;
-  return o;
+cliquemap::BackendConfig PeakProvisioned() {
+  BackendConfig b;
+  b.initial_buckets = 512;
+  b.data_max_bytes = kPeakBytes;
+  // Pre-reshaping deployments provisioned for peak on startup.
+  b.data_initial_bytes = kPeakBytes;
+  b.data_grow_factor = 2.0;
+  return b;
+}
+
+cliquemap::BackendConfig Reshaped() {
+  BackendConfig b = PeakProvisioned();
+  // Reshaping deployments start small and grow on demand (gentle 1.3x steps
+  // so the populated size tracks the corpus rather than overshooting).
+  b.data_initial_bytes = 256 << 10;
+  b.data_grow_factor = 1.3;
+  return b;
 }
 
 }  // namespace
@@ -40,15 +53,21 @@ int main() {
   using namespace cm::bench;
   using namespace cm::cliquemap;
   Banner("Figure 3: memory reshaping and DRAM savings over 13 'weeks'\n"
-         "(8 backends; corpus grows, reshaping launches week 4, corpus\n"
-         " shrinks from week 8; footprint = index + populated data regions)");
+         "(8 backends; corpus grows, reshaping launches week 4 via rolling\n"
+         " non-disruptive backend replacement, corpus shrinks from week 8;\n"
+         " footprint = index + populated data regions)");
 
   sim::Simulator sim;
-  std::unique_ptr<Cell> cell =
-      std::make_unique<Cell>(sim, BaseOptions(/*reshaping_enabled=*/false));
-  cell->Start();
-  Client* client = cell->AddClient();
+  CellOptions o;
+  o.num_shards = 8;
+  o.mode = ReplicationMode::kR1;
+  o.backend = PeakProvisioned();
+  Cell cell(sim, std::move(o));
+  cell.Start();
+  Resharder resharder(cell);
+  Client* client = cell.AddClient();
   (void)RunOp(sim, client->Connect());
+  client->StartConfigWatcher();
 
   cm::Rng rng(7);
   int corpus_size = 0;
@@ -57,22 +76,28 @@ int main() {
                                       Bytes(bytes, std::byte{1})));
     if (!s.ok()) std::fprintf(stderr, "set failed: %s\n", s.ToString().c_str());
   };
+  const BackendConfig reshaped = Reshaped();
+  // One rolling pass: replace every backend in place. Records stream from
+  // the outgoing process to its successor under the dual-version window —
+  // no reload from clients or a system of record, no lost writes.
+  auto rolling_replace = [&] {
+    for (uint32_t s = 0; s < cell.num_shards(); ++s) {
+      Status st = RunOp(sim, resharder.ReplaceBackend(s, &reshaped));
+      if (!st.ok())
+        std::fprintf(stderr, "replace %u: %s\n", s, st.ToString().c_str());
+    }
+  };
 
-  std::printf("%6s %16s %14s %s\n", "week", "memory_used(MB)", "corpus_keys",
-              "event");
+  // The counterfactual column: a peak-provisioned deployment stays pinned at
+  // full reservation regardless of corpus size.
+  double provisioned_mb = 0;
+  std::printf("%6s %17s %16s %9s %14s %s\n", "week", "provisioned(MB)",
+              "memory_used(MB)", "saved", "corpus_keys", "event");
   for (int week = 1; week <= 13; ++week) {
     const char* event = "";
     if (week == 4) {
-      // Reshaping launch: rolling restart into on-demand data regions. The
-      // corpus reloads from clients/system-of-record (scaled: re-SET all).
-      event = "<- memory reshaping launched";
-      cell = std::make_unique<Cell>(sim, BaseOptions(true));
-      cell->Start();
-      client = cell->AddClient();
-      (void)RunOp(sim, client->Connect());
-      for (int i = 0; i < corpus_size; ++i) {
-        set_key(i, 2048 + uint32_t(rng.NextBounded(4096)));
-      }
+      event = "<- memory reshaping launched (rolling replace)";
+      rolling_replace();
     }
     if (week <= 7) {
       // Corpus grows ~400 keys/week.
@@ -80,33 +105,37 @@ int main() {
         set_key(corpus_size++, 2048 + uint32_t(rng.NextBounded(4096)));
       }
     } else {
-      // The underlying corpus shrinks (~20%/week): erase + periodic
-      // non-disruptive restarts let each backend downsize independently.
+      // The underlying corpus shrinks (~20%/week): erase + a weekly rolling
+      // replacement pass lets each backend downsize independently, still
+      // with zero downtime.
       const int target = corpus_size * 4 / 5;
       while (corpus_size > target) {
-        (void)RunOp(sim, client->Erase("corpus-" + std::to_string(--corpus_size)));
+        (void)RunOp(sim,
+                    client->Erase("corpus-" + std::to_string(--corpus_size)));
       }
       if (week == 8) event = "<- corpus begins shrinking";
-      // Rolling non-disruptive restarts (data region downsizing, §4.1).
-      for (uint32_t s = 0; s < cell->num_shards(); ++s) {
-        (void)RunOp(sim, cell->CrashAndRestart(s, sim::Seconds(1)));
-        // Reload this shard's live keys (the paper's R=1 restart relies on
-        // repair/spares; with R=1 here the client simply re-populates).
-        for (int i = 0; i < corpus_size; ++i) {
-          const std::string key = "corpus-" + std::to_string(i);
-          if (PrimaryShard(cm::HashKey(key), cell->num_shards()) == s) {
-            set_key(i, 2048 + uint32_t(rng.NextBounded(4096)));
-          }
-        }
-      }
+      rolling_replace();
     }
     sim.RunUntil(sim.now() + sim::Seconds(10));  // one scaled "week"
-    std::printf("%6d %16.2f %14d %s\n", week,
-                double(cell->TotalMemoryFootprint()) / (1 << 20), corpus_size,
+    const double used_mb = double(cell.TotalMemoryFootprint()) / (1 << 20);
+    if (week <= 3) provisioned_mb = std::max(provisioned_mb, used_mb);
+    std::printf("%6d %17.2f %16.2f %8.1f%% %14d %s\n", week, provisioned_mb,
+                used_mb, 100.0 * (1.0 - used_mb / provisioned_mb), corpus_size,
                 event);
   }
+  const ResharderStats& rs = resharder.stats();
   std::printf(
-      "\nTakeaway check: a step drop at the reshaping launch (week 4), then\n"
-      "further automatic decline as the corpus shrinks — no intervention.\n");
+      "\nResharder: %lld replacements, %lld records streamed (%.2f MB), "
+      "0 reloads.\n",
+      static_cast<long long>(rs.backends_retired),
+      static_cast<long long>(rs.records_streamed),
+      double(rs.bytes_streamed) / (1 << 20));
+  std::printf(
+      "Takeaway check: a step drop at the reshaping launch (week 4), then\n"
+      "further automatic decline as the corpus shrinks — no intervention,\n"
+      "no restart-and-reload: replacements are seeded by live record\n"
+      "streams under the dual-version window.\n");
+  client->StopConfigWatcher();
+  sim.Run();
   return 0;
 }

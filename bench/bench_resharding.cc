@@ -1,0 +1,206 @@
+// Live resharding under load: availability and latency through a scripted
+// grow -> up-replicate -> replace -> down-replicate -> shrink timeline.
+//
+// §4.1/§6: reconfigurations ride the dual-version window — both the old and
+// the new owners answer reads while records stream, writes land at the new
+// owners, and the previous generation is drained and released only after
+// commit. The series to eyeball: GET goodput stays flat and the error column
+// stays ~0 across every phase boundary, while the cell's footprint steps up
+// and back down with the topology.
+#include "bench_util.h"
+
+#include "cliquemap/resharder.h"
+
+int main() {
+  using namespace cm;
+  using namespace cm::bench;
+  using namespace cm::cliquemap;
+  using namespace cm::workload;
+  Banner("Live resharding: elastic timeline under open-loop load\n"
+         "(start 3 shards R=1; grow to 5, up-replicate to R=3.2, replace a\n"
+         " backend, down-replicate to R=1, shrink to 3 — all online)");
+
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 3;
+  o.mode = ReplicationMode::kR1;
+  o.backend.initial_buckets = 512;
+  o.backend.data_initial_bytes = 2 << 20;
+  o.backend.data_max_bytes = 32 << 20;
+  Cell cell(sim, std::move(o));
+  cell.Start();
+  Resharder resharder(cell);
+
+  WorkloadProfile profile = WorkloadProfile::Uniform(2000, 512, 0.9);
+  constexpr int kClients = 4;
+  constexpr int kWindows = 14;
+  auto loaded = std::make_shared<sim::Notification>(sim);
+  std::vector<Client*> clients;
+  std::vector<std::unique_ptr<LoadDriver>> drivers;
+  std::vector<sim::Task<void>> tasks;
+  for (int c = 0; c < kClients; ++c) {
+    ClientConfig cc;
+    cc.client_id = uint32_t(c + 1);
+    cc.config_watch_interval = sim::Milliseconds(10);
+    Client* client = cell.AddClient(cc);
+    clients.push_back(client);
+    LoadDriver::Options opts;
+    opts.qps = 1500;
+    opts.duration = sim::Seconds(kWindows);
+    opts.window = sim::Seconds(1);
+    opts.seed = uint64_t(c + 1);
+    drivers.push_back(std::make_unique<LoadDriver>(*client, profile, opts));
+    tasks.push_back([](Client* client, LoadDriver* d, bool preload,
+                       std::shared_ptr<sim::Notification> loaded) -> sim::Task<void> {
+      (void)co_await client->Connect();
+      client->StartConfigWatcher();
+      if (preload) {
+        Status s = co_await d->Preload();
+        if (!s.ok()) std::printf("preload: %s\n", s.ToString().c_str());
+        loaded->Notify();
+      } else {
+        co_await loaded->Wait();
+      }
+      co_await d->Run();
+    }(client, drivers.back().get(), c == 0, loaded));
+  }
+
+  // Scripted control plane: one reconfiguration every two seconds. Each row
+  // records the label and when it committed.
+  struct Event {
+    const char* label;
+    sim::Time at = 0;
+  };
+  auto events = std::make_shared<std::vector<Event>>();
+  tasks.push_back([](sim::Simulator& sim, Resharder* r,
+                     std::shared_ptr<std::vector<Event>> events) -> sim::Task<void> {
+    auto step = [&](const char* label, Status s) {
+      if (!s.ok()) std::printf("%s failed: %s\n", label, s.ToString().c_str());
+      events->push_back({label, sim.now()});
+    };
+    co_await sim.Delay(sim::Seconds(2));
+    step("grow 3->5", co_await r->Resize(5));
+    co_await sim.Delay(sim::Seconds(2));
+    step("up-replicate R=1->R=3.2", co_await r->SetReplication(ReplicationMode::kR32));
+    co_await sim.Delay(sim::Seconds(2));
+    step("replace backend 1", co_await r->ReplaceBackend(1));
+    co_await sim.Delay(sim::Seconds(2));
+    step("down-replicate R=3.2->R=1", co_await r->SetReplication(ReplicationMode::kR1));
+    co_await sim.Delay(sim::Seconds(2));
+    step("shrink 5->3", co_await r->Resize(3));
+  }(sim, &resharder, events));
+
+  // Footprint sampler: one reading mid-window, so event windows show the
+  // post-commit footprint rather than whatever the run ended at.
+  auto mem_series = std::make_shared<std::vector<uint64_t>>();
+  tasks.push_back([](sim::Simulator& sim, Cell* cell,
+                     std::shared_ptr<std::vector<uint64_t>> out) -> sim::Task<void> {
+    co_await sim.Delay(sim::Milliseconds(900));
+    for (int w = 0; w < kWindows; ++w) {
+      out->push_back(cell->TotalMemoryFootprint());
+      co_await sim.Delay(sim::Seconds(1));
+    }
+  }(sim, &cell, mem_series));
+
+  RunAll(sim, std::move(tasks));
+  for (Client* c : clients) c->StopConfigWatcher();
+  sim.Run();
+
+  // Per-window series: all drivers merged (Histogram::Merge), with the
+  // control-plane step that landed inside each window called out.
+  std::printf("%6s %9s %8s %9s %9s %8s %11s  %s\n", "t(s)", "GET/s",
+              "avail", "hit_rate", "p50_us", "p99_us", "mem(MB)", "event");
+  size_t max_windows = 0;
+  for (const auto& d : drivers)
+    max_windows = std::max(max_windows, d->windows().size());
+  struct PhaseAgg {
+    const char* label = "";
+    Histogram get_ns;
+    int64_t gets = 0, errors = 0, misses = 0;
+  };
+  std::vector<PhaseAgg> phases;
+  phases.emplace_back();
+  phases.back().label = "steady R=1 x3";
+  for (size_t w = 0; w < max_windows; ++w) {
+    Histogram get_ns;
+    int64_t gets = 0, errors = 0, misses = 0;
+    for (const auto& d : drivers) {
+      if (w >= d->windows().size()) continue;
+      get_ns.Merge(d->windows()[w].get_ns);
+      gets += d->windows()[w].gets;
+      errors += d->windows()[w].get_errors;
+      misses += d->windows()[w].misses;
+    }
+    const sim::Time w_start = sim::Time(w) * sim::Seconds(1);
+    const sim::Time w_end = w_start + sim::Seconds(1);
+    const char* note = "";
+    const uint64_t footprint = w < mem_series->size()
+                                   ? (*mem_series)[w]
+                                   : cell.TotalMemoryFootprint();
+    for (const Event& e : *events) {
+      if (e.at >= w_start && e.at < w_end) {
+        note = e.label;
+        phases.emplace_back();
+        phases.back().label = e.label;
+      }
+    }
+    PhaseAgg& agg = phases.back();
+    agg.get_ns.Merge(get_ns);
+    agg.gets += gets;
+    agg.errors += errors;
+    agg.misses += misses;
+    const double served = double(std::max<int64_t>(gets, 1));
+    std::printf("%6zu %9.0f %8.4f %9.4f %9.1f %8.1f %11.2f  %s\n", w,
+                double(gets), 1.0 - double(errors) / served,
+                1.0 - double(misses) / served,
+                get_ns.Percentile(0.50) / 1000.0,
+                get_ns.Percentile(0.99) / 1000.0,
+                double(footprint) / (1 << 20), note);
+  }
+
+  std::printf("\nPer-phase summary (windows merged per control-plane step):\n");
+  std::printf("%-28s %9s %8s %9s %9s %8s\n", "phase", "GETs", "avail",
+              "hit_rate", "p50_us", "p99_us");
+  for (const PhaseAgg& p : phases) {
+    const double served = double(std::max<int64_t>(p.gets, 1));
+    std::printf("%-28s %9lld %8.4f %9.4f %9.1f %8.1f\n", p.label,
+                static_cast<long long>(p.gets),
+                1.0 - double(p.errors) / served,
+                1.0 - double(p.misses) / served,
+                p.get_ns.Percentile(0.50) / 1000.0,
+                p.get_ns.Percentile(0.99) / 1000.0);
+  }
+
+  const ResharderStats& rs = resharder.stats();
+  std::printf(
+      "\nResharder: transitions=%lld/%lld backends_added=%lld retired=%lld\n"
+      "  streamed=%lld records (%.2f MB, %lld batches, %lld retries)\n"
+      "  repair_passes=%lld entries_dropped_at_gc=%lld\n",
+      static_cast<long long>(rs.transitions_committed),
+      static_cast<long long>(rs.transitions_started),
+      static_cast<long long>(rs.backends_added),
+      static_cast<long long>(rs.backends_retired),
+      static_cast<long long>(rs.records_streamed),
+      double(rs.bytes_streamed) / (1 << 20),
+      static_cast<long long>(rs.batches_sent),
+      static_cast<long long>(rs.batch_retries),
+      static_cast<long long>(rs.repair_passes),
+      static_cast<long long>(rs.entries_dropped));
+  int64_t prev_window_gets = 0, stale_rejects = 0, refreshes = 0;
+  for (const Client* c : clients) {
+    prev_window_gets += c->stats().prev_window_gets;
+    stale_rejects += c->stats().stale_generation_rejects;
+    refreshes += c->stats().config_refreshes;
+  }
+  std::printf(
+      "Clients: prev_window_gets=%lld stale_generation_rejects=%lld "
+      "config_refreshes=%lld\n",
+      static_cast<long long>(prev_window_gets),
+      static_cast<long long>(stale_rejects),
+      static_cast<long long>(refreshes));
+  std::printf(
+      "\nTakeaway check: availability stays ~1.0 and p99 moves only modestly\n"
+      "through all five reconfigurations; the footprint column steps with the\n"
+      "topology (5 shards > 3; R=3.2 > R=1) and returns to baseline.\n");
+  return 0;
+}

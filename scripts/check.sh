@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# One-command gate: tier-1 build + tests, then a sanitizer build running the
+# fault-injection (chaos) and elasticity (resharding) suites.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the sanitizer stage (tier-1 only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+echo "== tier-1: full ctest =="
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$FAST" == "1" ]]; then
+  echo "== done (fast mode: sanitizer stage skipped) =="
+  exit 0
+fi
+
+echo "== sanitizer (ASan/UBSan): build =="
+cmake -B build-asan -S . -DCM_SANITIZE=ON >/dev/null
+cmake --build build-asan -j
+
+echo "== sanitizer: chaos + resharding labels =="
+(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L 'chaos|resharding')
+
+echo "== all checks passed =="

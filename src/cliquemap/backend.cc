@@ -624,7 +624,7 @@ sim::Task<StatusOr<bool>> Backend::ApplyErase(std::string_view key,
     locations_.erase(hash);
     --live_entries_;
     eviction_->OnRemove(hash);
-    tombstones_.Record(hash, version);
+    tombstones_.Record(hash, version, key);
     ++stats_.erases_applied;
     co_return true;
   }
@@ -635,14 +635,14 @@ sim::Task<StatusOr<bool>> Backend::ApplyErase(std::string_view key,
       overflow_count_.erase(bucket);
       SetOverflowFlag(bucket, false);
     }
-    tombstones_.Record(hash, version);
+    tombstones_.Record(hash, version, key);
     ++stats_.erases_applied;
     co_return true;
   }
   // Erase of an absent key: still record the tombstone so late SETs cannot
   // restore an affirmatively-erased value (§5.2).
   if (version <= tombstones_.Floor(hash)) co_return false;
-  tombstones_.Record(hash, version);
+  tombstones_.Record(hash, version, key);
   ++stats_.erases_applied;
   co_return true;
 }
@@ -661,6 +661,25 @@ Bytes AppliedResponse(bool applied) {
 
 }  // namespace
 
+// Mutations stamped with a cell generation are fenced against the live
+// view: once the resharder bumps the generation (BeginTransition/Commit),
+// in-flight writes addressed under the old topology bounce with
+// kFailedPrecondition and the client re-routes after a config refresh.
+// Draining shards likewise bounce writes while continuing to serve reads.
+Status Backend::CheckMutationAdmissible(const rpc::WireReader& r) {
+  if (draining_) {
+    ++stats_.draining_rejects;
+    return FailedPreconditionError("shard draining");
+  }
+  auto gen = r.GetU32(proto::kTagGeneration);
+  if (gen && config_service_ != nullptr &&
+      *gen != config_service_->view().generation) {
+    ++stats_.stale_generation_rejects;
+    return FailedPreconditionError("stale generation");
+  }
+  return OkStatus();
+}
+
 sim::Task<StatusOr<Bytes>> Backend::HandleSet(ByteSpan req) {
   co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
   rpc::WireReader r(req);
@@ -670,6 +689,7 @@ sim::Task<StatusOr<Bytes>> Backend::HandleSet(ByteSpan req) {
   if (!key || !value || !version) {
     co_return InvalidArgumentError("Set: missing fields");
   }
+  if (Status s = CheckMutationAdmissible(r); !s.ok()) co_return s;
   auto applied = co_await ApplySet(ToString(*key), *value, *version,
                                    /*charge_write_time=*/true);
   if (!applied.ok()) co_return applied.status();
@@ -682,6 +702,7 @@ sim::Task<StatusOr<Bytes>> Backend::HandleErase(ByteSpan req) {
   auto key = r.GetBytes(proto::kTagKey);
   auto version = proto::GetVersion(r);
   if (!key || !version) co_return InvalidArgumentError("Erase: missing fields");
+  if (Status s = CheckMutationAdmissible(r); !s.ok()) co_return s;
   auto applied = co_await ApplyErase(ToString(*key), *version);
   if (!applied.ok()) co_return applied.status();
   co_return AppliedResponse(*applied);
@@ -697,6 +718,7 @@ sim::Task<StatusOr<Bytes>> Backend::HandleCas(ByteSpan req) {
   if (!key || !value || !version || !expected) {
     co_return InvalidArgumentError("Cas: missing fields");
   }
+  if (Status s = CheckMutationAdmissible(r); !s.ok()) co_return s;
   // CAS installs only when the stored version matches `expected` (§5.2).
   const Hash128 hash = config_.hash_fn(ToString(*key));
   const uint64_t bucket = BucketIndex(hash, num_buckets_);
@@ -955,9 +977,9 @@ std::vector<proto::RepairRecord> Backend::SnapshotRecords(
     if (PrimaryShard(hash, num_shards) != shard_filter) continue;
     out.push_back(proto::RepairRecord{hash, stored.second, false});
   }
-  for (const auto& [hash, version] : tombstones_.entries()) {
+  for (const auto& [hash, tomb] : tombstones_.entries()) {
     if (PrimaryShard(hash, num_shards) != shard_filter) continue;
-    out.push_back(proto::RepairRecord{hash, version, true});
+    out.push_back(proto::RepairRecord{hash, tomb.version, true});
   }
   return out;
 }
@@ -969,7 +991,10 @@ VersionNumber Backend::NewRepairVersion() {
 }
 
 sim::Task<void> Backend::RepairScanOnce(bool all_shards) {
-  if (!serving_ || config_service_ == nullptr) co_return;
+  // A draining (retiring) backend must not push its state back into the
+  // cell: its shard index may be stale or out of range under the new
+  // topology, and repair Sets carry no generation fence.
+  if (!serving_ || draining_ || config_service_ == nullptr) co_return;
   ++stats_.repair_scans;
   const CellView view = config_service_->view();
   const uint32_t n = view.num_shards();
@@ -1314,9 +1339,97 @@ sim::Task<Status> Backend::MigrateTo(net::HostId target_host) {
       if (!s.ok()) co_return s;
     }
   }
-  // Tombstone summary (exact tombstones lack keys; the summary bounds them).
+  // Exact keyed tombstones first — they can evict a stale record that is
+  // already present at the target, which a summary bound cannot.
+  for (const auto& [hash, tomb] : tombstones_.entries()) {
+    if (tomb.key.empty()) continue;
+    proto::AppendBulkRecord(batch, tomb.key, {}, tomb.version, true);
+    if (batch.size() >= kBatchBytes) {
+      Status s = co_await flush();
+      if (!s.ok()) co_return s;
+    }
+  }
+  // Tombstone summary (keyless tombstones; the summary bounds them).
   proto::AppendBulkRecord(batch, "", {}, tombstones_.WorstCaseSummary(), true);
   co_return co_await flush();
+}
+
+// ---------------------------------------------------------------------------
+// Resharding support
+// ---------------------------------------------------------------------------
+
+std::vector<proto::BulkRecord> Backend::SnapshotBulk() const {
+  std::vector<proto::BulkRecord> out;
+  out.reserve(locations_.size() + overflow_.size() + tombstones_.size());
+  for (const auto& [hash, loc] : locations_) {
+    IndexEntry e = ReadEntry(loc.bucket, loc.way);
+    Bytes raw = ReadData(e.pointer);
+    auto view = DecodeDataEntry(raw);  // view aliases `raw`
+    if (!view.ok()) continue;
+    proto::BulkRecord rec;
+    rec.key = std::string(view->key);
+    rec.value.assign(view->value.begin(), view->value.end());
+    rec.version = view->version;
+    out.push_back(std::move(rec));
+  }
+  for (const auto& [key, stored] : overflow_) {
+    proto::BulkRecord rec;
+    rec.key = key;
+    rec.value = stored.first;
+    rec.version = stored.second;
+    out.push_back(std::move(rec));
+  }
+  // Keyed tombstones travel as erased records so racing deletes cannot be
+  // resurrected by a concurrent stream from another source. Keyless
+  // tombstones are deliberately NOT summarized here: resharding streams are
+  // placement-filtered, and a worst-case summary would fence unrelated keys.
+  for (const auto& [hash, tomb] : tombstones_.entries()) {
+    if (tomb.key.empty()) continue;
+    proto::BulkRecord rec;
+    rec.key = tomb.key;
+    rec.version = tomb.version;
+    rec.erased = true;
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+size_t Backend::DropNonOwned(const CellView& view) {
+  const uint32_t n = view.num_shards();
+  if (n == 0) return 0;
+  const int replicas = ReplicaCount(view.mode);
+  auto owned = [&](const Hash128& hash) {
+    const uint32_t primary = PrimaryShard(hash, n);
+    for (int r = 0; r < replicas; ++r) {
+      if (ReplicaShard(primary, r, n) == shard_) return true;
+    }
+    return false;
+  };
+
+  size_t dropped = 0;
+  std::vector<Hash128> victims;
+  for (const auto& [hash, loc] : locations_) {
+    if (!owned(hash)) victims.push_back(hash);
+  }
+  for (const Hash128& hash : victims) {
+    if (EvictKey(hash)) ++dropped;
+  }
+  std::vector<std::string> overflow_victims;
+  for (const auto& [key, stored] : overflow_) {
+    if (!owned(config_.hash_fn(key))) overflow_victims.push_back(key);
+  }
+  for (const std::string& key : overflow_victims) {
+    const Hash128 hash = config_.hash_fn(key);
+    const uint64_t bucket = BucketIndex(hash, num_buckets_);
+    overflow_.erase(key);
+    if (--overflow_count_[bucket] <= 0) {
+      overflow_count_.erase(bucket);
+      SetOverflowFlag(bucket, false);
+    }
+    ++dropped;
+  }
+  stats_.entries_dropped += static_cast<int64_t>(dropped);
+  return dropped;
 }
 
 uint64_t Backend::index_bytes() const { return index_ ? index_->size() : 0; }

@@ -92,6 +92,12 @@ struct BackendStats {
   int64_t repair_pulls_served = 0;
   int64_t repair_pulls_sent = 0;
   int64_t repair_pull_failures = 0;
+  // Elasticity (resharding) counters: mutations bounced for carrying a
+  // stale cell generation or landing on a draining shard, and records
+  // dropped by the post-commit ownership GC.
+  int64_t stale_generation_rejects = 0;
+  int64_t draining_rejects = 0;
+  int64_t entries_dropped = 0;
 };
 
 class Backend {
@@ -121,6 +127,16 @@ class Backend {
   // rewrites bucket headers.
   void SetConfigId(uint32_t config_id);
 
+  // Drain mode (resharding): reads keep being served, but new mutations are
+  // rejected with kFailedPrecondition and the periodic repair scan stands
+  // down (a retiring shard must not push its state back into the cell).
+  void SetDraining(bool draining) { draining_ = draining; }
+  bool draining() const { return draining_; }
+
+  // Reassigns which shard this backend serves (resharding cutover; the
+  // caller is responsible for streaming the right records in).
+  void SetShard(uint32_t shard) { shard_ = shard; }
+
   // Background repair (§5.4) -------------------------------------------
   // Scans cohorts for dirty quorums and repairs them. Periodic scans cover
   // only the shard this backend is primary for — one deterministic
@@ -137,6 +153,18 @@ class Backend {
   // Streams the full contents (and tombstones) to the backend at
   // `target_host` via InstallBulk RPCs. Used for warm-spare handoff.
   sim::Task<Status> MigrateTo(net::HostId target_host);
+
+  // Resharding support ---------------------------------------------------
+  // Snapshots every live record (index + overflow) plus every still-cached
+  // keyed tombstone as bulk records. Unlike MigrateTo this does NOT emit a
+  // summary record: resharding streams are placement-filtered per
+  // destination, and a worst-case summary would wrongly fence unrelated
+  // keys at the target.
+  std::vector<proto::BulkRecord> SnapshotBulk() const;
+  // Drops every record this backend no longer owns under `view` (after a
+  // commit): keys whose new placement excludes this backend's shard.
+  // Returns the number of records dropped.
+  size_t DropNonOwned(const CellView& view);
 
   // Introspection -------------------------------------------------------
   net::HostId host() const { return host_; }
@@ -177,6 +205,11 @@ class Backend {
   sim::Task<StatusOr<Bytes>> HandleGetByHash(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleBumpVersion(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleInstallBulk(ByteSpan req);
+
+  // Rejects client mutations that carry a stale cell generation or land on
+  // a draining shard (resharding window). Requests without a generation tag
+  // (repair, bulk install, loaders) bypass the check.
+  Status CheckMutationAdmissible(const rpc::WireReader& r);
 
   // Core mutation paths --------------------------------------------------
   // Returns kOk and the applied flag; enforces version monotonicity against
@@ -252,6 +285,7 @@ class Backend {
   Rng rng_;
 
   bool serving_ = false;
+  bool draining_ = false;
   uint32_t config_id_ = 0;
   uint64_t incarnation_ = 0;
   uint32_t repair_seq_ = 0;

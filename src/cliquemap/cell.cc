@@ -1,5 +1,7 @@
 #include "cliquemap/cell.h"
 
+#include <cassert>
+
 namespace cm::cliquemap {
 
 Cell::Cell(sim::Simulator& sim, CellOptions options)
@@ -95,12 +97,47 @@ Client* Cell::AddClientOnHost(net::HostId host, ClientConfig config) {
   return clients_.back().get();
 }
 
+Backend* Cell::AddBackendForShard(uint32_t shard, uint32_t config_id,
+                                  const BackendConfig* config_override) {
+  const net::HostId host = fabric_->AddHost(options_.backend_host);
+  BackendConfig cfg = config_override ? *config_override : options_.backend;
+  cfg.seed = options_.seed + 50000 + ++elastic_seq_;
+  cfg.hash_fn = options_.hash_fn;
+  auto fresh = std::make_unique<Backend>(*fabric_, *rpc_network_,
+                                         *rma_network_, *truetime_, host,
+                                         config_service_.get(), shard, cfg);
+  fresh->Start(config_id);
+  Backend* raw = fresh.get();
+  if (shard < backends_.size()) {
+    // Replacement: the displaced backend keeps serving from the graveyard
+    // until the resharder drains and stops it.
+    retired_.push_back(std::move(backends_[shard]));
+    backends_[shard] = std::move(fresh);
+  } else {
+    assert(shard == backends_.size() && "shards grow contiguously");
+    backends_.push_back(std::move(fresh));
+  }
+  return raw;
+}
+
+std::vector<Backend*> Cell::RetireShardsAbove(uint32_t new_n) {
+  std::vector<Backend*> retirees;
+  while (backends_.size() > new_n) {
+    retirees.push_back(backends_.back().get());
+    retired_.push_back(std::move(backends_.back()));
+    backends_.pop_back();
+  }
+  return retirees;
+}
+
 sim::Task<Status> Cell::LoadImmutable(
     std::vector<std::pair<std::string, Bytes>> corpus) {
   // The loader acts as a bulk client of record: one InstallBulk batch per
   // replica backend, partitioned by shard placement.
-  const uint32_t n = options_.num_shards;
-  const int replicas = ReplicaCount(options_.mode);
+  const uint32_t n = num_shards();
+  const ReplicationMode mode =
+      config_service_ ? config_service_->view().mode : options_.mode;
+  const int replicas = ReplicaCount(mode);
   const net::HostId loader = fabric_->AddHost(options_.client_host);
   std::vector<Bytes> batches(n);
   VersionNumber load_version{truetime_->NowMicros(loader), 0x10ADu, 1};
@@ -192,10 +229,14 @@ int64_t Cell::TotalRpcBytes() const {
   int64_t total = 0;
   for (const auto& b : backends_) total += b->lifetime_rpc_bytes();
   for (const auto& s : spares_) total += s->lifetime_rpc_bytes();
+  for (const auto& r : retired_) total += r->lifetime_rpc_bytes();
   return total;
 }
 
 uint64_t Cell::TotalMemoryFootprint() const {
+  // Retired backends are excluded: a stopped retiree has returned its DRAM
+  // to the fleet, and a still-draining one is double-counted capacity the
+  // cell is about to give back — the Fig 3 footprint tracks the live shape.
   uint64_t total = 0;
   for (const auto& b : backends_) total += b->memory_footprint();
   return total;
@@ -223,9 +264,13 @@ BackendStats Cell::AggregateBackendStats() const {
     agg.repair_pulls_served += s.repair_pulls_served;
     agg.repair_pulls_sent += s.repair_pulls_sent;
     agg.repair_pull_failures += s.repair_pull_failures;
+    agg.stale_generation_rejects += s.stale_generation_rejects;
+    agg.draining_rejects += s.draining_rejects;
+    agg.entries_dropped += s.entries_dropped;
   };
   for (const auto& b : backends_) add(b->stats());
   for (const auto& s : spares_) add(s->stats());
+  for (const auto& r : retired_) add(r->stats());
   return agg;
 }
 

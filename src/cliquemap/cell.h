@@ -75,6 +75,22 @@ class Cell {
   sim::Task<Status> CrashAndRestart(uint32_t shard, sim::Duration downtime);
   void CrashShard(uint32_t shard) { backends_[shard]->Crash(); }
 
+  // Elasticity (resharding) ------------------------------------------------
+  // Brings up a brand-new backend on a fresh host, already serving with
+  // `config_id` stamped in its buckets. If `shard` indexes an existing slot
+  // the old occupant moves to the retired graveyard (still serving — the
+  // resharder drains and stops it); if `shard` == num_shards() the cell
+  // grows by one slot. A non-null `config_override` customizes the new
+  // backend (e.g. fig03's reshaping-enabled geometry).
+  Backend* AddBackendForShard(uint32_t shard, uint32_t config_id,
+                              const BackendConfig* config_override = nullptr);
+  // Moves every backend slot >= new_n to the retired graveyard (they keep
+  // serving until the resharder drains them). Returns the retirees.
+  std::vector<Backend*> RetireShardsAbove(uint32_t new_n);
+  const std::vector<std::unique_ptr<Backend>>& retired() const {
+    return retired_;
+  }
+
   // Accessors -------------------------------------------------------------
   sim::Simulator& simulator() { return sim_; }
   net::Fabric& fabric() { return *fabric_; }
@@ -87,7 +103,11 @@ class Cell {
   ConfigService& config_service() { return *config_service_; }
   Backend& backend(uint32_t shard) { return *backends_[shard]; }
   Backend& spare(int i) { return *spares_[i]; }
-  uint32_t num_shards() const { return options_.num_shards; }
+  // Live shard count — tracks elastic resizes, unlike options().num_shards
+  // which is only the construction-time shape.
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(backends_.size());
+  }
   const CellOptions& options() const { return options_; }
   const std::vector<Client*>& clients() const { return client_ptrs_; }
 
@@ -111,6 +131,11 @@ class Cell {
   std::unique_ptr<ConfigService> config_service_;
   std::vector<std::unique_ptr<Backend>> backends_;
   std::vector<std::unique_ptr<Backend>> spares_;
+  // Backends displaced by resharding. They stay allocated for the life of
+  // the cell (their RpcServers must survive in-flight calls) but stopped
+  // retirees drop their memory regions and leave the footprint sum.
+  std::vector<std::unique_ptr<Backend>> retired_;
+  uint64_t elastic_seq_ = 0;
   std::vector<bool> spare_busy_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<Client*> client_ptrs_;

@@ -106,6 +106,9 @@ sim::Task<Status> Client::EnsureConnected(uint32_t shard) {
 }
 
 void Client::NoteReplicaFailure(uint32_t shard) {
+  // The cell may have shrunk (resharding) while the failing op was in
+  // flight; there is no connection state left to back off.
+  if (shard >= conns_.size()) return;
   Conn& conn = conns_[shard];
   conn.connected = false;
   conn.ever_failed = true;
@@ -155,8 +158,31 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
         break;
       }
     }
+    const uint32_t gen_at_attempt = view_.generation;
     result = co_await GetOnce(key, hash, deadline_at);
-    if (result.ok() || result.status().code() == StatusCode::kNotFound) break;
+    if (result.ok()) break;
+    if (result.status().code() == StatusCode::kNotFound) {
+      // Dual-version window: a miss under the new topology may just be a
+      // record that hasn't streamed over from its previous owner yet —
+      // both generations answer reads while the window is open.
+      if (config_.prev_fallback && view_valid_ && view_.transition) {
+        auto prev = co_await PrevWindowGet(key, hash, deadline_at);
+        if (prev.ok()) {
+          ++stats_.prev_window_gets;
+          result = std::move(prev);
+        }
+        break;  // hit via the previous owners, or absent in both topologies
+      }
+      // The topology moved underneath this attempt (a commit raced the
+      // read): the absence verdict was formed against owners that may no
+      // longer hold the key. Re-read under the fresh view instead of
+      // reporting a miss.
+      if (view_valid_ && view_.generation != gen_at_attempt &&
+          sim_.now() < deadline_at) {
+        continue;
+      }
+      break;
+    }
     if (sim_.now() >= deadline_at) {
       result = DeadlineExceededError("get deadline exceeded");
       break;
@@ -189,6 +215,22 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
       attempt > config_.max_retries) {
     // The whole per-op retry budget was spent without success (§5.4).
     ++stats_.budget_exhausted;
+  }
+
+  // Dual-version window (resharding): a miss under the new topology may
+  // just be a record that hasn't streamed over from its previous owner yet.
+  // Consult the old owners before declaring a miss — both generations
+  // answer reads while the window is open.
+  // Any failure class qualifies: a clean miss, an inquorate vote, or a
+  // deadline burned retrying against replicas that are still being seeded
+  // all mean the same thing — the new owners cannot answer yet.
+  if (!result.ok() && config_.prev_fallback && view_valid_ &&
+      view_.transition) {
+    auto prev = co_await PrevWindowGet(key, hash, deadline_at);
+    if (prev.ok()) {
+      ++stats_.prev_window_gets;
+      result = std::move(prev);
+    }
   }
 
   // Transparent decompression (stored values are marker-prefixed).
@@ -368,7 +410,9 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
       ++failures;
       if (vote.status.code() == StatusCode::kPermissionDenied) {
         ++stats_.window_errors;
-        conns_[vote.shard].connected = false;  // re-handshake next attempt
+        if (vote.shard < conns_.size()) {
+          conns_[vote.shard].connected = false;  // re-handshake next attempt
+        }
       } else if (vote.status.code() == StatusCode::kUnavailable ||
                  vote.status.code() == StatusCode::kUnimplemented) {
         NoteReplicaFailure(vote.shard);
@@ -464,6 +508,11 @@ sim::Task<void> Client::FetchIndex(
   IndexVote vote;
   vote.replica = replica;
   vote.shard = shard;
+  if (shard >= conns_.size()) {  // cell shrank since targets were chosen
+    vote.status = UnavailableError("cell shrank");
+    votes->Send(std::move(vote));
+    co_return;
+  }
   const Conn conn = conns_[shard];  // copy: conns_ may be invalidated
 
   co_await fabric_.host(host_).cpu().Run(config_.issue_cpu);
@@ -501,6 +550,11 @@ sim::Task<void> Client::FetchIndex(
     co_return;
   }
   const BucketHeader header = DecodeBucketHeader(bucket_bytes);
+  if (shard >= view_.num_shards()) {  // view refreshed across the await
+    vote.status = FailedPreconditionError("bucket config id mismatch");
+    votes->Send(std::move(vote));
+    co_return;
+  }
   if (header.config_id != view_.shard_config_ids[shard]) {
     // The serving task changed underneath us (migration/spare, §6.1).
     vote.status = FailedPreconditionError("bucket config id mismatch");
@@ -524,6 +578,7 @@ sim::Task<void> Client::FetchIndex(
 sim::Task<StatusOr<GetResult>> Client::FetchData(const std::string& key,
                                                  Hash128 hash, uint32_t shard,
                                                  IndexEntry entry) {
+  if (shard >= conns_.size()) co_return UnavailableError("cell shrank");
   const Conn conn = conns_[shard];
   co_await fabric_.host(host_).cpu().Run(config_.issue_cpu);
   auto r = co_await transport_->Read(host_, conn.host, entry.pointer.region,
@@ -531,7 +586,7 @@ sim::Task<StatusOr<GetResult>> Client::FetchData(const std::string& key,
   if (!r.ok()) {
     if (r.status().code() == StatusCode::kPermissionDenied) {
       ++stats_.window_errors;
-      conns_[shard].connected = false;
+      if (shard < conns_.size()) conns_[shard].connected = false;
     } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
       ++stats_.op_timeouts;
     }
@@ -567,6 +622,7 @@ sim::Task<StatusOr<GetResult>> Client::GetViaRpc(const std::string& key,
                                                  uint32_t shard,
                                                  sim::Time deadline_at) {
   ++stats_.rpc_fallback_gets;
+  if (shard >= view_.num_shards()) co_return UnavailableError("cell shrank");
   const sim::Duration remaining = deadline_at - sim_.now();
   if (remaining <= 0) co_return DeadlineExceededError("rpc get");
   rpc::WireWriter w;
@@ -580,6 +636,48 @@ sim::Task<StatusOr<GetResult>> Client::GetViaRpc(const std::string& key,
   auto version = proto::GetVersion(r);
   if (!value || !version) co_return InternalError("malformed Get response");
   co_return GetResult{Bytes(value->begin(), value->end()), *version};
+}
+
+sim::Task<StatusOr<GetResult>> Client::PrevWindowGet(const std::string& key,
+                                                     const Hash128& hash,
+                                                     sim::Time deadline_at) {
+  // Snapshot the view: it may refresh (and drop the prev topology) while we
+  // are suspended in an RPC below.
+  const CellView view = view_;
+  if (!view.transition || view.prev_num_shards() == 0) {
+    co_return NotFoundError("no previous topology");
+  }
+  const uint32_t n = view.prev_num_shards();
+  const int replicas = ReplicaCount(view.prev_mode);
+  const uint32_t primary = PrimaryShard(hash, n);
+
+  rpc::WireWriter w;
+  w.PutString(proto::kTagKey, key);
+  const Bytes request = std::move(w).Take();
+
+  Status last = NotFoundError("absent at previous owners");
+  for (int r = 0; r < replicas; ++r) {
+    const net::HostId target =
+        view.prev_shard_hosts[ReplicaShard(primary, r, n)];
+    // The main attempt may already have spent the op deadline; grant a
+    // small grace budget — the fallback is a single cheap RPC per replica.
+    const sim::Duration remaining = std::max<sim::Duration>(
+        deadline_at - sim_.now(), sim::Microseconds(500));
+    rpc::RpcChannel ch(rpc_network_, host_, target);
+    auto resp = co_await ch.Call(proto::kMethodGet, request, remaining);
+    if (!resp.ok()) {
+      if (resp.status().code() != StatusCode::kNotFound) last = resp.status();
+      continue;
+    }
+    rpc::WireReader rr(*resp);
+    auto value = rr.GetBytes(proto::kTagValue);
+    auto version = proto::GetVersion(rr);
+    if (!value || !version) continue;
+    co_return GetResult{Bytes(value->begin(), value->end()), *version};
+  }
+  co_return last.code() == StatusCode::kNotFound
+      ? NotFoundError("absent at previous owners")
+      : last;
 }
 
 // ---------------------------------------------------------------------------
@@ -600,6 +698,17 @@ sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
   const int replicas = ReplicaCount(view_.mode);
   const int quorum = QuorumSize(view_.mode);
   const uint32_t primary = PrimaryShard(config_.hash_fn(key), n);
+
+  // Stamp the cell generation this mutation was routed under: backends
+  // reject mismatches (kFailedPrecondition) so a write addressed to the old
+  // topology can never be acked after a reconfiguration started. Tags are
+  // append-only TLV, so appending to an already-built request is legal.
+  {
+    rpc::WireWriter gw;
+    gw.PutU32(proto::kTagGeneration, view_.generation);
+    const Bytes gen = std::move(gw).Take();
+    request.insert(request.end(), gen.begin(), gen.end());
+  }
 
   struct Ack {
     Status status;
@@ -634,6 +743,9 @@ sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
       ++ok;
       if (ack->applied) ++applied;
     } else {
+      if (ack->status.code() == StatusCode::kFailedPrecondition) {
+        ++stats_.stale_generation_rejects;
+      }
       last_error = ack->status;
     }
   }
@@ -672,12 +784,23 @@ sim::Task<Status> Client::Set(std::string key, Bytes value) {
 }
 
 sim::Task<Status> Client::Erase(std::string key) {
+  const sim::Time start = sim_.now();
   ++stats_.erases;
-  rpc::WireWriter w;
-  w.PutString(proto::kTagKey, key);
-  proto::PutVersion(w, NextVersion());
-  co_return co_await MutateAll(proto::kMethodErase, key, std::move(w).Take(),
-                               nullptr);
+  Status result = InternalError("unset");
+  // Retried like Set: a stale-generation bounce (resharding window) must
+  // re-route to the new owners, with a fresh higher version each attempt.
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    rpc::WireWriter w;
+    w.PutString(proto::kTagKey, key);
+    proto::PutVersion(w, NextVersion());
+    result = co_await MutateAll(proto::kMethodErase, key, std::move(w).Take(),
+                                nullptr);
+    if (result.ok()) break;
+    if (sim_.now() - start >= config_.op_deadline) break;
+    ++stats_.retries;
+    (void)co_await RefreshConfig();
+  }
+  co_return result;
 }
 
 sim::Task<StatusOr<bool>> Client::Cas(std::string key, Bytes value,
@@ -741,5 +864,24 @@ void Client::StartTouchFlusher() {
 }
 
 void Client::StopTouchFlusher() { touch_flusher_running_ = false; }
+
+// ---------------------------------------------------------------------------
+// Config watcher (resharding)
+// ---------------------------------------------------------------------------
+
+void Client::StartConfigWatcher() {
+  if (config_watcher_running_) return;
+  config_watcher_running_ = true;
+  sim_.Spawn([](Client* self, std::shared_ptr<bool> alive) -> sim::Task<void> {
+    while (*alive && self->config_watcher_running_) {
+      co_await self->sim_.Delay(self->config_.config_watch_interval);
+      if (!*alive || !self->config_watcher_running_) co_return;
+      (void)co_await self->RefreshConfig();
+      if (!*alive) co_return;
+    }
+  }(this, alive_));
+}
+
+void Client::StopConfigWatcher() { config_watcher_running_ = false; }
 
 }  // namespace cm::cliquemap

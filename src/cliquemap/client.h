@@ -69,6 +69,14 @@ struct ClientConfig {
 
   // Customizable hash (§6.5). Must match the cell's backends.
   HashFn hash_fn = &HashKey;
+
+  // Elasticity (resharding) -------------------------------------------
+  // Interval for the optional background config watcher (StartConfigWatcher)
+  // that keeps the view fresh across reconfiguration generations.
+  sim::Duration config_watch_interval = sim::Milliseconds(50);
+  // During a dual-version window, a GET that misses under the new topology
+  // falls back to the previous owners (records may not have streamed yet).
+  bool prev_fallback = true;
 };
 
 struct GetResult {
@@ -100,6 +108,9 @@ struct ClientStats {
   int64_t budget_exhausted = 0;   // ops that spent the whole retry budget
   int64_t compress_bytes_in = 0;   // raw value bytes offered to compression
   int64_t compress_bytes_out = 0;  // stored bytes after compression
+  // Elasticity (resharding) observability.
+  int64_t stale_generation_rejects = 0;  // mutation acks bounced by gen fence
+  int64_t prev_window_gets = 0;          // GETs served by previous owners
   Histogram get_latency_ns;
   Histogram set_latency_ns;
 };
@@ -135,6 +146,13 @@ class Client {
   void StopTouchFlusher();
   // Flushes pending touch records immediately.
   sim::Task<void> FlushTouches();
+
+  // Background cell-view refresh: keeps the client riding along as the
+  // resharder moves the cell through reconfiguration generations, instead
+  // of only noticing on a failed op. Explicit start (like the touch
+  // flusher) so tests that drain the event queue stay terminating.
+  void StartConfigWatcher();
+  void StopConfigWatcher();
 
   const ClientStats& stats() const { return stats_; }
   ClientStats& mutable_stats() { return stats_; }
@@ -180,6 +198,11 @@ class Client {
   sim::Task<StatusOr<GetResult>> GetViaRpc(const std::string& key,
                                            uint32_t shard,
                                            sim::Time deadline_at);
+  // Dual-version window fallback: RPC GETs against the previous owners of
+  // `hash` (the record may not have streamed to the new owners yet).
+  sim::Task<StatusOr<GetResult>> PrevWindowGet(const std::string& key,
+                                               const Hash128& hash,
+                                               sim::Time deadline_at);
 
   // Issues an index (bucket or SCAR) fetch against one replica, delivering
   // the vote into `votes`.
@@ -222,6 +245,7 @@ class Client {
   // Touch buffers per backend host.
   std::unordered_map<net::HostId, Bytes> touch_buffers_;
   bool touch_flusher_running_ = false;
+  bool config_watcher_running_ = false;
   std::shared_ptr<bool> alive_;
 
   ClientStats stats_;

@@ -1,5 +1,7 @@
 #include "cliquemap/config_service.h"
 
+#include <cassert>
+
 namespace cm::cliquemap {
 
 Bytes EncodeCellView(const CellView& view) {
@@ -10,6 +12,15 @@ Bytes EncodeCellView(const CellView& view) {
   for (uint32_t i = 0; i < view.num_shards(); ++i) {
     w.PutU32(proto::kTagShardHost, view.shard_hosts[i]);
     w.PutU32(proto::kTagShardConfigId, view.shard_config_ids[i]);
+  }
+  w.PutU32(proto::kTagTransition, view.transition ? 1 : 0);
+  if (view.transition) {
+    w.PutU32(proto::kTagPrevMode, static_cast<uint32_t>(view.prev_mode));
+    w.PutU32(proto::kTagPrevNumShards, view.prev_num_shards());
+    for (uint32_t i = 0; i < view.prev_num_shards(); ++i) {
+      w.PutU32(proto::kTagPrevShardHost, view.prev_shard_hosts[i]);
+      w.PutU32(proto::kTagPrevShardConfigId, view.prev_shard_config_ids[i]);
+    }
   }
   return std::move(w).Take();
 }
@@ -50,12 +61,34 @@ StatusOr<CellView> DecodeCellView(ByteSpan data) {
       uint32_t v = LoadU32(data.data() + pos);
       if (tag == proto::kTagShardHost) view.shard_hosts.push_back(v);
       if (tag == proto::kTagShardConfigId) view.shard_config_ids.push_back(v);
+      if (tag == proto::kTagPrevShardHost) view.prev_shard_hosts.push_back(v);
+      if (tag == proto::kTagPrevShardConfigId) {
+        view.prev_shard_config_ids.push_back(v);
+      }
     }
     pos += len;
   }
   if (view.shard_hosts.size() != *num ||
       view.shard_config_ids.size() != *num) {
     return InvalidArgumentError("shard list size mismatch");
+  }
+  // Transition fields are optional: payloads from before the dual-version
+  // window decode with transition=false (unknown-tag forward compatibility).
+  if (auto t = r.GetU32(proto::kTagTransition); t && *t != 0) {
+    auto prev_mode = r.GetU32(proto::kTagPrevMode);
+    auto prev_num = r.GetU32(proto::kTagPrevNumShards);
+    if (!prev_mode || !prev_num) {
+      return InvalidArgumentError("malformed transition view");
+    }
+    view.transition = true;
+    view.prev_mode = static_cast<ReplicationMode>(*prev_mode);
+    if (view.prev_shard_hosts.size() != *prev_num ||
+        view.prev_shard_config_ids.size() != *prev_num) {
+      return InvalidArgumentError("prev shard list size mismatch");
+    }
+  } else {
+    view.prev_shard_hosts.clear();
+    view.prev_shard_config_ids.clear();
   }
   return view;
 }
@@ -74,6 +107,25 @@ uint32_t ConfigService::UpdateShard(uint32_t shard, net::HostId host) {
   view_.shard_config_ids[shard] = ++next_config_id_ + 1000 * (shard + 1);
   ++view_.generation;
   return view_.shard_config_ids[shard];
+}
+
+void ConfigService::BeginTransition(CellView next) {
+  assert(!view_.transition && "nested transitions are not supported");
+  next.transition = true;
+  next.prev_mode = view_.mode;
+  next.prev_shard_hosts = view_.shard_hosts;
+  next.prev_shard_config_ids = view_.shard_config_ids;
+  next.generation = view_.generation + 1;
+  view_ = std::move(next);
+}
+
+void ConfigService::CommitTransition(CellView committed) {
+  assert(view_.transition && "no transition in flight");
+  committed.transition = false;
+  committed.prev_shard_hosts.clear();
+  committed.prev_shard_config_ids.clear();
+  committed.generation = view_.generation + 1;
+  view_ = std::move(committed);
 }
 
 }  // namespace cm::cliquemap

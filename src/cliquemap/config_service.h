@@ -18,14 +18,28 @@
 namespace cm::cliquemap {
 
 // A client's (or backend's) view of the cell topology.
+//
+// When `transition` is set, a reconfiguration generation is in flight and
+// the prev_* fields carry the previous topology: writes are routed to the
+// new owners (shard_hosts), while readers that miss under the new placement
+// may fall back to the previous owners until the window commits.
 struct CellView {
   uint32_t generation = 0;
   ReplicationMode mode = ReplicationMode::kR1;
   std::vector<net::HostId> shard_hosts;    // shard -> serving host
   std::vector<uint32_t> shard_config_ids;  // shard -> config id in buckets
 
+  // Dual-version window (valid only while `transition` is true).
+  bool transition = false;
+  ReplicationMode prev_mode = ReplicationMode::kR1;
+  std::vector<net::HostId> prev_shard_hosts;
+  std::vector<uint32_t> prev_shard_config_ids;
+
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shard_hosts.size());
+  }
+  uint32_t prev_num_shards() const {
+    return static_cast<uint32_t>(prev_shard_hosts.size());
   }
 };
 
@@ -42,7 +56,23 @@ class ConfigService {
   // cell generation. Returns the new shard config id.
   uint32_t UpdateShard(uint32_t shard, net::HostId host);
 
+  // Mints a fresh config id for `shard` without installing it anywhere —
+  // the resharder stamps new backends / rewritten buckets with these.
+  uint32_t AllocateConfigId(uint32_t shard) {
+    return ++next_config_id_ + 1000 * (shard + 1);
+  }
+
+  // Opens a dual-version window: installs `next` as the live view with
+  // transition=true and the current topology preserved in prev_*. Bumps the
+  // generation, which fences every write stamped with the old generation.
+  void BeginTransition(CellView next);
+  // Closes the window: installs `committed` with transition=false and the
+  // prev_* fields cleared; bumps the generation again.
+  void CommitTransition(CellView committed);
+
   const CellView& view() const { return view_; }
+  uint32_t generation() const { return view_.generation; }
+  bool in_transition() const { return view_.transition; }
   net::HostId host() const { return server_.host(); }
 
  private:

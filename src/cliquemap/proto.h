@@ -63,6 +63,15 @@ enum Tag : uint16_t {
   kTagShardConfigId = 42,    // repeated u32
   kTagMode = 43,
   kTagNumShards = 44,
+
+  // Dual-version window: while a reconfiguration generation is in flight the
+  // view also carries the previous topology so readers can fall back to the
+  // old owners until the window commits.
+  kTagTransition = 45,
+  kTagPrevMode = 46,
+  kTagPrevNumShards = 47,
+  kTagPrevShardHost = 48,      // repeated u32
+  kTagPrevShardConfigId = 49,  // repeated u32
 };
 
 inline void PutVersion(rpc::WireWriter& w, const VersionNumber& v,

@@ -12,6 +12,8 @@
 #define CM_CLIQUEMAP_TOMBSTONE_H_
 
 #include <deque>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/hash.h"
@@ -19,16 +21,27 @@
 
 namespace cm::cliquemap {
 
+// A cached tombstone: the erase version, plus (when known) the erased key
+// itself. Keys let migration streams ship *exact* erased records to a new
+// owner — a summary bound alone cannot evict a stale record that is already
+// present at the target, which would resurrect affirmatively-erased values.
+struct Tombstone {
+  VersionNumber version;
+  std::string key;
+};
+
 class TombstoneCache {
  public:
   explicit TombstoneCache(size_t capacity) : capacity_(capacity) {}
 
   // Records an erase at `version` (keeps the max per key). Evicts the
   // oldest tombstone into the summary when full.
-  void Record(const Hash128& key, const VersionNumber& version) {
-    auto it = map_.find(key);
+  void Record(const Hash128& hash, const VersionNumber& version,
+              std::string_view key = {}) {
+    auto it = map_.find(hash);
     if (it != map_.end()) {
-      if (version > it->second) it->second = version;
+      if (version > it->second.version) it->second.version = version;
+      if (it->second.key.empty() && !key.empty()) it->second.key = key;
       return;
     }
     while (map_.size() >= capacity_ && !fifo_.empty()) {
@@ -36,29 +49,33 @@ class TombstoneCache {
       fifo_.pop_front();
       auto vit = map_.find(victim);
       if (vit != map_.end()) {
-        if (vit->second > summary_) summary_ = vit->second;
+        if (vit->second.version > summary_) summary_ = vit->second.version;
         map_.erase(vit);
       }
     }
-    map_[key] = version;
-    fifo_.push_back(key);
+    map_[hash] = Tombstone{version, std::string(key)};
+    fifo_.push_back(hash);
   }
 
   // The erase-version floor for `key`: its exact tombstone if cached, else
   // the summary (an upper bound for any evicted tombstone).
   VersionNumber Floor(const Hash128& key) const {
     auto it = map_.find(key);
-    if (it != map_.end() && it->second > summary_) return it->second;
+    if (it != map_.end() && it->second.version > summary_) {
+      return it->second.version;
+    }
     // Note: the per-key tombstone can be below the summary if other,
     // higher-versioned tombstones were evicted; the floor is conservative.
-    if (it != map_.end()) return summary_ > it->second ? summary_ : it->second;
+    if (it != map_.end()) {
+      return summary_ > it->second.version ? summary_ : it->second.version;
+    }
     return summary_;
   }
 
-  // Exact tombstone for key, if still cached.
+  // Exact tombstone version for key, if still cached.
   const VersionNumber* Find(const Hash128& key) const {
     auto it = map_.find(key);
-    return it == map_.end() ? nullptr : &it->second;
+    return it == map_.end() ? nullptr : &it->second.version;
   }
 
   void Clear(const Hash128& key) { map_.erase(key); }
@@ -69,17 +86,28 @@ class TombstoneCache {
     if (v > summary_) summary_ = v;
   }
 
+  // Folds another cache in wholesale: every still-cached tombstone plus the
+  // other side's summary. Used when a migration source hands its erase
+  // history to the new owner — exact entries stay exact (so racing deletes
+  // cannot resurrect), evicted ones stay bounded by the summary.
+  void FoldIn(const TombstoneCache& other) {
+    for (const auto& [hash, tomb] : other.map_) {
+      Record(hash, tomb.version, tomb.key);
+    }
+    MergeSummary(other.summary_);
+  }
+
   // Upper bound over every tombstone this cache has ever seen: the summary
   // joined with all still-cached entries.
   VersionNumber WorstCaseSummary() const {
     VersionNumber v = summary_;
-    for (const auto& [key, version] : map_) {
-      if (version > v) v = version;
+    for (const auto& [key, tomb] : map_) {
+      if (tomb.version > v) v = tomb.version;
     }
     return v;
   }
 
-  const std::unordered_map<Hash128, VersionNumber>& entries() const {
+  const std::unordered_map<Hash128, Tombstone>& entries() const {
     return map_;
   }
 
@@ -90,7 +118,7 @@ class TombstoneCache {
  private:
   size_t capacity_;
   VersionNumber summary_;
-  std::unordered_map<Hash128, VersionNumber> map_;
+  std::unordered_map<Hash128, Tombstone> map_;
   std::deque<Hash128> fifo_;
 };
 

@@ -123,6 +123,65 @@ TEST(CellViewCodec, ForwardCompatWithExtraFields) {
   EXPECT_EQ(decoded->shard_hosts, v.shard_hosts);
 }
 
+TEST(CellViewCodec, TransitionRoundTripAndUnknownTagSkipping) {
+  CellView v;
+  v.generation = 9;
+  v.mode = ReplicationMode::kR32;
+  v.shard_hosts = {1, 2, 3, 4, 5};
+  v.shard_config_ids = {11, 22, 33, 44, 55};
+  v.transition = true;
+  v.prev_mode = ReplicationMode::kR1;
+  v.prev_shard_hosts = {1, 2, 3};
+  v.prev_shard_config_ids = {11, 22, 33};
+
+  Bytes encoded = EncodeCellView(v);
+  // Future fields appended after the transition block must be skipped.
+  rpc::WireWriter extra;
+  extra.PutString(777, "future reshard attribute");
+  encoded.insert(encoded.end(), extra.bytes().begin(), extra.bytes().end());
+
+  auto decoded = DecodeCellView(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->generation, 9u);
+  EXPECT_TRUE(decoded->transition);
+  EXPECT_EQ(decoded->prev_mode, ReplicationMode::kR1);
+  EXPECT_EQ(decoded->prev_shard_hosts, v.prev_shard_hosts);
+  EXPECT_EQ(decoded->prev_shard_config_ids, v.prev_shard_config_ids);
+  EXPECT_EQ(decoded->shard_hosts, v.shard_hosts);
+}
+
+TEST(CellViewCodec, TransitionPrevListMismatchRejected) {
+  // Declares two previous shards but carries only one host/id pair.
+  rpc::WireWriter w;
+  w.PutU32(kTagGeneration, 3);
+  w.PutU32(kTagMode, 0);
+  w.PutU32(kTagNumShards, 1);
+  w.PutU32(kTagShardHost, 7);
+  w.PutU32(kTagShardConfigId, 9);
+  w.PutU32(kTagTransition, 1);
+  w.PutU32(kTagPrevMode, 0);
+  w.PutU32(kTagPrevNumShards, 2);
+  w.PutU32(kTagPrevShardHost, 3);
+  w.PutU32(kTagPrevShardConfigId, 5);
+  EXPECT_FALSE(DecodeCellView(w.bytes()).ok());
+}
+
+TEST(CellViewCodec, LegacyPayloadDecodesAsCommitted) {
+  // A pre-elasticity encoder never wrote the transition tag; such payloads
+  // must decode as a committed (non-transitioning) view.
+  rpc::WireWriter w;
+  w.PutU32(kTagGeneration, 4);
+  w.PutU32(kTagMode, 1);
+  w.PutU32(kTagNumShards, 1);
+  w.PutU32(kTagShardHost, 6);
+  w.PutU32(kTagShardConfigId, 60);
+  auto decoded = DecodeCellView(w.bytes());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded->transition);
+  EXPECT_TRUE(decoded->prev_shard_hosts.empty());
+  EXPECT_TRUE(decoded->prev_shard_config_ids.empty());
+}
+
 TEST(CellViewCodec, MalformedRejected) {
   EXPECT_FALSE(DecodeCellView(ToBytes("garbage")).ok());
   // Hand-build a view whose shard list is shorter than its declared count.
