@@ -5,15 +5,17 @@
 // keys); the overflow fallback trades those evictions for RPC-served hits.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::bench;
   using namespace cm::cliquemap;
-  Banner("Ablation: bucket associativity and the RPC overflow fallback\n"
-         "(2000 keys into a fixed 64-bucket index; no resizing)");
-
-  std::printf("%6s %10s %16s %14s %12s\n", "ways", "overflow", "assoc_evicts",
-              "overflow_keys", "hit rate");
+  JsonReport report(argc, argv, "ablation_assoc");
+  if (!report.enabled()) {
+    Banner("Ablation: bucket associativity and the RPC overflow fallback\n"
+           "(2000 keys into a fixed 64-bucket index; no resizing)");
+    std::printf("%6s %10s %16s %14s %12s\n", "ways", "overflow",
+                "assoc_evicts", "overflow_keys", "hit rate");
+  }
   for (int ways : {2, 4, 8, 20}) {
     for (bool fallback : {false, true}) {
       sim::Simulator sim;
@@ -39,12 +41,23 @@ int main() {
         if (r.ok()) ++hits;
       }
       const BackendStats agg = cell.AggregateBackendStats();
+      const std::string tag = "ways" + std::to_string(ways) +
+                              (fallback ? ".rpc" : ".evict");
+      report.AddScalar(tag + ".assoc_evicts", double(agg.evictions_assoc));
+      report.AddScalar(tag + ".overflow_keys", double(agg.overflow_inserts));
+      report.AddScalar(tag + ".hit_rate", double(hits) / kKeys);
+      report.AddSnapshot(tag, cell.metrics().TakeSnapshot());
+      if (report.enabled()) continue;
       std::printf("%6d %10s %16lld %14lld %11.1f%%\n", ways,
                   fallback ? "rpc" : "evict",
                   static_cast<long long>(agg.evictions_assoc),
                   static_cast<long long>(agg.overflow_inserts),
                   100.0 * double(hits) / kKeys);
     }
+  }
+  if (report.enabled()) {
+    report.Emit();
+    return 0;
   }
   std::printf(
       "\nTakeaway check: conflicts vanish as ways grow (the paper's default\n"

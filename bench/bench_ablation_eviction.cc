@@ -6,17 +6,19 @@
 // a skewed workload; ARC is competitive with LRU and resists scans.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::bench;
   using namespace cm::cliquemap;
   using namespace cm::workload;
-  Banner("Ablation: eviction policy vs hit rate\n"
-         "(Zipf(0.99) over 4000 keys; data pool holds ~1/4 of the corpus;\n"
-         " clients report touches via batched RPC)");
-
-  std::printf("%-8s %12s %14s %14s\n", "policy", "hit rate", "evictions",
-              "touches_used");
+  JsonReport report(argc, argv, "ablation_eviction");
+  if (!report.enabled()) {
+    Banner("Ablation: eviction policy vs hit rate\n"
+           "(Zipf(0.99) over 4000 keys; data pool holds ~1/4 of the corpus;\n"
+           " clients report touches via batched RPC)");
+    std::printf("%-8s %12s %14s %14s\n", "policy", "hit rate", "evictions",
+                "touches_used");
+  }
   for (auto policy : {EvictionPolicyKind::kLru, EvictionPolicyKind::kArc,
                       EvictionPolicyKind::kClock, EvictionPolicyKind::kRandom}) {
     sim::Simulator sim;
@@ -55,15 +57,27 @@ int main() {
     }
     client->StopTouchFlusher();
     const BackendStats agg = cell.AggregateBackendStats();
-    std::printf("%-8s %11.1f%% %14lld %14lld\n",
-                policy == EvictionPolicyKind::kLru     ? "LRU"
-                : policy == EvictionPolicyKind::kArc   ? "ARC"
-                : policy == EvictionPolicyKind::kClock ? "CLOCK"
-                                                       : "RANDOM",
+    const char* name = policy == EvictionPolicyKind::kLru     ? "LRU"
+                       : policy == EvictionPolicyKind::kArc   ? "ARC"
+                       : policy == EvictionPolicyKind::kClock ? "CLOCK"
+                                                              : "RANDOM";
+    report.AddScalar(std::string(name) + ".hit_rate",
+                     double(hits) / double(lookups));
+    report.AddScalar(std::string(name) + ".evictions",
+                     double(agg.evictions_capacity + agg.evictions_assoc));
+    report.AddScalar(std::string(name) + ".touches_ingested",
+                     double(agg.touches_ingested));
+    report.AddSnapshot(name, cell.metrics().TakeSnapshot());
+    if (report.enabled()) continue;
+    std::printf("%-8s %11.1f%% %14lld %14lld\n", name,
                 100.0 * double(hits) / double(lookups),
                 static_cast<long long>(agg.evictions_capacity +
                                        agg.evictions_assoc),
                 static_cast<long long>(agg.touches_ingested));
+  }
+  if (report.enabled()) {
+    report.Emit();
+    return 0;
   }
   std::printf(
       "\nTakeaway check: recency-aware policies clearly beat RANDOM on the\n"

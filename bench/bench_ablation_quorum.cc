@@ -59,24 +59,33 @@ Histogram PreferredUnderLoad() {
 }  // namespace
 }  // namespace cm::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::bench;
   using namespace cm::cliquemap;
-  Banner("Ablation: client-side quoruming design choices");
-
-  std::printf("Part 1: data-fetch policy with a slow primary (4KB, 2xR)\n");
+  JsonReport report(argc, argv, "ablation_quorum");
+  if (!report.enabled()) {
+    Banner("Ablation: client-side quoruming design choices");
+    std::printf("Part 1: data-fetch policy with a slow primary (4KB, 2xR)\n");
+  }
   Histogram fixed = FixedPrimaryUnderLoad();
   Histogram preferred = PreferredUnderLoad();
-  std::printf("  %-28s p50=%8.1fus p99=%8.1fus\n",
-              "fixed primary (pinned)", fixed.Percentile(0.5) / 1000.0,
-              fixed.Percentile(0.99) / 1000.0);
-  std::printf("  %-28s p50=%8.1fus p99=%8.1fus\n",
-              "first responder (CliqueMap)",
-              preferred.Percentile(0.5) / 1000.0,
-              preferred.Percentile(0.99) / 1000.0);
-
-  std::printf("\nPart 2: read availability vs failed replicas (R=3.2)\n");
+  report.AddScalar("fixed_primary.p50_us", fixed.Percentile(0.5) / 1000.0);
+  report.AddScalar("fixed_primary.p99_us", fixed.Percentile(0.99) / 1000.0);
+  report.AddScalar("first_responder.p50_us",
+                   preferred.Percentile(0.5) / 1000.0);
+  report.AddScalar("first_responder.p99_us",
+                   preferred.Percentile(0.99) / 1000.0);
+  if (!report.enabled()) {
+    std::printf("  %-28s p50=%8.1fus p99=%8.1fus\n",
+                "fixed primary (pinned)", fixed.Percentile(0.5) / 1000.0,
+                fixed.Percentile(0.99) / 1000.0);
+    std::printf("  %-28s p50=%8.1fus p99=%8.1fus\n",
+                "first responder (CliqueMap)",
+                preferred.Percentile(0.5) / 1000.0,
+                preferred.Percentile(0.99) / 1000.0);
+    std::printf("\nPart 2: read availability vs failed replicas (R=3.2)\n");
+  }
   for (int down = 0; down <= 2; ++down) {
     sim::Simulator sim;
     CellOptions o;
@@ -93,7 +102,13 @@ int main() {
       auto r = RunOp(sim, client->Get("avail-" + std::to_string(i)));
       if (r.ok()) ++hits;
     }
+    report.AddScalar("down" + std::to_string(down) + ".hits", double(hits));
+    if (report.enabled()) continue;
     std::printf("  %d replica(s) down: %3d/200 hits\n", down, hits);
+  }
+  if (report.enabled()) {
+    report.Emit();
+    return 0;
   }
   std::printf(
       "\nTakeaway check: first-responder preference sidesteps the slow\n"

@@ -36,22 +36,33 @@ double MedianGetUs(LookupStrategy strategy, uint32_t value_bytes) {
 }  // namespace
 }  // namespace cm::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm::bench;
   using cm::cliquemap::LookupStrategy;
-  Banner("Ablation: lookup strategy vs value size (R=3.2, median GET us)");
-
-  std::printf("%10s %10s %10s %10s   %s\n", "value", "SCAR", "2xR", "RPC",
-              "winner");
+  JsonReport report(argc, argv, "ablation_scar");
+  if (!report.enabled()) {
+    Banner("Ablation: lookup strategy vs value size (R=3.2, median GET us)");
+    std::printf("%10s %10s %10s %10s   %s\n", "value", "SCAR", "2xR", "RPC",
+                "winner");
+  }
   for (uint32_t size : {64u, 512u, 4096u, 16384u, 65536u, 262144u}) {
     const double scar = MedianGetUs(LookupStrategy::kScar, size);
     const double two_r = MedianGetUs(LookupStrategy::kTwoR, size);
     const double rpc = MedianGetUs(LookupStrategy::kRpc, size);
+    const std::string tag = "v" + std::to_string(size);
+    report.AddScalar(tag + ".scar_p50_us", scar);
+    report.AddScalar(tag + ".2xr_p50_us", two_r);
+    report.AddScalar(tag + ".rpc_p50_us", rpc);
+    if (report.enabled()) continue;
     const char* winner = scar <= two_r && scar <= rpc ? "SCAR"
                          : two_r <= rpc              ? "2xR"
                                                      : "RPC";
     std::printf("%9uB %9.1f %9.1f %9.1f   %s\n", size, scar, two_r, rpc,
                 winner);
+  }
+  if (report.enabled()) {
+    report.Emit();
+    return 0;
   }
   std::printf(
       "\nTakeaway check: SCAR wins while values are small relative to NIC\n"

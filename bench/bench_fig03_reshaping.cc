@@ -48,14 +48,17 @@ cliquemap::BackendConfig Reshaped() {
 }  // namespace
 }  // namespace cm::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::bench;
   using namespace cm::cliquemap;
-  Banner("Figure 3: memory reshaping and DRAM savings over 13 'weeks'\n"
-         "(8 backends; corpus grows, reshaping launches week 4 via rolling\n"
-         " non-disruptive backend replacement, corpus shrinks from week 8;\n"
-         " footprint = index + populated data regions)");
+  JsonReport report(argc, argv, "fig03_reshaping");
+  if (!report.enabled()) {
+    Banner("Figure 3: memory reshaping and DRAM savings over 13 'weeks'\n"
+           "(8 backends; corpus grows, reshaping launches week 4 via rolling\n"
+           " non-disruptive backend replacement, corpus shrinks from week 8;\n"
+           " footprint = index + populated data regions)");
+  }
 
   sim::Simulator sim;
   CellOptions o;
@@ -91,8 +94,10 @@ int main() {
   // The counterfactual column: a peak-provisioned deployment stays pinned at
   // full reservation regardless of corpus size.
   double provisioned_mb = 0;
-  std::printf("%6s %17s %16s %9s %14s %s\n", "week", "provisioned(MB)",
-              "memory_used(MB)", "saved", "corpus_keys", "event");
+  if (!report.enabled()) {
+    std::printf("%6s %17s %16s %9s %14s %s\n", "week", "provisioned(MB)",
+                "memory_used(MB)", "saved", "corpus_keys", "event");
+  }
   for (int week = 1; week <= 13; ++week) {
     const char* event = "";
     if (week == 4) {
@@ -119,11 +124,26 @@ int main() {
     sim.RunUntil(sim.now() + sim::Seconds(10));  // one scaled "week"
     const double used_mb = double(cell.TotalMemoryFootprint()) / (1 << 20);
     if (week <= 3) provisioned_mb = std::max(provisioned_mb, used_mb);
+    const std::string tag = "week" + std::to_string(week);
+    report.AddScalar(tag + ".provisioned_mb", provisioned_mb);
+    report.AddScalar(tag + ".used_mb", used_mb);
+    report.AddScalar(tag + ".corpus_keys", corpus_size);
+    if (report.enabled()) continue;
     std::printf("%6d %17.2f %16.2f %8.1f%% %14d %s\n", week, provisioned_mb,
                 used_mb, 100.0 * (1.0 - used_mb / provisioned_mb), corpus_size,
                 event);
   }
   const ResharderStats& rs = resharder.stats();
+  report.AddScalar("resharder.backends_retired", double(rs.backends_retired));
+  report.AddScalar("resharder.records_streamed", double(rs.records_streamed));
+  report.AddScalar("resharder.bytes_streamed", double(rs.bytes_streamed));
+  report.AddSnapshot("final", cell.metrics().TakeSnapshot());
+  if (report.enabled()) {
+    report.Emit();
+    client->StopConfigWatcher();
+    sim.Run();
+    return 0;
+  }
   std::printf(
       "\nResharder: %lld replacements, %lld records streamed (%.2f MB), "
       "0 reloads.\n",

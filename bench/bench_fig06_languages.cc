@@ -93,23 +93,33 @@ LangResult Measure(ShimLanguage lang) {
 }  // namespace
 }  // namespace cm::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm::bench;
   using cm::cliquemap::ShimLanguage;
   using cm::cliquemap::ShimLanguageName;
-  Banner("Figure 6: CliqueMap performance by client language\n"
-         "(16 clients x 8 backends, 64B objects; (a) peak op rate,\n"
-         " (b) client CPU per op, (c) median latency at 1K GETs/s/client)");
-
-  std::printf("%-6s %18s %16s %18s\n", "lang", "op rate (Mops/s)",
-              "CPU-us per op", "median latency(us)");
+  JsonReport report(argc, argv, "fig06_languages");
+  if (!report.enabled()) {
+    Banner("Figure 6: CliqueMap performance by client language\n"
+           "(16 clients x 8 backends, 64B objects; (a) peak op rate,\n"
+           " (b) client CPU per op, (c) median latency at 1K GETs/s/client)");
+    std::printf("%-6s %18s %16s %18s\n", "lang", "op rate (Mops/s)",
+                "CPU-us per op", "median latency(us)");
+  }
   for (ShimLanguage lang :
        {ShimLanguage::kCpp, ShimLanguage::kJava, ShimLanguage::kGo,
         ShimLanguage::kPython}) {
     LangResult r = Measure(lang);
-    std::printf("%-6s %18.3f %16.2f %18.1f\n",
-                std::string(ShimLanguageName(lang)).c_str(), r.mops_per_sec,
+    const std::string name(ShimLanguageName(lang));
+    report.AddScalar(name + ".mops_per_sec", r.mops_per_sec);
+    report.AddScalar(name + ".cpu_us_per_op", r.cpu_us_per_op);
+    report.AddScalar(name + ".median_latency_us", r.median_latency_us);
+    if (report.enabled()) continue;
+    std::printf("%-6s %18.3f %16.2f %18.1f\n", name.c_str(), r.mops_per_sec,
                 r.cpu_us_per_op, r.median_latency_us);
+  }
+  if (report.enabled()) {
+    report.Emit();
+    return 0;
   }
   std::printf(
       "\nTakeaway check: cpp leads on op rate by a wide margin; the pipe\n"

@@ -4,6 +4,12 @@
 // Expected shape (§6.3): SCAR halves the NIC work of 2xR (one op instead
 // of two); MSG — waking a server application thread per lookup — costs far
 // more than either one-sided strategy.
+//
+// All per-layer attribution comes from the metrics registry: a snapshot is
+// taken around the measured loop and the delta is broken down into client
+// issue/validate CPU (cm.client.*_cpu_ns), software-NIC engine time
+// (cm.rma.*_nic_ns), and server host CPU (cm.host.cpu_busy_ns). With
+// `--json` the bench emits those components as a cm.bench.v1 document.
 #include "bench_util.h"
 
 #include "rma/softnic.h"
@@ -14,9 +20,22 @@ namespace {
 using namespace cm::cliquemap;
 
 struct CpuCosts {
-  double client_ns_per_op;
-  double nic_ns_per_op;  // initiator + target software-NIC engine time
+  double client_ns_per_op = 0;  // whole client-host CPU
+  double nic_ns_per_op = 0;     // initiator + target software-NIC engine time
+  // Registry-attributed breakdown (ns/op) of where the cycles went.
+  double issue_ns_per_op = 0;     // client library: issuing RMA ops
+  double validate_ns_per_op = 0;  // client library: hit-condition checks
+  double server_ns_per_op = 0;    // server application CPU (MSG only)
+  metrics::Snapshot delta;        // the full measured-section delta
 };
+
+// Delta of the (gauge) host-CPU busy time between two snapshots.
+int64_t HostBusyDelta(const metrics::Snapshot& before,
+                      const metrics::Snapshot& after, net::HostId host) {
+  const std::string name = metrics::RenderName(
+      "cm.host.cpu_busy_ns", {{"host", std::to_string(host)}});
+  return after.value(name) - before.value(name);
+}
 
 CpuCosts Measure(LookupStrategy strategy, int ops) {
   sim::Simulator sim;
@@ -33,19 +52,27 @@ CpuCosts Measure(LookupStrategy strategy, int ops) {
   (void)RunOp(sim, client->Set("k", Bytes(64, std::byte{1})));
   (void)RunOp(sim, client->Get("k"));  // warm
 
-  const auto& stats = cell.softnic()->stats();
-  const int64_t client_cpu0 =
-      cell.fabric().host(client->host()).cpu().total_busy_ns();
-  const int64_t nic0 = stats.initiator_nic_ns + stats.target_nic_ns;
+  const metrics::Snapshot before = cell.metrics().TakeSnapshot();
   for (int i = 0; i < ops; ++i) {
     auto r = RunOp(sim, client->Get("k"));
     if (!r.ok()) std::abort();
   }
-  const int64_t client_cpu1 =
-      cell.fabric().host(client->host()).cpu().total_busy_ns();
-  const int64_t nic1 = stats.initiator_nic_ns + stats.target_nic_ns;
-  return CpuCosts{double(client_cpu1 - client_cpu0) / ops,
-                  double(nic1 - nic0) / ops};
+  const metrics::Snapshot after = cell.metrics().TakeSnapshot();
+  metrics::Snapshot d = after.DeltaFrom(before);
+
+  CpuCosts c;
+  c.client_ns_per_op =
+      double(HostBusyDelta(before, after, client->host())) / ops;
+  c.nic_ns_per_op = double(d.SumPrefix("cm.rma.initiator_nic_ns") +
+                           d.SumPrefix("cm.rma.target_nic_ns")) /
+                    ops;
+  c.issue_ns_per_op = double(d.SumPrefix("cm.client.issue_cpu_ns")) / ops;
+  c.validate_ns_per_op =
+      double(d.SumPrefix("cm.client.validate_cpu_ns")) / ops;
+  c.server_ns_per_op =
+      double(HostBusyDelta(before, after, cell.backend(0).host())) / ops;
+  c.delta = std::move(d);
+  return c;
 }
 
 // MSG: a two-sided message over the software NIC that wakes a server
@@ -63,9 +90,7 @@ CpuCosts MeasureMsg(int ops) {
     co_return value;  // the lookup itself: a handful of memory accesses
   };
 
-  const int64_t client_cpu0 = fabric.host(client).cpu().total_busy_ns();
-  const int64_t server_cpu0 = fabric.host(server).cpu().total_busy_ns();
-  const int64_t nic0 = nic.stats().initiator_nic_ns + nic.stats().target_nic_ns;
+  const metrics::Snapshot before = fabric.metrics().TakeSnapshot();
   for (int i = 0; i < ops; ++i) {
     auto r = RunOp(sim, [](sim::Simulator& sim, net::Fabric& fabric,
                            rma::SoftNicTransport& nic, net::HostId client,
@@ -81,30 +106,57 @@ CpuCosts MeasureMsg(int ops) {
     }(sim, fabric, nic, client, server, handler));
     if (!r.ok()) std::abort();
   }
-  const int64_t client_cpu =
-      fabric.host(client).cpu().total_busy_ns() - client_cpu0;
-  const int64_t server_cpu =
-      fabric.host(server).cpu().total_busy_ns() - server_cpu0;
-  const int64_t nic1 = nic.stats().initiator_nic_ns + nic.stats().target_nic_ns;
+  const metrics::Snapshot after = fabric.metrics().TakeSnapshot();
+  metrics::Snapshot d = after.DeltaFrom(before);
+
+  CpuCosts c;
+  c.client_ns_per_op = double(HostBusyDelta(before, after, client)) / ops;
+  c.server_ns_per_op = double(HostBusyDelta(before, after, server)) / ops;
   // Application-thread wake cost counts against the "Pony Express" bar in
   // the paper's accounting of server-side lookup cost.
-  return CpuCosts{double(client_cpu) / ops,
-                  double(nic1 - nic0 + server_cpu) / ops};
+  c.nic_ns_per_op = double(d.SumPrefix("cm.rma.initiator_nic_ns") +
+                           d.SumPrefix("cm.rma.target_nic_ns")) /
+                        ops +
+                    c.server_ns_per_op;
+  c.delta = std::move(d);
+  return c;
+}
+
+void AddStrategy(JsonReport& report, const char* prefix, const CpuCosts& c) {
+  report.AddScalar(std::string(prefix) + ".client_ns_per_op",
+                   c.client_ns_per_op);
+  report.AddScalar(std::string(prefix) + ".nic_ns_per_op", c.nic_ns_per_op);
+  report.AddScalar(std::string(prefix) + ".issue_ns_per_op",
+                   c.issue_ns_per_op);
+  report.AddScalar(std::string(prefix) + ".validate_ns_per_op",
+                   c.validate_ns_per_op);
+  report.AddScalar(std::string(prefix) + ".server_ns_per_op",
+                   c.server_ns_per_op);
+  report.AddSnapshot(prefix, c.delta);
 }
 
 }  // namespace
 }  // namespace cm::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm::bench;
   using cm::cliquemap::LookupStrategy;
-  Banner("Figure 7: CPU-ns/op by lookup strategy (client vs software NIC)");
+  JsonReport report(argc, argv, "fig07_cpu_per_op");
 
   const int kOps = 3000;
   CpuCosts two_r = Measure(LookupStrategy::kTwoR, kOps);
   CpuCosts scar = Measure(LookupStrategy::kScar, kOps);
   CpuCosts msg = MeasureMsg(kOps);
 
+  if (report.enabled()) {
+    AddStrategy(report, "2xr", two_r);
+    AddStrategy(report, "scar", scar);
+    AddStrategy(report, "msg", msg);
+    report.Emit();
+    return 0;
+  }
+
+  Banner("Figure 7: CPU-ns/op by lookup strategy (client vs software NIC)");
   std::printf("%-8s %22s %26s\n", "strategy", "CliqueMap client (ns/op)",
               "Pony Express + server (ns/op)");
   std::printf("%-8s %22.0f %26.0f\n", "2xR", two_r.client_ns_per_op,
@@ -113,6 +165,15 @@ int main() {
               scar.nic_ns_per_op);
   std::printf("%-8s %22.0f %26.0f\n", "MSG", msg.client_ns_per_op,
               msg.nic_ns_per_op);
+  std::printf("\nPer-layer attribution (registry snapshot deltas, ns/op):\n");
+  std::printf("%-8s %10s %10s %10s\n", "strategy", "issue", "validate",
+              "server");
+  std::printf("%-8s %10.0f %10.0f %10.0f\n", "2xR", two_r.issue_ns_per_op,
+              two_r.validate_ns_per_op, two_r.server_ns_per_op);
+  std::printf("%-8s %10.0f %10.0f %10.0f\n", "SCAR", scar.issue_ns_per_op,
+              scar.validate_ns_per_op, scar.server_ns_per_op);
+  std::printf("%-8s %10.0f %10.0f %10.0f\n", "MSG", msg.issue_ns_per_op,
+              msg.validate_ns_per_op, msg.server_ns_per_op);
   std::printf(
       "\nTakeaway check: SCAR < 2xR on both client and NIC cost (half the\n"
       "ops per GET); MSG's thread wake dwarfs SCAR's in-NIC bucket scan.\n");

@@ -10,12 +10,15 @@
 // a deep 99.9p tail from batching, SET backfill bursts.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::bench;
   using namespace cm::cliquemap;
   using namespace cm::workload;
-  Banner("Figure 8: Ads workload ('1 week' = 7 x 4s days, scaled rates)");
+  JsonReport report(argc, argv, "fig08_ads");
+  if (!report.enabled()) {
+    Banner("Figure 8: Ads workload ('1 week' = 7 x 4s days, scaled rates)");
+  }
 
   sim::Simulator sim;
   CellOptions o;
@@ -64,8 +67,10 @@ int main() {
   // Merge windows across clients.
   size_t max_windows = 0;
   for (const auto& d : drivers) max_windows = std::max(max_windows, d->windows().size());
-  std::printf("%7s %10s %9s %9s %9s %9s %10s\n", "day", "GET/s", "SET/s",
-              "p50_us", "p99_us", "p999_us", "misses");
+  if (!report.enabled()) {
+    std::printf("%7s %10s %9s %9s %9s %9s %10s\n", "day", "GET/s", "SET/s",
+                "p50_us", "p99_us", "p999_us", "misses");
+  }
   for (size_t w = 0; w < max_windows; ++w) {
     Histogram get_ns;
     int64_t gets = 0, sets = 0, misses = 0;
@@ -80,6 +85,14 @@ int main() {
       start = ws.start;
     }
     const double secs = sim::ToSeconds(kDay / 2);
+    const std::string tag = "w" + std::to_string(w);
+    report.AddScalar(tag + ".get_per_sec", double(gets) / secs);
+    report.AddScalar(tag + ".set_per_sec", double(sets) / secs);
+    report.AddScalar(tag + ".p50_us", get_ns.Percentile(0.50) / 1000.0);
+    report.AddScalar(tag + ".p99_us", get_ns.Percentile(0.99) / 1000.0);
+    report.AddScalar(tag + ".p999_us", get_ns.Percentile(0.999) / 1000.0);
+    report.AddScalar(tag + ".misses", double(misses));
+    if (report.enabled()) continue;
     std::printf("%7.2f %10.0f %9.0f %9.1f %9.1f %9.1f %10lld\n",
                 sim::ToSeconds(start) / sim::ToSeconds(kDay),
                 double(gets) / secs, double(sets) / secs,
@@ -87,6 +100,11 @@ int main() {
                 get_ns.Percentile(0.99) / 1000.0,
                 get_ns.Percentile(0.999) / 1000.0,
                 static_cast<long long>(misses));
+  }
+  if (report.enabled()) {
+    report.AddSnapshot("final", cell.metrics().TakeSnapshot());
+    report.Emit();
+    return 0;
   }
   std::printf(
       "\nTakeaway check: GET rate >> SET rate with a diurnal swing; medians\n"

@@ -6,12 +6,15 @@
 // variation, tail latency varies minimally.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::bench;
   using namespace cm::cliquemap;
   using namespace cm::workload;
-  Banner("Figure 9: Geo workload ('1 week' = 7 x 4s days, scaled rates)");
+  JsonReport report(argc, argv, "fig09_geo");
+  if (!report.enabled()) {
+    Banner("Figure 9: Geo workload ('1 week' = 7 x 4s days, scaled rates)");
+  }
 
   sim::Simulator sim;
   CellOptions o;
@@ -77,8 +80,10 @@ int main() {
 
   size_t max_windows = 0;
   for (const auto& d : drivers) max_windows = std::max(max_windows, d->windows().size());
-  std::printf("%7s %10s %9s %9s %9s %9s\n", "day", "GET/s", "SET/s", "p50_us",
-              "p99_us", "p999_us");
+  if (!report.enabled()) {
+    std::printf("%7s %10s %9s %9s %9s %9s\n", "day", "GET/s", "SET/s",
+                "p50_us", "p99_us", "p999_us");
+  }
   double min_p999 = 1e18, max_p999 = 0, min_rate = 1e18, max_rate = 0;
   for (size_t w = 0; w + 1 < max_windows; ++w) {  // drop ragged last window
     Histogram get_ns;
@@ -95,16 +100,31 @@ int main() {
     const double secs = sim::ToSeconds(kDay / 4);
     const double rate = double(gets) / secs;
     const double p999 = get_ns.Percentile(0.999) / 1000.0;
-    std::printf("%7.2f %10.0f %9.0f %9.1f %9.1f %9.1f\n",
-                sim::ToSeconds(start) / sim::ToSeconds(kDay), rate,
-                double(sets) / secs, get_ns.Percentile(0.50) / 1000.0,
-                get_ns.Percentile(0.99) / 1000.0, p999);
+    const std::string tag = "w" + std::to_string(w);
+    report.AddScalar(tag + ".get_per_sec", rate);
+    report.AddScalar(tag + ".set_per_sec", double(sets) / secs);
+    report.AddScalar(tag + ".p50_us", get_ns.Percentile(0.50) / 1000.0);
+    report.AddScalar(tag + ".p99_us", get_ns.Percentile(0.99) / 1000.0);
+    report.AddScalar(tag + ".p999_us", p999);
+    if (!report.enabled()) {
+      std::printf("%7.2f %10.0f %9.0f %9.1f %9.1f %9.1f\n",
+                  sim::ToSeconds(start) / sim::ToSeconds(kDay), rate,
+                  double(sets) / secs, get_ns.Percentile(0.50) / 1000.0,
+                  get_ns.Percentile(0.99) / 1000.0, p999);
+    }
     if (gets > 0) {
       min_rate = std::min(min_rate, rate);
       max_rate = std::max(max_rate, rate);
       min_p999 = std::min(min_p999, p999);
       max_p999 = std::max(max_p999, p999);
     }
+  }
+  report.AddScalar("get_rate_swing", max_rate / min_rate);
+  report.AddScalar("p999_swing", max_p999 / std::max(min_p999, 1e-9));
+  if (report.enabled()) {
+    report.AddSnapshot("final", cell.metrics().TakeSnapshot());
+    report.Emit();
+    return 0;
   }
   std::printf("\nGET rate swing: %.1fx   p99.9 swing: %.1fx\n",
               max_rate / min_rate, max_p999 / std::max(min_p999, 1e-9));

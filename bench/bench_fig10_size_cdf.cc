@@ -7,13 +7,18 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "workload/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::workload;
-  std::printf("Figure 10: object size CDFs (Ads and Geo synthetic mixtures)\n");
+  cm::bench::JsonReport report(argc, argv, "fig10_size_cdf");
+  if (!report.enabled()) {
+    std::printf(
+        "Figure 10: object size CDFs (Ads and Geo synthetic mixtures)\n");
+  }
 
   constexpr int kSamples = 200000;
   Rng rng(20210823);
@@ -32,9 +37,16 @@ int main() {
   auto at = [&](const std::vector<uint32_t>& v, double q) {
     return v[std::min(v.size() - 1, size_t(q * double(v.size())))];
   };
-  std::printf("%8s %14s %14s\n", "CDF", "Ads size(B)", "Geo size(B)");
+  if (!report.enabled()) {
+    std::printf("%8s %14s %14s\n", "CDF", "Ads size(B)", "Geo size(B)");
+  }
   for (double q : {0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99,
                    0.999}) {
+    char tag[32];
+    std::snprintf(tag, sizeof(tag), "q%.3f", q);
+    report.AddScalar(std::string(tag) + ".ads_bytes", at(ads_s, q));
+    report.AddScalar(std::string(tag) + ".geo_bytes", at(geo_s, q));
+    if (report.enabled()) continue;
     std::printf("%8.3f %14u %14u\n", q, at(ads_s, q), at(geo_s, q));
   }
 
@@ -43,6 +55,12 @@ int main() {
     return double(std::lower_bound(v.begin(), v.end(), bytes) - v.begin()) /
            double(v.size());
   };
+  report.AddScalar("ads_frac_under_mtu", frac_below(ads_s, 5000));
+  report.AddScalar("geo_frac_under_mtu", frac_below(geo_s, 5000));
+  if (report.enabled()) {
+    report.Emit();
+    return 0;
+  }
   std::printf("\nfraction under 5KB MTU: Ads %.1f%%  Geo %.1f%%\n",
               100 * frac_below(ads_s, 5000), 100 * frac_below(geo_s, 5000));
   std::printf("Takeaway check: medians of a few hundred B to ~1KB, heavy\n"

@@ -55,28 +55,38 @@ Histogram RunScenario(ReplicationMode mode, bool external_load) {
 }  // namespace
 }  // namespace cm::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm::bench;
-  Banner("Figure 11: preferred backend selection under external load\n"
-         "(3-backend cell, 2xR, 4KB value, ~95Gbps antagonist on one backend;\n"
-         " normalized to the matching no-load configuration)");
+  JsonReport report(argc, argv, "fig11_preferred_backend");
+  if (!report.enabled()) {
+    Banner("Figure 11: preferred backend selection under external load\n"
+           "(3-backend cell, 2xR, 4KB value, ~95Gbps antagonist on one backend;\n"
+           " normalized to the matching no-load configuration)");
+  }
 
   struct Config {
     const char* name;
+    const char* tag;
     cm::cliquemap::ReplicationMode mode;
     bool load;
   };
   const Config configs[] = {
-      {"R=3.2 no external load", cm::cliquemap::ReplicationMode::kR32, false},
-      {"R=3.2 with external load", cm::cliquemap::ReplicationMode::kR32, true},
-      {"R=1   no external load", cm::cliquemap::ReplicationMode::kR1, false},
-      {"R=1   with external load", cm::cliquemap::ReplicationMode::kR1, true},
+      {"R=3.2 no external load", "r32.unloaded",
+       cm::cliquemap::ReplicationMode::kR32, false},
+      {"R=3.2 with external load", "r32.loaded",
+       cm::cliquemap::ReplicationMode::kR32, true},
+      {"R=1   no external load", "r1.unloaded",
+       cm::cliquemap::ReplicationMode::kR1, false},
+      {"R=1   with external load", "r1.loaded",
+       cm::cliquemap::ReplicationMode::kR1, true},
   };
 
   double base_p50[2] = {0, 0};
   double base_p99[2] = {0, 0};
-  std::printf("%-28s %12s %12s %12s %12s\n", "config", "p50(us)", "p99(us)",
-              "norm p50", "norm p99");
+  if (!report.enabled()) {
+    std::printf("%-28s %12s %12s %12s %12s\n", "config", "p50(us)", "p99(us)",
+                "norm p50", "norm p99");
+  }
   for (int i = 0; i < 4; ++i) {
     cm::Histogram h = RunScenario(configs[i].mode, configs[i].load);
     const double p50 = h.Percentile(0.50) / 1000.0;
@@ -86,8 +96,19 @@ int main() {
       base_p50[base] = p50;
       base_p99[base] = p99;
     }
+    report.AddScalar(std::string(configs[i].tag) + ".p50_us", p50);
+    report.AddScalar(std::string(configs[i].tag) + ".p99_us", p99);
+    report.AddScalar(std::string(configs[i].tag) + ".norm_p50",
+                     p50 / base_p50[base]);
+    report.AddScalar(std::string(configs[i].tag) + ".norm_p99",
+                     p99 / base_p99[base]);
+    if (report.enabled()) continue;
     std::printf("%-28s %12.1f %12.1f %12.2f %12.2f\n", configs[i].name, p50,
                 p99, p50 / base_p50[base], p99 / base_p99[base]);
+  }
+  if (report.enabled()) {
+    report.Emit();
+    return 0;
   }
   std::printf(
       "\nTakeaway check: R=3.2 normalized latencies stay ~1.0x under load;\n"

@@ -50,30 +50,42 @@ Histogram RunScenario(LookupStrategy strategy, bool client_load) {
 }  // namespace
 }  // namespace cm::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm::bench;
   using cm::cliquemap::LookupStrategy;
-  Banner("Figure 12: SCAR vs 2xR with 64KB values (client incast)\n"
-         "(R=3.2; SCAR moves ~195KB/op vs ~67KB/op for 2xR)");
-
-  std::printf("%-10s %-20s %12s %12s\n", "strategy", "client load", "p50(us)",
-              "p99(us)");
+  JsonReport report(argc, argv, "fig12_scar_incast");
+  if (!report.enabled()) {
+    Banner("Figure 12: SCAR vs 2xR with 64KB values (client incast)\n"
+           "(R=3.2; SCAR moves ~195KB/op vs ~67KB/op for 2xR)");
+    std::printf("%-10s %-20s %12s %12s\n", "strategy", "client load",
+                "p50(us)", "p99(us)");
+  }
   struct Row {
     const char* name;
+    const char* tag;
     LookupStrategy s;
     bool load;
   };
   const Row rows[] = {
-      {"2xR", LookupStrategy::kTwoR, false},
-      {"2xR", LookupStrategy::kTwoR, true},
-      {"SCAR", LookupStrategy::kScar, false},
-      {"SCAR", LookupStrategy::kScar, true},
+      {"2xR", "2xr.unloaded", LookupStrategy::kTwoR, false},
+      {"2xR", "2xr.loaded", LookupStrategy::kTwoR, true},
+      {"SCAR", "scar.unloaded", LookupStrategy::kScar, false},
+      {"SCAR", "scar.loaded", LookupStrategy::kScar, true},
   };
   for (const Row& row : rows) {
     cm::Histogram h = RunScenario(row.s, row.load);
+    report.AddScalar(std::string(row.tag) + ".p50_us",
+                     h.Percentile(0.5) / 1000.0);
+    report.AddScalar(std::string(row.tag) + ".p99_us",
+                     h.Percentile(0.99) / 1000.0);
+    if (report.enabled()) continue;
     std::printf("%-10s %-20s %12.1f %12.1f\n", row.name,
                 row.load ? "with external load" : "no external load",
                 h.Percentile(0.5) / 1000.0, h.Percentile(0.99) / 1000.0);
+  }
+  if (report.enabled()) {
+    report.Emit();
+    return 0;
   }
   std::printf(
       "\nTakeaway check: at 64KB values SCAR's 3-copy incast makes it slower\n"

@@ -8,13 +8,16 @@
 // 1000 observes degraded performance").
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::bench;
   using namespace cm::cliquemap;
   using namespace cm::workload;
-  Banner("Figure 13: planned maintenance via warm spares\n"
-         "(R=3.2 + 1 spare; steady GETs; restart injected at t=60s)");
+  JsonReport report(argc, argv, "fig13_planned_maint");
+  if (!report.enabled()) {
+    Banner("Figure 13: planned maintenance via warm spares\n"
+           "(R=3.2 + 1 spare; steady GETs; restart injected at t=60s)");
+  }
 
   sim::Simulator sim;
   CellOptions o;
@@ -75,8 +78,10 @@ int main() {
 
   RunAll(sim, std::move(tasks));
 
-  std::printf("%7s %9s %9s %9s %9s %14s\n", "t(s)", "GET/s", "p50_us",
-              "p99_us", "p999_us", "RPC_bytes/s");
+  if (!report.enabled()) {
+    std::printf("%7s %9s %9s %9s %9s %14s\n", "t(s)", "GET/s", "p50_us",
+                "p99_us", "p999_us", "RPC_bytes/s");
+  }
   int64_t prev_bytes = 0;
   size_t max_windows = 0;
   for (const auto& d : drivers) max_windows = std::max(max_windows, d->windows().size());
@@ -90,14 +95,29 @@ int main() {
       errors += d->windows()[w].get_errors;
     }
     int64_t bytes = w < rpc_series->size() ? (*rpc_series)[w] : prev_bytes;
-    std::printf("%7zu %9.0f %9.1f %9.1f %9.1f %14.0f%s%s\n", w * 10,
-                double(gets) / 10.0, get_ns.Percentile(0.50) / 1000.0,
-                get_ns.Percentile(0.99) / 1000.0,
-                get_ns.Percentile(0.999) / 1000.0,
-                double(bytes - prev_bytes) / 10.0,
-                (w == 6) ? "  <- planned restart notified" : "",
-                errors ? "  (errors!)" : "");
+    const std::string tag = "t" + std::to_string(w * 10);
+    report.AddScalar(tag + ".get_per_sec", double(gets) / 10.0);
+    report.AddScalar(tag + ".p50_us", get_ns.Percentile(0.50) / 1000.0);
+    report.AddScalar(tag + ".p99_us", get_ns.Percentile(0.99) / 1000.0);
+    report.AddScalar(tag + ".p999_us", get_ns.Percentile(0.999) / 1000.0);
+    report.AddScalar(tag + ".rpc_bytes_per_sec",
+                     double(bytes - prev_bytes) / 10.0);
+    report.AddScalar(tag + ".errors", double(errors));
+    if (!report.enabled()) {
+      std::printf("%7zu %9.0f %9.1f %9.1f %9.1f %14.0f%s%s\n", w * 10,
+                  double(gets) / 10.0, get_ns.Percentile(0.50) / 1000.0,
+                  get_ns.Percentile(0.99) / 1000.0,
+                  get_ns.Percentile(0.999) / 1000.0,
+                  double(bytes - prev_bytes) / 10.0,
+                  (w == 6) ? "  <- planned restart notified" : "",
+                  errors ? "  (errors!)" : "");
+    }
     prev_bytes = bytes;
+  }
+  if (report.enabled()) {
+    report.AddSnapshot("final", cell.metrics().TakeSnapshot());
+    report.Emit();
+    return 0;
   }
   std::printf(
       "\nTakeaway check: two RPC byte surges (migration out, migration\n"

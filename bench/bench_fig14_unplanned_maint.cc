@@ -7,13 +7,16 @@
 // per-GET operations while a replica is down.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::bench;
   using namespace cm::cliquemap;
   using namespace cm::workload;
-  Banner("Figure 14: unplanned crash + repairs\n"
-         "(R=3.2; crash at t=60s, restart at t=150s, cohort repairs)");
+  JsonReport report(argc, argv, "fig14_unplanned_maint");
+  if (!report.enabled()) {
+    Banner("Figure 14: unplanned crash + repairs\n"
+           "(R=3.2; crash at t=60s, restart at t=150s, cohort repairs)");
+  }
 
   sim::Simulator sim;
   CellOptions o;
@@ -76,8 +79,10 @@ int main() {
 
   RunAll(sim, std::move(tasks));
 
-  std::printf("%7s %9s %9s %9s %9s %9s %14s\n", "t(s)", "GET/s", "p50_us",
-              "p99_us", "p999_us", "errors", "RPC_bytes/s");
+  if (!report.enabled()) {
+    std::printf("%7s %9s %9s %9s %9s %9s %14s\n", "t(s)", "GET/s", "p50_us",
+                "p99_us", "p999_us", "errors", "RPC_bytes/s");
+  }
   int64_t prev_bytes = 0;
   size_t max_windows = 0;
   for (const auto& d : drivers) max_windows = std::max(max_windows, d->windows().size());
@@ -92,15 +97,25 @@ int main() {
       misses += d->windows()[w].misses;
     }
     int64_t bytes = w < rpc_series->size() ? (*rpc_series)[w] : prev_bytes;
-    const char* note = "";
-    if (w == 6) note = "  <- crash";
-    if (w == 15) note = "  <- restart + repairs";
-    std::printf("%7zu %9.0f %9.1f %9.1f %9.1f %9lld %14.0f%s\n", w * 10,
-                double(gets) / 10.0, get_ns.Percentile(0.50) / 1000.0,
-                get_ns.Percentile(0.99) / 1000.0,
-                get_ns.Percentile(0.999) / 1000.0,
-                static_cast<long long>(errors + misses),
-                double(bytes - prev_bytes) / 10.0, note);
+    const std::string tag = "t" + std::to_string(w * 10);
+    report.AddScalar(tag + ".get_per_sec", double(gets) / 10.0);
+    report.AddScalar(tag + ".p50_us", get_ns.Percentile(0.50) / 1000.0);
+    report.AddScalar(tag + ".p99_us", get_ns.Percentile(0.99) / 1000.0);
+    report.AddScalar(tag + ".p999_us", get_ns.Percentile(0.999) / 1000.0);
+    report.AddScalar(tag + ".errors", double(errors + misses));
+    report.AddScalar(tag + ".rpc_bytes_per_sec",
+                     double(bytes - prev_bytes) / 10.0);
+    if (!report.enabled()) {
+      const char* note = "";
+      if (w == 6) note = "  <- crash";
+      if (w == 15) note = "  <- restart + repairs";
+      std::printf("%7zu %9.0f %9.1f %9.1f %9.1f %9lld %14.0f%s\n", w * 10,
+                  double(gets) / 10.0, get_ns.Percentile(0.50) / 1000.0,
+                  get_ns.Percentile(0.99) / 1000.0,
+                  get_ns.Percentile(0.999) / 1000.0,
+                  static_cast<long long>(errors + misses),
+                  double(bytes - prev_bytes) / 10.0, note);
+    }
     prev_bytes = bytes;
   }
   // Fault/retry observability: how the client fleet and the repair plane
@@ -112,12 +127,28 @@ int main() {
     retries += s.retries;
     op_timeouts += s.op_timeouts;
     backoffs += s.backoff_events;
-    backoff_ns += s.backoff_ns;
+    backoff_ns += s.backoff_ns.sum();
     torn += s.torn_reads;
     inquorate += s.inquorate;
     budget += s.budget_exhausted;
   }
   const BackendStats bs = cell.AggregateBackendStats();
+  report.AddScalar("client.retries", double(retries));
+  report.AddScalar("client.op_timeouts", double(op_timeouts));
+  report.AddScalar("client.torn_reads", double(torn));
+  report.AddScalar("client.inquorate", double(inquorate));
+  report.AddScalar("client.budget_exhausted", double(budget));
+  report.AddScalar("client.backoff_events", double(backoffs));
+  report.AddScalar("client.backoff_total_ms", double(backoff_ns) / 1e6);
+  report.AddScalar("repair.pulls_sent", double(bs.repair_pulls_sent));
+  report.AddScalar("repair.pulls_served", double(bs.repair_pulls_served));
+  report.AddScalar("repair.pull_failures", double(bs.repair_pull_failures));
+  report.AddScalar("repair.repairs_issued", double(bs.repairs_issued));
+  if (report.enabled()) {
+    report.AddSnapshot("final", cell.metrics().TakeSnapshot());
+    report.Emit();
+    return 0;
+  }
   std::printf(
       "\nFault/retry counters:\n"
       "  client: retries=%lld op_timeouts=%lld torn_reads=%lld "

@@ -13,13 +13,16 @@
 
 #include "rma/softnic.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::bench;
   using namespace cm::cliquemap;
   using namespace cm::workload;
-  Banner("Figure 15: software-NIC load ramp + engine scale-out\n"
-         "(R=1, SCAR, 4KB values; 6 backends, 12 co-tenant + 18 packed solo clients)");
+  JsonReport report(argc, argv, "fig15_pony_ramp");
+  if (!report.enabled()) {
+    Banner("Figure 15: software-NIC load ramp + engine scale-out\n"
+           "(R=1, SCAR, 4KB values; 6 backends, 12 co-tenant + 18 packed solo clients)");
+  }
 
   sim::Simulator sim;
   CellOptions o;
@@ -75,8 +78,10 @@ int main() {
     return total / double(hosts.size());
   };
 
-  std::printf("%14s %9s %9s %9s %12s %12s\n", "rate(ops/s)", "p50_us",
-              "p90_us", "p99_us", "cotenant_eng", "solo_eng");
+  if (!report.enabled()) {
+    std::printf("%14s %9s %9s %9s %12s %12s\n", "rate(ops/s)", "p50_us",
+                "p90_us", "p99_us", "cotenant_eng", "solo_eng");
+  }
   // Ramp: per-client closed-ish open loop at increasing rates.
   for (double per_client_rate : {2000.0, 5000.0, 10000.0, 20000.0, 40000.0,
                                  60000.0, 80000.0}) {
@@ -103,11 +108,24 @@ int main() {
         gets += w.gets;
       }
     }
+    const std::string tag = "qps" + std::to_string(int64_t(per_client_rate));
+    report.AddScalar(tag + ".achieved_ops_per_sec", double(gets) / 1.0);
+    report.AddScalar(tag + ".p50_us", get_ns.Percentile(0.50) / 1000.0);
+    report.AddScalar(tag + ".p90_us", get_ns.Percentile(0.90) / 1000.0);
+    report.AddScalar(tag + ".p99_us", get_ns.Percentile(0.99) / 1000.0);
+    report.AddScalar(tag + ".cotenant_engines", avg_engines(cotenant_hosts));
+    report.AddScalar(tag + ".solo_engines", avg_engines(solo_hosts));
+    if (report.enabled()) continue;
     std::printf("%14.0f %9.1f %9.1f %9.1f %12.2f %12.2f\n",
                 double(gets) / 1.0, get_ns.Percentile(0.50) / 1000.0,
                 get_ns.Percentile(0.90) / 1000.0,
                 get_ns.Percentile(0.99) / 1000.0, avg_engines(cotenant_hosts),
                 avg_engines(solo_hosts));
+  }
+  if (report.enabled()) {
+    report.AddSnapshot("final", cell.metrics().TakeSnapshot());
+    report.Emit();
+    return 0;
   }
   std::printf(
       "\nTakeaway check: co-tenant hosts scale engines out first; client-only\n"

@@ -11,13 +11,16 @@
 
 #include "rma/hwrma.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::bench;
   using namespace cm::cliquemap;
   using namespace cm::workload;
-  Banner("Figures 16+17: 1RMA load ramp (2xR, 4KB values, hardware path)\n"
-         "(Fig 16: NIC fabric+PCIe timestamps; Fig 17: end-to-end GETs)");
+  JsonReport report(argc, argv, "fig16_17_1rma_ramp");
+  if (!report.enabled()) {
+    Banner("Figures 16+17: 1RMA load ramp (2xR, 4KB values, hardware path)\n"
+           "(Fig 16: NIC fabric+PCIe timestamps; Fig 17: end-to-end GETs)");
+  }
 
   sim::Simulator sim;
   CellOptions o;
@@ -45,10 +48,12 @@ int main() {
   }
   Preload(sim, clients[0], "onerma-", 2000, 4096);
 
-  std::printf("%16s | %9s %9s %9s | %9s %9s %9s\n", "", "fig16", "fabric+",
-              "PCIe", "fig17", "GET", "e2e");
-  std::printf("%16s | %9s %9s %9s | %9s %9s %9s\n", "rate(GET/s)", "p50_us",
-              "p90_us", "p99_us", "p50_us", "p90_us", "p99_us");
+  if (!report.enabled()) {
+    std::printf("%16s | %9s %9s %9s | %9s %9s %9s\n", "", "fig16", "fabric+",
+                "PCIe", "fig17", "GET", "e2e");
+    std::printf("%16s | %9s %9s %9s | %9s %9s %9s\n", "rate(GET/s)", "p50_us",
+                "p90_us", "p99_us", "p50_us", "p90_us", "p99_us");
+  }
   double base_hw_p50 = 0;
   for (double per_client_rate : {100.0, 500.0, 2000.0, 8000.0, 20000.0,
                                  40000.0}) {
@@ -78,12 +83,26 @@ int main() {
     }
     const Histogram& hw = cell.hwrma()->hw_timestamps();
     if (base_hw_p50 == 0) base_hw_p50 = double(hw.Percentile(0.5));
+    const std::string tag = "qps" + std::to_string(int64_t(per_client_rate));
+    report.AddScalar(tag + ".achieved_get_per_sec", double(gets) / 2.0);
+    report.AddScalar(tag + ".hw_p50_us", hw.Percentile(0.50) / 1000.0);
+    report.AddScalar(tag + ".hw_p90_us", hw.Percentile(0.90) / 1000.0);
+    report.AddScalar(tag + ".hw_p99_us", hw.Percentile(0.99) / 1000.0);
+    report.AddScalar(tag + ".e2e_p50_us", get_ns.Percentile(0.50) / 1000.0);
+    report.AddScalar(tag + ".e2e_p90_us", get_ns.Percentile(0.90) / 1000.0);
+    report.AddScalar(tag + ".e2e_p99_us", get_ns.Percentile(0.99) / 1000.0);
+    if (report.enabled()) continue;
     std::printf("%16.0f | %9.2f %9.2f %9.2f | %9.1f %9.1f %9.1f\n",
                 double(gets) / 2.0, hw.Percentile(0.50) / 1000.0,
                 hw.Percentile(0.90) / 1000.0, hw.Percentile(0.99) / 1000.0,
                 get_ns.Percentile(0.50) / 1000.0,
                 get_ns.Percentile(0.90) / 1000.0,
                 get_ns.Percentile(0.99) / 1000.0);
+  }
+  if (report.enabled()) {
+    report.AddSnapshot("final", cell.metrics().TakeSnapshot());
+    report.Emit();
+    return 0;
   }
   std::printf(
       "\nTakeaway check (16): fabric+PCIe latency rises only marginally with\n"

@@ -6,17 +6,19 @@
 // (Fig 19); GET latency stays nominal across mixes.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::bench;
   using namespace cm::cliquemap;
   using namespace cm::workload;
-  Banner("Figures 18+19: GET/SET mix sweep (4KB values, R=3.2)");
-
-  std::printf("%10s | %9s %9s %9s %9s | %12s | %10s\n", "mix", "GET_p50",
-              "GET_p99", "SET_p50", "SET_p99", "backendCPU", "evict/SET");
-  std::printf("%10s | %9s %9s %9s %9s | %12s |\n", "", "(us)", "(us)", "(us)",
-              "(us)", "(CPU-ms/s)");
+  JsonReport report(argc, argv, "fig18_19_mix");
+  if (!report.enabled()) {
+    Banner("Figures 18+19: GET/SET mix sweep (4KB values, R=3.2)");
+    std::printf("%10s | %9s %9s %9s %9s | %12s | %10s\n", "mix", "GET_p50",
+                "GET_p99", "SET_p50", "SET_p99", "backendCPU", "evict/SET");
+    std::printf("%10s | %9s %9s %9s %9s | %12s |\n", "", "(us)", "(us)",
+                "(us)", "(us)", "(CPU-ms/s)");
+  }
   for (double get_fraction : {0.05, 0.50, 0.95}) {
     sim::Simulator sim;
     CellOptions o;
@@ -76,6 +78,17 @@ int main() {
             ? double(agg.evictions_capacity + agg.evictions_assoc) /
                   double(agg.sets_applied)
             : 0.0;
+    const std::string tag =
+        "get" + std::to_string(int(100 * get_fraction + 0.5));
+    report.AddScalar(tag + ".get_p50_us", get_ns.Percentile(0.50) / 1000.0);
+    report.AddScalar(tag + ".get_p99_us", get_ns.Percentile(0.99) / 1000.0);
+    report.AddScalar(tag + ".set_p50_us", set_ns.Percentile(0.50) / 1000.0);
+    report.AddScalar(tag + ".set_p99_us", set_ns.Percentile(0.99) / 1000.0);
+    report.AddScalar(tag + ".backend_cpu_ms_per_sec",
+                     double(cpu1 - cpu0) / 1e6 / sim::ToSeconds(kRun));
+    report.AddScalar(tag + ".evict_per_set", evict_per_set);
+    report.AddSnapshot(tag, cell.metrics().TakeSnapshot());
+    if (report.enabled()) continue;
     std::printf("%8.0f%% | %9.1f %9.1f %9.1f %9.1f | %12.2f | %10.3f\n",
                 100 * get_fraction, get_ns.Percentile(0.50) / 1000.0,
                 get_ns.Percentile(0.99) / 1000.0,
@@ -83,6 +96,10 @@ int main() {
                 set_ns.Percentile(0.99) / 1000.0,
                 double(cpu1 - cpu0) / 1e6 / sim::ToSeconds(kRun),
                 evict_per_set);
+  }
+  if (report.enabled()) {
+    report.Emit();
+    return 0;
   }
   std::printf(
       "\nTakeaway check (18): SETs (RPC) cost far more latency than GETs\n"

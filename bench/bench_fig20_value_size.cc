@@ -5,15 +5,17 @@
 // for serialization (bytes-per-op) to matter.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::bench;
   using namespace cm::cliquemap;
   using namespace cm::workload;
-  Banner("Figure 20: value size sweep at fixed GET rate (R=3.2)");
-
-  std::printf("%8s | %9s %9s | %9s %9s\n", "size", "GET_p50us", "GET_p99us",
-              "SET_p50us", "SET_p99us");
+  JsonReport report(argc, argv, "fig20_value_size");
+  if (!report.enabled()) {
+    Banner("Figure 20: value size sweep at fixed GET rate (R=3.2)");
+    std::printf("%8s | %9s %9s | %9s %9s\n", "size", "GET_p50us", "GET_p99us",
+                "SET_p50us", "SET_p99us");
+  }
   for (uint32_t size : {32u, 256u, 2048u, 16384u}) {
     sim::Simulator sim;
     CellOptions o;
@@ -57,11 +59,24 @@ int main() {
         set_ns.Merge(w.set_ns);
       }
     }
+    const std::string tag = "b" + std::to_string(size);
+    report.AddScalar(tag + ".get_p50_us", get_ns.Percentile(0.50) / 1000.0);
+    report.AddScalar(tag + ".get_p99_us", get_ns.Percentile(0.99) / 1000.0);
+    report.AddScalar(tag + ".set_p50_us", set_ns.Percentile(0.50) / 1000.0);
+    report.AddScalar(tag + ".set_p99_us", set_ns.Percentile(0.99) / 1000.0);
+    if (report.enabled()) {
+      report.AddSnapshot(tag, cell.metrics().TakeSnapshot());
+      continue;
+    }
     std::printf("%7uB | %9.1f %9.1f | %9.1f %9.1f\n", size,
                 get_ns.Percentile(0.50) / 1000.0,
                 get_ns.Percentile(0.99) / 1000.0,
                 set_ns.Percentile(0.50) / 1000.0,
                 set_ns.Percentile(0.99) / 1000.0);
+  }
+  if (report.enabled()) {
+    report.Emit();
+    return 0;
   }
   std::printf(
       "\nTakeaway check: latencies nearly flat through the production-common\n"

@@ -2,8 +2,18 @@
 // every simulated op exercises — hashing, checksums, entry codecs, slab
 // allocation, eviction policy updates. These bound how fast the simulator
 // itself can push ops, and document the real cost of the data structures.
+//
+// `--json` replaces the console table with one cm.bench.v1 document
+// (per-benchmark real/cpu ns-per-iteration scalars), matching every other
+// bench binary's machine-readable mode; remaining flags still reach
+// google-benchmark (e.g. --benchmark_filter).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
 #include "cliquemap/eviction.h"
 #include "cliquemap/layout.h"
 #include "cliquemap/slab.h"
@@ -118,6 +128,75 @@ void BM_BucketScan(benchmark::State& state) {
 }
 BENCHMARK(BM_BucketScan);
 
+// Collects per-benchmark timings instead of printing the console table.
+class CollectingReporter : public benchmark::BenchmarkReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_ns_per_iter;
+    double cpu_ns_per_iter;
+    int64_t iterations;
+  };
+
+  bool ReportContext(const Context&) override { return true; }
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      rows.push_back(Row{run.benchmark_name(),
+                         run.real_accumulated_time * 1e9 / run.iterations,
+                         run.cpu_accumulated_time * 1e9 / run.iterations,
+                         run.iterations});
+    }
+  }
+
+  std::vector<Row> rows;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull our --json flag out before google-benchmark sees (and rejects) it.
+  bool json = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      json = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (!json) {
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  cm::json::Writer w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("cm.bench.v1");
+  w.Key("bench");
+  w.String("micro");
+  w.Key("scalars");
+  w.BeginObject();
+  for (const auto& row : reporter.rows) {
+    w.Key(row.name + ".real_ns_per_iter");
+    w.Double(row.real_ns_per_iter);
+    w.Key(row.name + ".cpu_ns_per_iter");
+    w.Double(row.cpu_ns_per_iter);
+    w.Key(row.name + ".iterations");
+    w.Double(static_cast<double>(row.iterations));
+  }
+  w.EndObject();
+  w.Key("metrics");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  std::printf("%s\n", w.str().c_str());
+  return 0;
+}

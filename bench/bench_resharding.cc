@@ -11,14 +11,17 @@
 
 #include "cliquemap/resharder.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cm;
   using namespace cm::bench;
   using namespace cm::cliquemap;
   using namespace cm::workload;
-  Banner("Live resharding: elastic timeline under open-loop load\n"
-         "(start 3 shards R=1; grow to 5, up-replicate to R=3.2, replace a\n"
-         " backend, down-replicate to R=1, shrink to 3 — all online)");
+  JsonReport report(argc, argv, "resharding");
+  if (!report.enabled()) {
+    Banner("Live resharding: elastic timeline under open-loop load\n"
+           "(start 3 shards R=1; grow to 5, up-replicate to R=3.2, replace a\n"
+           " backend, down-replicate to R=1, shrink to 3 — all online)");
+  }
 
   sim::Simulator sim;
   CellOptions o;
@@ -108,8 +111,10 @@ int main() {
 
   // Per-window series: all drivers merged (Histogram::Merge), with the
   // control-plane step that landed inside each window called out.
-  std::printf("%6s %9s %8s %9s %9s %8s %11s  %s\n", "t(s)", "GET/s",
-              "avail", "hit_rate", "p50_us", "p99_us", "mem(MB)", "event");
+  if (!report.enabled()) {
+    std::printf("%6s %9s %8s %9s %9s %8s %11s  %s\n", "t(s)", "GET/s",
+                "avail", "hit_rate", "p50_us", "p99_us", "mem(MB)", "event");
+  }
   size_t max_windows = 0;
   for (const auto& d : drivers)
     max_windows = std::max(max_windows, d->windows().size());
@@ -150,6 +155,14 @@ int main() {
     agg.errors += errors;
     agg.misses += misses;
     const double served = double(std::max<int64_t>(gets, 1));
+    const std::string tag = "t" + std::to_string(w);
+    report.AddScalar(tag + ".gets", double(gets));
+    report.AddScalar(tag + ".availability", 1.0 - double(errors) / served);
+    report.AddScalar(tag + ".hit_rate", 1.0 - double(misses) / served);
+    report.AddScalar(tag + ".p50_us", get_ns.Percentile(0.50) / 1000.0);
+    report.AddScalar(tag + ".p99_us", get_ns.Percentile(0.99) / 1000.0);
+    report.AddScalar(tag + ".mem_mb", double(footprint) / (1 << 20));
+    if (report.enabled()) continue;
     std::printf("%6zu %9.0f %8.4f %9.4f %9.1f %8.1f %11.2f  %s\n", w,
                 double(gets), 1.0 - double(errors) / served,
                 1.0 - double(misses) / served,
@@ -158,11 +171,21 @@ int main() {
                 double(footprint) / (1 << 20), note);
   }
 
-  std::printf("\nPer-phase summary (windows merged per control-plane step):\n");
-  std::printf("%-28s %9s %8s %9s %9s %8s\n", "phase", "GETs", "avail",
-              "hit_rate", "p50_us", "p99_us");
+  if (!report.enabled()) {
+    std::printf(
+        "\nPer-phase summary (windows merged per control-plane step):\n");
+    std::printf("%-28s %9s %8s %9s %9s %8s\n", "phase", "GETs", "avail",
+                "hit_rate", "p50_us", "p99_us");
+  }
   for (const PhaseAgg& p : phases) {
     const double served = double(std::max<int64_t>(p.gets, 1));
+    if (report.enabled()) {
+      const std::string tag = "phase." + std::string(p.label);
+      report.AddScalar(tag + ".availability",
+                       1.0 - double(p.errors) / served);
+      report.AddScalar(tag + ".p99_us", p.get_ns.Percentile(0.99) / 1000.0);
+      continue;
+    }
     std::printf("%-28s %9lld %8.4f %9.4f %9.1f %8.1f\n", p.label,
                 static_cast<long long>(p.gets),
                 1.0 - double(p.errors) / served,
@@ -172,6 +195,18 @@ int main() {
   }
 
   const ResharderStats& rs = resharder.stats();
+  report.AddScalar("resharder.transitions_committed",
+                   double(rs.transitions_committed));
+  report.AddScalar("resharder.transitions_started",
+                   double(rs.transitions_started));
+  report.AddScalar("resharder.records_streamed",
+                   double(rs.records_streamed));
+  report.AddScalar("resharder.batch_retries", double(rs.batch_retries));
+  if (report.enabled()) {
+    report.AddSnapshot("final", cell.metrics().TakeSnapshot());
+    report.Emit();
+    return 0;
+  }
   std::printf(
       "\nResharder: transitions=%lld/%lld backends_added=%lld retired=%lld\n"
       "  streamed=%lld records (%.2f MB, %lld batches, %lld retries)\n"

@@ -6,8 +6,13 @@
 //  * CliqueMap GETs vs MemcacheG GETs: latency and total CPU per op
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
 #include "baseline/memcacheg.h"
 #include "bench_util.h"
+#include "common/json.h"
 
 namespace {
 
@@ -116,6 +121,78 @@ void BM_MemcachegGet(benchmark::State& state) {
 }
 BENCHMARK(BM_MemcachegGet)->Iterations(2000);
 
+// Collects per-benchmark timings and user counters instead of printing the
+// console table (same machine-readable mode as every other bench binary).
+class CollectingReporter : public benchmark::BenchmarkReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_ns_per_iter;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  bool ReportContext(const Context&) override { return true; }
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.real_ns_per_iter = run.real_accumulated_time * 1e9 / run.iterations;
+      for (const auto& [name, counter] : run.counters) {
+        row.counters.emplace_back(name, double(counter));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::vector<Row> rows;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull our --json flag out before google-benchmark sees (and rejects) it.
+  bool json = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      json = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (!json) {
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  cm::json::Writer w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("cm.bench.v1");
+  w.Key("bench");
+  w.String("rpc_vs_rma");
+  w.Key("scalars");
+  w.BeginObject();
+  for (const auto& row : reporter.rows) {
+    w.Key(row.name + ".real_ns_per_iter");
+    w.Double(row.real_ns_per_iter);
+    for (const auto& [name, value] : row.counters) {
+      w.Key(row.name + "." + name);
+      w.Double(value);
+    }
+  }
+  w.EndObject();
+  w.Key("metrics");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  std::printf("%s\n", w.str().c_str());
+  return 0;
+}

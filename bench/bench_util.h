@@ -11,11 +11,77 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cliquemap/cell.h"
+#include "common/json.h"
 #include "workload/workload.h"
 
 namespace cm::bench {
+
+// Machine-readable bench output, enabled by `--json` on any bench binary.
+//
+// When enabled, the bench emits exactly one JSON object on stdout (schema
+// "cm.bench.v1") carrying its named scalar results plus any registry metric
+// snapshots it attaches — so CI and notebooks regenerate BENCH_*.json files
+// instead of scraping printf tables (see EXPERIMENTS.md). Human-readable
+// output should be suppressed when enabled() to keep stdout parseable.
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv, const char* bench_name)
+      : bench_name_(bench_name) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--json") enabled_ = true;
+    }
+  }
+  bool enabled() const { return enabled_; }
+
+  // Named scalar result (flat namespace; dotted names group by convention,
+  // e.g. "scar.client_ns_per_op").
+  void AddScalar(std::string name, double v) {
+    scalars_.emplace_back(std::move(name), v);
+  }
+  // Attaches a full metrics snapshot (typically a DeltaFrom over the
+  // measured section) under `label`.
+  void AddSnapshot(std::string label, const metrics::Snapshot& snap) {
+    snapshots_.emplace_back(std::move(label), snap.ToJson());
+  }
+
+  // Prints the document. Call once, at the end of main, when enabled().
+  void Emit() const {
+    json::Writer w;
+    w.BeginObject();
+    w.Key("schema");
+    w.String(kSchema);
+    w.Key("bench");
+    w.String(bench_name_);
+    w.Key("scalars");
+    w.BeginObject();
+    for (const auto& [name, v] : scalars_) {
+      w.Key(name);
+      w.Double(v);
+    }
+    w.EndObject();
+    w.Key("metrics");
+    w.BeginObject();
+    for (const auto& [label, json] : snapshots_) {
+      w.Key(label);
+      w.Raw(json);
+    }
+    w.EndObject();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  }
+
+  static constexpr std::string_view kSchema = "cm.bench.v1";
+
+ private:
+  const char* bench_name_;
+  bool enabled_ = false;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, std::string>> snapshots_;
+};
 
 // Runs one client coroutine to completion on the simulator. Unlike
 // sim.Run(), this stops as soon as the op resolves, so perpetual background

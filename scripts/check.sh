@@ -17,6 +17,24 @@ cmake --build build -j
 echo "== tier-1: full ctest =="
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
+echo "== observability: metrics/trace suite =="
+(cd build && ctest --output-on-failure -L metrics)
+
+echo "== observability: bench --json emits valid cm.bench.v1 =="
+JQ=/usr/bin/jq
+for bench in bench_micro bench_fig07_cpu_per_op; do
+  out="$(./build/bench/${bench} --json)"
+  echo "${out}" | "$JQ" -e '.schema == "cm.bench.v1"' >/dev/null \
+    || { echo "${bench} --json: bad schema"; exit 1; }
+  echo "${out}" | "$JQ" -e '(.scalars | length) > 0' >/dev/null \
+    || { echo "${bench} --json: no scalars"; exit 1; }
+  echo "  ${bench}: ok ($(echo "${out}" | "$JQ" '.scalars | length') scalars)"
+done
+# fig07 must attribute per-layer CPU from registry snapshot deltas.
+./build/bench/bench_fig07_cpu_per_op --json \
+  | "$JQ" -e '.scalars["scar.issue_ns_per_op"] > 0 and (.metrics.scar.schema == "cm.metrics.v1")' >/dev/null \
+  || { echo "fig07 --json: missing registry attribution"; exit 1; }
+
 if [[ "$FAST" == "1" ]]; then
   echo "== done (fast mode: sanitizer stage skipped) =="
   exit 0

@@ -327,6 +327,10 @@ class Backend {
   std::unique_ptr<rpc::RpcServer> rpc_server_;
   int64_t lifetime_rpc_bytes_ = 0;
   BackendStats stats_;
+  // Mirrors BackendStats counters and the memory-footprint gauges into the
+  // fabric registry under cm.backend.*{host=<id>} for the backend's lifetime
+  // (labeled by host, not shard: resharding reassigns shards in place).
+  metrics::ExportGroup exports_;
 };
 
 }  // namespace cm::cliquemap

@@ -94,6 +94,10 @@ class Cell {
   // Accessors -------------------------------------------------------------
   sim::Simulator& simulator() { return sim_; }
   net::Fabric& fabric() { return *fabric_; }
+  // Cell-wide observability: every layer exports into the fabric's registry
+  // and threads its op spans through the fabric's tracer.
+  metrics::Registry& metrics() { return fabric_->metrics(); }
+  trace::Tracer& tracer() { return fabric_->tracer(); }
   rpc::RpcNetwork& rpc_network() { return *rpc_network_; }
   rma::RmaNetwork& rma_network() { return *rma_network_; }
   rma::RmaTransport* transport() { return transport_.get(); }

@@ -18,7 +18,50 @@ Client::Client(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
       config_host_(config_host),
       config_(config),
       rng_(0x5eedC11E4DABull ^ (uint64_t{config.client_id} * 0x9E3779B97F4A7C15ull)),
-      alive_(std::make_shared<bool>(true)) {}
+      alive_(std::make_shared<bool>(true)),
+      exports_(&fabric.metrics()) {
+  const metrics::Labels l = {{"client", std::to_string(config_.client_id)}};
+  exports_.ExportCounter("cm.client.gets", l, &stats_.gets);
+  exports_.ExportCounter("cm.client.hits", l, &stats_.hits);
+  exports_.ExportCounter("cm.client.misses", l, &stats_.misses);
+  exports_.ExportCounter("cm.client.get_errors", l, &stats_.get_errors);
+  exports_.ExportCounter("cm.client.sets", l, &stats_.sets);
+  exports_.ExportCounter("cm.client.set_errors", l, &stats_.set_errors);
+  exports_.ExportCounter("cm.client.erases", l, &stats_.erases);
+  exports_.ExportCounter("cm.client.cas_ops", l, &stats_.cas_ops);
+  exports_.ExportCounter("cm.client.retries", l, &stats_.retries);
+  exports_.ExportCounter("cm.client.torn_reads", l, &stats_.torn_reads);
+  exports_.ExportCounter("cm.client.inquorate", l, &stats_.inquorate);
+  exports_.ExportCounter("cm.client.preferred_mismatch", l,
+                         &stats_.preferred_mismatch);
+  exports_.ExportCounter("cm.client.window_errors", l, &stats_.window_errors);
+  exports_.ExportCounter("cm.client.config_refreshes", l,
+                         &stats_.config_refreshes);
+  exports_.ExportCounter("cm.client.rpc_fallback_gets", l,
+                         &stats_.rpc_fallback_gets);
+  exports_.ExportCounter("cm.client.touch_rpcs", l, &stats_.touch_rpcs);
+  exports_.ExportCounter("cm.client.op_timeouts", l, &stats_.op_timeouts);
+  exports_.ExportCounter("cm.client.backoff_events", l,
+                         &stats_.backoff_events);
+  exports_.ExportCounter("cm.client.budget_exhausted", l,
+                         &stats_.budget_exhausted);
+  exports_.ExportCounter("cm.client.compress_bytes_in", l,
+                         &stats_.compress_bytes_in);
+  exports_.ExportCounter("cm.client.compress_bytes_out", l,
+                         &stats_.compress_bytes_out);
+  exports_.ExportCounter("cm.client.stale_generation_rejects", l,
+                         &stats_.stale_generation_rejects);
+  exports_.ExportCounter("cm.client.prev_window_gets", l,
+                         &stats_.prev_window_gets);
+  exports_.ExportCounter("cm.client.issue_cpu_ns", l, &stats_.issue_cpu_ns);
+  exports_.ExportCounter("cm.client.validate_cpu_ns", l,
+                         &stats_.validate_cpu_ns);
+  exports_.ExportHistogram("cm.client.backoff_ns", l, &stats_.backoff_ns);
+  exports_.ExportHistogram("cm.client.get_latency_ns", l,
+                           &stats_.get_latency_ns);
+  exports_.ExportHistogram("cm.client.set_latency_ns", l,
+                           &stats_.set_latency_ns);
+}
 
 Client::~Client() { *alive_ = false; }
 
@@ -124,7 +167,7 @@ void Client::NoteReplicaFailure(uint32_t shard) {
   conn.backoff_cur = next;
   conn.dead_until = sim_.now() + next;
   ++stats_.backoff_events;
-  stats_.backoff_ns += next;
+  stats_.backoff_ns.Record(next);
   // A connection failure often means the serving task moved (migration,
   // spare promotion, restart): refresh the cell view in the background
   // while quorum reads keep being served by the healthy replicas (§7.2.3).
@@ -146,6 +189,8 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
   const sim::Time deadline_at = start + config_.op_deadline;
   ++stats_.gets;
   const Hash128 hash = config_.hash_fn(key);
+  trace::Tracer& tracer = fabric_.tracer();
+  const trace::SpanId span = tracer.BeginRoot("get", host_);
 
   StatusOr<GetResult> result = DeadlineExceededError("retries exhausted");
   int attempt = 0;
@@ -159,14 +204,14 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
       }
     }
     const uint32_t gen_at_attempt = view_.generation;
-    result = co_await GetOnce(key, hash, deadline_at);
+    result = co_await GetOnce(key, hash, deadline_at, span);
     if (result.ok()) break;
     if (result.status().code() == StatusCode::kNotFound) {
       // Dual-version window: a miss under the new topology may just be a
       // record that hasn't streamed over from its previous owner yet —
       // both generations answer reads while the window is open.
       if (config_.prev_fallback && view_valid_ && view_.transition) {
-        auto prev = co_await PrevWindowGet(key, hash, deadline_at);
+        auto prev = co_await PrevWindowGet(key, hash, deadline_at, span);
         if (prev.ok()) {
           ++stats_.prev_window_gets;
           result = std::move(prev);
@@ -207,7 +252,7 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
     sleep = std::min<sim::Duration>(sleep, deadline_at - sim_.now());
     if (sleep > 0) {
       ++stats_.backoff_events;
-      stats_.backoff_ns += sleep;
+      stats_.backoff_ns.Record(sleep);
       co_await sim_.Delay(sleep);
     }
   }
@@ -226,7 +271,7 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
   // all mean the same thing — the new owners cannot answer yet.
   if (!result.ok() && config_.prev_fallback && view_valid_ &&
       view_.transition) {
-    auto prev = co_await PrevWindowGet(key, hash, deadline_at);
+    auto prev = co_await PrevWindowGet(key, hash, deadline_at, span);
     if (prev.ok()) {
       ++stats_.prev_window_gets;
       result = std::move(prev);
@@ -253,6 +298,7 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
   }
 
   stats_.get_latency_ns.Record(sim_.now() - start);
+  tracer.End(span, result.ok() ? 1 : 0);
   if (result.ok()) {
     ++stats_.hits;
     const uint32_t primary = PrimaryShard(hash, view_.num_shards());
@@ -287,7 +333,8 @@ sim::Task<std::vector<StatusOr<GetResult>>> Client::MultiGet(
 
 sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
                                                const Hash128& hash,
-                                               sim::Time deadline_at) {
+                                               sim::Time deadline_at,
+                                               trace::SpanId span) {
   const uint32_t n = view_.num_shards();
   if (n == 0) co_return UnavailableError("empty cell");
   const int replicas = ReplicaCount(view_.mode);
@@ -297,7 +344,7 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
   // (if/else rather than switch: gcc 12 miscompiles co_await in case
   // blocks; see sim/sync.h.)
   if (config_.strategy == LookupStrategy::kRpc || transport_ == nullptr) {
-    co_return co_await GetViaRpc(key, primary, deadline_at);
+    co_return co_await GetViaRpc(key, primary, deadline_at, span);
   }
   bool use_scar;
   if (config_.strategy == LookupStrategy::kScar) {
@@ -373,7 +420,7 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
   auto votes = std::make_shared<sim::Channel<IndexVote>>(sim_);
   for (size_t i = 0; i < targets.size(); ++i) {
     sim_.Spawn(FetchIndex(votes, static_cast<int>(i), targets[i], hash,
-                          use_scar));
+                          use_scar, span));
   }
 
   struct VersionCount {
@@ -439,7 +486,7 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
       if (absence_votes >= quorum) {
         // Miss quorum. The overflow bit may still route us to RPC (§4.2).
         if (absence_overflow && config_.follow_overflow_fallback) {
-          co_return co_await GetViaRpc(key, vote.shard, deadline_at);
+          co_return co_await GetViaRpc(key, vote.shard, deadline_at, span);
         }
         co_return NotFoundError("absence quorum");
       }
@@ -456,10 +503,10 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
         vote.replica == preferred->replica) {
       speculative_started = true;
       sim_.Spawn([](Client* self, std::string key, Hash128 hash,
-                    uint32_t shard, IndexEntry entry,
+                    uint32_t shard, IndexEntry entry, trace::SpanId parent,
                     sim::OneShot<StatusOr<GetResult>> out) -> sim::Task<void> {
-        out.Set(co_await self->FetchData(key, hash, shard, entry));
-      }(this, key, hash, vote.shard, vote.entry, speculative_data));
+        out.Set(co_await self->FetchData(key, hash, shard, entry, parent));
+      }(this, key, hash, vote.shard, vote.entry, span, speculative_data));
     }
 
     if (vc->count >= quorum) {
@@ -474,7 +521,10 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
           ++stats_.torn_reads;  // pointer raced an eviction/mutation
           co_return AbortedError("scar returned no data");
         }
+        const sim::Time v_start = sim_.now();
+        stats_.validate_cpu_ns += config_.validate_cpu;
         co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
+        fabric_.tracer().AddSpan("validate", span, v_start, sim_.now(), host_);
         co_return ValidateData(source.scar_data, key, hash, v);
       }
       if (preferred_in_quorum && speculative_started) {
@@ -486,7 +536,8 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
       }
       // Preferred not in quorum: fetch from a quorum member instead.
       ++stats_.preferred_mismatch;
-      co_return co_await FetchData(key, hash, vc->vote.shard, vc->vote.entry);
+      co_return co_await FetchData(key, hash, vc->vote.shard, vc->vote.entry,
+                                   span);
     }
   }
 
@@ -496,7 +547,7 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
   // If an absence vote carried the bucket-overflow bit, the key may be
   // RPC-servable there even though no RMA quorum formed (§4.2).
   if (absence_overflow && config_.follow_overflow_fallback) {
-    auto via_rpc = co_await GetViaRpc(key, targets[0], deadline_at);
+    auto via_rpc = co_await GetViaRpc(key, targets[0], deadline_at, span);
     if (via_rpc.ok()) co_return via_rpc;
   }
   co_return AbortedError("inquorate");
@@ -504,7 +555,7 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
 
 sim::Task<void> Client::FetchIndex(
     std::shared_ptr<sim::Channel<IndexVote>> votes, int replica,
-    uint32_t shard, Hash128 hash, bool use_scar) {
+    uint32_t shard, Hash128 hash, bool use_scar, trace::SpanId parent) {
   IndexVote vote;
   vote.replica = replica;
   vote.shard = shard;
@@ -515,6 +566,10 @@ sim::Task<void> Client::FetchIndex(
   }
   const Conn conn = conns_[shard];  // copy: conns_ may be invalidated
 
+  trace::Tracer& tracer = fabric_.tracer();
+  // arg at End: replica index on success, -1 on failure.
+  const trace::SpanId span = tracer.Begin("quorum_fetch", parent, host_);
+  stats_.issue_cpu_ns += config_.issue_cpu;
   co_await fabric_.host(host_).cpu().Run(config_.issue_cpu);
   const uint64_t bucket = BucketIndex(hash, conn.num_buckets);
   const uint64_t offset = bucket * BucketBytes(conn.ways);
@@ -524,9 +579,10 @@ sim::Task<void> Client::FetchIndex(
   if (use_scar) {
     auto r = co_await transport_->ScanAndRead(host_, conn.host,
                                               conn.index_region, offset,
-                                              length, hash.hi, hash.lo);
+                                              length, hash.hi, hash.lo, span);
     if (!r.ok()) {
       vote.status = r.status();
+      tracer.End(span, -1);
       votes->Send(std::move(vote));
       co_return;
     }
@@ -534,30 +590,37 @@ sim::Task<void> Client::FetchIndex(
     vote.scar_data = std::move(r->data);
   } else {
     auto r = co_await transport_->Read(host_, conn.host, conn.index_region,
-                                       offset, length);
+                                       offset, length, span);
     if (!r.ok()) {
       vote.status = r.status();
+      tracer.End(span, -1);
       votes->Send(std::move(vote));
       co_return;
     }
     bucket_bytes = *std::move(r);
   }
 
+  const sim::Time v_start = sim_.now();
+  stats_.validate_cpu_ns += config_.validate_cpu;
   co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
+  tracer.AddSpan("validate", span, v_start, sim_.now(), host_);
   if (bucket_bytes.size() < BucketBytes(conn.ways)) {
     vote.status = AbortedError("short bucket read");
+    tracer.End(span, -1);
     votes->Send(std::move(vote));
     co_return;
   }
   const BucketHeader header = DecodeBucketHeader(bucket_bytes);
   if (shard >= view_.num_shards()) {  // view refreshed across the await
     vote.status = FailedPreconditionError("bucket config id mismatch");
+    tracer.End(span, -1);
     votes->Send(std::move(vote));
     co_return;
   }
   if (header.config_id != view_.shard_config_ids[shard]) {
     // The serving task changed underneath us (migration/spare, §6.1).
     vote.status = FailedPreconditionError("bucket config id mismatch");
+    tracer.End(span, -1);
     votes->Send(std::move(vote));
     co_return;
   }
@@ -572,17 +635,23 @@ sim::Task<void> Client::FetchIndex(
     }
   }
   vote.status = OkStatus();
+  tracer.End(span, replica);
   votes->Send(std::move(vote));
 }
 
 sim::Task<StatusOr<GetResult>> Client::FetchData(const std::string& key,
                                                  Hash128 hash, uint32_t shard,
-                                                 IndexEntry entry) {
+                                                 IndexEntry entry,
+                                                 trace::SpanId parent) {
   if (shard >= conns_.size()) co_return UnavailableError("cell shrank");
   const Conn conn = conns_[shard];
+  trace::Tracer& tracer = fabric_.tracer();
+  const trace::SpanId span = tracer.Begin("data_fetch", parent, host_);
+  stats_.issue_cpu_ns += config_.issue_cpu;
   co_await fabric_.host(host_).cpu().Run(config_.issue_cpu);
   auto r = co_await transport_->Read(host_, conn.host, entry.pointer.region,
-                                     entry.pointer.offset, entry.pointer.size);
+                                     entry.pointer.offset, entry.pointer.size,
+                                     span);
   if (!r.ok()) {
     if (r.status().code() == StatusCode::kPermissionDenied) {
       ++stats_.window_errors;
@@ -590,9 +659,14 @@ sim::Task<StatusOr<GetResult>> Client::FetchData(const std::string& key,
     } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
       ++stats_.op_timeouts;
     }
+    tracer.End(span, -1);
     co_return r.status();
   }
+  const sim::Time v_start = sim_.now();
+  stats_.validate_cpu_ns += config_.validate_cpu;
   co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
+  tracer.AddSpan("validate", span, v_start, sim_.now(), host_);
+  tracer.End(span, static_cast<int64_t>(r->size()));
   co_return ValidateData(*r, key, hash, entry.version);
 }
 
@@ -620,7 +694,8 @@ StatusOr<GetResult> Client::ValidateData(ByteSpan blob, const std::string& key,
 
 sim::Task<StatusOr<GetResult>> Client::GetViaRpc(const std::string& key,
                                                  uint32_t shard,
-                                                 sim::Time deadline_at) {
+                                                 sim::Time deadline_at,
+                                                 trace::SpanId span) {
   ++stats_.rpc_fallback_gets;
   if (shard >= view_.num_shards()) co_return UnavailableError("cell shrank");
   const sim::Duration remaining = deadline_at - sim_.now();
@@ -628,8 +703,8 @@ sim::Task<StatusOr<GetResult>> Client::GetViaRpc(const std::string& key,
   rpc::WireWriter w;
   w.PutString(proto::kTagKey, key);
   rpc::RpcChannel ch(rpc_network_, host_, view_.shard_hosts[shard]);
-  auto resp =
-      co_await ch.Call(proto::kMethodGet, std::move(w).Take(), remaining);
+  auto resp = co_await ch.Call(proto::kMethodGet, std::move(w).Take(),
+                               remaining, span);
   if (!resp.ok()) co_return resp.status();
   rpc::WireReader r(*resp);
   auto value = r.GetBytes(proto::kTagValue);
@@ -640,7 +715,8 @@ sim::Task<StatusOr<GetResult>> Client::GetViaRpc(const std::string& key,
 
 sim::Task<StatusOr<GetResult>> Client::PrevWindowGet(const std::string& key,
                                                      const Hash128& hash,
-                                                     sim::Time deadline_at) {
+                                                     sim::Time deadline_at,
+                                                     trace::SpanId span) {
   // Snapshot the view: it may refresh (and drop the prev topology) while we
   // are suspended in an RPC below.
   const CellView view = view_;
@@ -664,7 +740,7 @@ sim::Task<StatusOr<GetResult>> Client::PrevWindowGet(const std::string& key,
     const sim::Duration remaining = std::max<sim::Duration>(
         deadline_at - sim_.now(), sim::Microseconds(500));
     rpc::RpcChannel ch(rpc_network_, host_, target);
-    auto resp = co_await ch.Call(proto::kMethodGet, request, remaining);
+    auto resp = co_await ch.Call(proto::kMethodGet, request, remaining, span);
     if (!resp.ok()) {
       if (resp.status().code() != StatusCode::kNotFound) last = resp.status();
       continue;
@@ -689,7 +765,8 @@ VersionNumber Client::NextVersion() {
 }
 
 sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
-                                    Bytes request, int* applied_out) {
+                                    Bytes request, int* applied_out,
+                                    trace::SpanId span) {
   if (!view_valid_) {
     Status s = co_await RefreshConfig();
     if (!s.ok()) co_return s;
@@ -718,11 +795,11 @@ sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
   for (int r = 0; r < replicas; ++r) {
     const uint32_t shard = ReplicaShard(primary, r, n);
     sim_.Spawn([](Client* self, const char* method, Bytes req,
-                  net::HostId target,
+                  net::HostId target, trace::SpanId parent,
                   std::shared_ptr<sim::Channel<Ack>> acks) -> sim::Task<void> {
       rpc::RpcChannel ch(self->rpc_network_, self->host_, target);
       auto resp = co_await ch.Call(method, std::move(req),
-                                   self->config_.op_deadline);
+                                   self->config_.op_deadline, parent);
       Ack ack;
       ack.status = resp.status();
       if (resp.ok()) {
@@ -730,7 +807,7 @@ sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
         ack.applied = rr.GetU32(proto::kTagApplied).value_or(0) != 0;
       }
       acks->Send(ack);
-    }(this, method, request, view_.shard_hosts[shard], acks));
+    }(this, method, request, view_.shard_hosts[shard], span, acks));
   }
 
   int ok = 0, applied = 0, received = 0;
@@ -758,6 +835,8 @@ sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
 sim::Task<Status> Client::Set(std::string key, Bytes value) {
   const sim::Time start = sim_.now();
   ++stats_.sets;
+  trace::Tracer& tracer = fabric_.tracer();
+  const trace::SpanId span = tracer.BeginRoot("set", host_);
   if (config_.compress_values) {
     stats_.compress_bytes_in += static_cast<int64_t>(value.size());
     value = CompressValue(value);
@@ -772,13 +851,14 @@ sim::Task<Status> Client::Set(std::string key, Bytes value) {
     w.PutBytes(proto::kTagValue, value);
     proto::PutVersion(w, NextVersion());
     result = co_await MutateAll(proto::kMethodSet, key, std::move(w).Take(),
-                                nullptr);
+                                nullptr, span);
     if (result.ok()) break;
     if (sim_.now() - start >= config_.op_deadline) break;
     ++stats_.retries;
     (void)co_await RefreshConfig();
   }
   stats_.set_latency_ns.Record(sim_.now() - start);
+  tracer.End(span, result.ok() ? 1 : 0);
   if (!result.ok()) ++stats_.set_errors;
   co_return result;
 }
@@ -786,6 +866,8 @@ sim::Task<Status> Client::Set(std::string key, Bytes value) {
 sim::Task<Status> Client::Erase(std::string key) {
   const sim::Time start = sim_.now();
   ++stats_.erases;
+  trace::Tracer& tracer = fabric_.tracer();
+  const trace::SpanId span = tracer.BeginRoot("erase", host_);
   Status result = InternalError("unset");
   // Retried like Set: a stale-generation bounce (resharding window) must
   // re-route to the new owners, with a fresh higher version each attempt.
@@ -794,18 +876,21 @@ sim::Task<Status> Client::Erase(std::string key) {
     w.PutString(proto::kTagKey, key);
     proto::PutVersion(w, NextVersion());
     result = co_await MutateAll(proto::kMethodErase, key, std::move(w).Take(),
-                                nullptr);
+                                nullptr, span);
     if (result.ok()) break;
     if (sim_.now() - start >= config_.op_deadline) break;
     ++stats_.retries;
     (void)co_await RefreshConfig();
   }
+  tracer.End(span, result.ok() ? 1 : 0);
   co_return result;
 }
 
 sim::Task<StatusOr<bool>> Client::Cas(std::string key, Bytes value,
                                       VersionNumber expected) {
   ++stats_.cas_ops;
+  trace::Tracer& tracer = fabric_.tracer();
+  const trace::SpanId span = tracer.BeginRoot("cas", host_);
   if (config_.compress_values) {
     stats_.compress_bytes_in += static_cast<int64_t>(value.size());
     value = CompressValue(value);
@@ -818,8 +903,12 @@ sim::Task<StatusOr<bool>> Client::Cas(std::string key, Bytes value,
   proto::PutVersion(w, expected, proto::kTagExpectedTt);
   int applied = 0;
   Status s = co_await MutateAll(proto::kMethodCas, key, std::move(w).Take(),
-                                &applied);
-  if (!s.ok()) co_return s;
+                                &applied, span);
+  if (!s.ok()) {
+    tracer.End(span, -1);
+    co_return s;
+  }
+  tracer.End(span, applied);
   co_return applied >= QuorumSize(view_.mode);
 }
 

@@ -104,13 +104,19 @@ struct ClientStats {
   // Fault/retry observability (chaos harness).
   int64_t op_timeouts = 0;        // transport ops lost → completed by timeout
   int64_t backoff_events = 0;     // jittered backoffs taken (retry + replica)
-  int64_t backoff_ns = 0;         // total time spent backing off
   int64_t budget_exhausted = 0;   // ops that spent the whole retry budget
   int64_t compress_bytes_in = 0;   // raw value bytes offered to compression
   int64_t compress_bytes_out = 0;  // stored bytes after compression
   // Elasticity (resharding) observability.
   int64_t stale_generation_rejects = 0;  // mutation acks bounced by gen fence
   int64_t prev_window_gets = 0;          // GETs served by previous owners
+  // Client-library CPU attribution (Figs 6b/7): time charged to the host CPU
+  // issuing RMA ops and validating responses.
+  int64_t issue_cpu_ns = 0;
+  int64_t validate_cpu_ns = 0;
+  // Time-valued metrics are histograms (not raw ns totals): each recorded
+  // sample is one backoff sleep / one op's latency. Totals are .sum().
+  Histogram backoff_ns;
   Histogram get_latency_ns;
   Histogram set_latency_ns;
 };
@@ -154,8 +160,11 @@ class Client {
   void StartConfigWatcher();
   void StopConfigWatcher();
 
+  // Read-only stats. The old `mutable_stats()` escape hatch is gone: every
+  // counter is recorded by the client itself and mirrored into the fabric's
+  // metrics registry under cm.client.*{client=<id>} — use the registry
+  // snapshot (or this accessor) to observe, never to poke.
   const ClientStats& stats() const { return stats_; }
-  ClientStats& mutable_stats() { return stats_; }
   net::HostId host() const { return host_; }
   const CellView& view() const { return view_; }
   sim::Simulator& simulator() { return sim_; }
@@ -191,28 +200,33 @@ class Client {
   sim::Task<Status> EnsureConnected(uint32_t shard);
   void NoteReplicaFailure(uint32_t shard);
 
-  // One GET attempt; kAborted-class results are retried by Get().
+  // One GET attempt; kAborted-class results are retried by Get(). `span` is
+  // the op's root trace span (kNoSpan when tracing is off/unsampled).
   sim::Task<StatusOr<GetResult>> GetOnce(const std::string& key,
                                          const Hash128& hash,
-                                         sim::Time deadline_at);
+                                         sim::Time deadline_at,
+                                         trace::SpanId span);
   sim::Task<StatusOr<GetResult>> GetViaRpc(const std::string& key,
                                            uint32_t shard,
-                                           sim::Time deadline_at);
+                                           sim::Time deadline_at,
+                                           trace::SpanId span);
   // Dual-version window fallback: RPC GETs against the previous owners of
   // `hash` (the record may not have streamed to the new owners yet).
   sim::Task<StatusOr<GetResult>> PrevWindowGet(const std::string& key,
                                                const Hash128& hash,
-                                               sim::Time deadline_at);
+                                               sim::Time deadline_at,
+                                               trace::SpanId span);
 
   // Issues an index (bucket or SCAR) fetch against one replica, delivering
-  // the vote into `votes`.
+  // the vote into `votes`. Emits a quorum_fetch child span under `parent`.
   sim::Task<void> FetchIndex(std::shared_ptr<sim::Channel<IndexVote>> votes,
                              int replica, uint32_t shard, Hash128 hash,
-                             bool use_scar);
+                             bool use_scar, trace::SpanId parent);
   // Fetches and validates the DataEntry behind `entry` from `shard`.
   sim::Task<StatusOr<GetResult>> FetchData(const std::string& key,
                                            Hash128 hash, uint32_t shard,
-                                           IndexEntry entry);
+                                           IndexEntry entry,
+                                           trace::SpanId parent);
   // Validates a DataEntry blob against the four hit conditions.
   StatusOr<GetResult> ValidateData(ByteSpan blob, const std::string& key,
                                    const Hash128& hash,
@@ -220,7 +234,8 @@ class Client {
 
   VersionNumber NextVersion();
   sim::Task<Status> MutateAll(const char* method, const std::string& key,
-                              Bytes request, int* applied_out);
+                              Bytes request, int* applied_out,
+                              trace::SpanId span);
   void RecordTouch(const Hash128& hash, uint32_t primary_shard);
 
   sim::Simulator& sim_;
@@ -249,6 +264,9 @@ class Client {
   std::shared_ptr<bool> alive_;
 
   ClientStats stats_;
+  // Mirrors every ClientStats field into the fabric registry under
+  // cm.client.*{client=<id>} for the client's lifetime.
+  metrics::ExportGroup exports_;
 };
 
 }  // namespace cm::cliquemap

@@ -9,9 +9,16 @@ namespace {
 constexpr uint32_t kOpGet = 1;
 constexpr uint32_t kOpSet = 2;
 constexpr uint32_t kOpErase = 3;
+constexpr uint32_t kOpMultiGet = 4;
+constexpr uint32_t kOpCas = 5;
 
 constexpr uint16_t kTagOp = 100;
 constexpr uint16_t kTagStatus = 101;
+// MultiGet reply: one nested TLV frame per key (repeated, in key order),
+// each carrying kTagStatus + optional value/version. Old shim binaries
+// skip the unknown tag cleanly — the evolution property the pipe protocol
+// shares with the RPC wire format.
+constexpr uint16_t kTagResult = 102;
 
 }  // namespace
 
@@ -104,6 +111,43 @@ sim::Task<Bytes> LanguageShim::HandleFrame(Bytes frame) {
     }
     Status s = co_await client_->Erase(*key);
     out.PutU32(kTagStatus, static_cast<uint32_t>(s.code()));
+  } else if (op == kOpMultiGet) {
+    std::vector<std::string> keys;
+    const size_t n = r.CountBytes(proto::kTagKey);
+    keys.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto k = r.GetBytesAt(proto::kTagKey, i);
+      if (!k) {
+        out.PutU32(kTagStatus,
+                   static_cast<uint32_t>(StatusCode::kInvalidArgument));
+        co_return std::move(out).Take();
+      }
+      keys.push_back(ToString(*k));
+    }
+    auto results = co_await client_->MultiGet(std::move(keys));
+    out.PutU32(kTagStatus, static_cast<uint32_t>(StatusCode::kOk));
+    for (const auto& result : results) {
+      rpc::WireWriter sub;
+      sub.PutU32(kTagStatus, static_cast<uint32_t>(result.status().code()));
+      if (result.ok()) {
+        sub.PutBytes(proto::kTagValue, result->value);
+        proto::PutVersion(sub, result->version);
+      }
+      out.PutBytes(kTagResult, std::move(sub).Take());
+    }
+  } else if (op == kOpCas) {
+    auto key = r.GetString(proto::kTagKey);
+    auto value = r.GetBytes(proto::kTagValue);
+    auto expected = proto::GetVersion(r, proto::kTagExpectedTt);
+    if (!key || !value || !expected) {
+      out.PutU32(kTagStatus,
+                 static_cast<uint32_t>(StatusCode::kInvalidArgument));
+      co_return std::move(out).Take();
+    }
+    auto swapped = co_await client_->Cas(
+        *key, Bytes(value->begin(), value->end()), *expected);
+    out.PutU32(kTagStatus, static_cast<uint32_t>(swapped.status().code()));
+    if (swapped.ok()) out.PutU32(proto::kTagApplied, *swapped ? 1 : 0);
   } else {
     out.PutU32(kTagStatus, static_cast<uint32_t>(StatusCode::kUnimplemented));
   }
@@ -193,6 +237,77 @@ sim::Task<Status> LanguageShim::Erase(std::string key) {
       static_cast<StatusCode>(r.GetU32(kTagStatus).value_or(
           static_cast<uint32_t>(StatusCode::kInternal)));
   co_return code == StatusCode::kOk ? OkStatus() : Status(code, "shim erase");
+}
+
+sim::Task<std::vector<StatusOr<GetResult>>> LanguageShim::MultiGet(
+    std::vector<std::string> keys) {
+  if (lang_ == ShimLanguage::kCpp) {
+    co_return co_await client_->MultiGet(std::move(keys));
+  }
+  // The whole batch crosses the pipe as ONE frame (repeated key field): the
+  // shim amortizes its per-message marshal + hop costs exactly like the
+  // incast workloads amortize theirs.
+  rpc::WireWriter w;
+  w.PutU32(kTagOp, kOpMultiGet);
+  for (const std::string& key : keys) w.PutString(proto::kTagKey, key);
+  const size_t n = keys.size();
+  Bytes reply = co_await Roundtrip(std::move(w).Take());
+  rpc::WireReader r(reply);
+  std::vector<StatusOr<GetResult>> results;
+  results.reserve(n);
+  const auto code =
+      static_cast<StatusCode>(r.GetU32(kTagStatus).value_or(
+          static_cast<uint32_t>(StatusCode::kInternal)));
+  if (code != StatusCode::kOk) {
+    for (size_t i = 0; i < n; ++i) {
+      results.emplace_back(Status(code, "shim multiget failed"));
+    }
+    co_return results;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    auto sub = r.GetBytesAt(kTagResult, i);
+    if (!sub) {
+      results.emplace_back(InternalError("malformed shim multiget reply"));
+      continue;
+    }
+    rpc::WireReader rr(*sub);
+    const auto sub_code =
+        static_cast<StatusCode>(rr.GetU32(kTagStatus).value_or(
+            static_cast<uint32_t>(StatusCode::kInternal)));
+    if (sub_code != StatusCode::kOk) {
+      results.emplace_back(Status(sub_code, "shim multiget entry failed"));
+      continue;
+    }
+    auto value = rr.GetBytes(proto::kTagValue);
+    auto version = proto::GetVersion(rr);
+    if (!value || !version) {
+      results.emplace_back(InternalError("malformed shim multiget entry"));
+      continue;
+    }
+    results.emplace_back(
+        GetResult{Bytes(value->begin(), value->end()), *version});
+  }
+  co_return results;
+}
+
+sim::Task<StatusOr<bool>> LanguageShim::Cas(std::string key, Bytes value,
+                                            VersionNumber expected) {
+  if (lang_ == ShimLanguage::kCpp) {
+    co_return co_await client_->Cas(std::move(key), std::move(value),
+                                    expected);
+  }
+  rpc::WireWriter w;
+  w.PutU32(kTagOp, kOpCas);
+  w.PutString(proto::kTagKey, key);
+  w.PutBytes(proto::kTagValue, value);
+  proto::PutVersion(w, expected, proto::kTagExpectedTt);
+  Bytes reply = co_await Roundtrip(std::move(w).Take());
+  rpc::WireReader r(reply);
+  const auto code =
+      static_cast<StatusCode>(r.GetU32(kTagStatus).value_or(
+          static_cast<uint32_t>(StatusCode::kInternal)));
+  if (code != StatusCode::kOk) co_return Status(code, "shim cas failed");
+  co_return r.GetU32(proto::kTagApplied).value_or(0) != 0;
 }
 
 }  // namespace cm::cliquemap

@@ -53,6 +53,14 @@ class LanguageShim {
   sim::Task<StatusOr<GetResult>> Get(std::string key);
   sim::Task<Status> Set(std::string key, Bytes value);
   sim::Task<Status> Erase(std::string key);
+  // Batched lookup: the whole batch crosses the pipe as one frame, with
+  // per-key results framed as nested (repeated) TLV sub-messages.
+  sim::Task<std::vector<StatusOr<GetResult>>> MultiGet(
+      std::vector<std::string> keys);
+  // Conditional swap, mirroring Client::Cas: applies only when the stored
+  // version equals `expected`; returns whether the swap took.
+  sim::Task<StatusOr<bool>> Cas(std::string key, Bytes value,
+                                VersionNumber expected);
 
   ShimLanguage language() const { return lang_; }
   int64_t messages() const { return messages_; }

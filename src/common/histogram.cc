@@ -49,6 +49,39 @@ void Histogram::Merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+void Histogram::Subtract(const Histogram& earlier) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] -= std::min(buckets_[i], earlier.buckets_[i]);
+  }
+  count_ = std::max<int64_t>(0, count_ - earlier.count_);
+  sum_ -= earlier.sum_;
+  if (count_ == 0) {
+    sum_ = min_ = max_ = 0;
+  }
+}
+
+std::vector<std::pair<int, uint32_t>> Histogram::NonZeroBuckets() const {
+  std::vector<std::pair<int, uint32_t>> out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] != 0) out.emplace_back(i, buckets_[i]);
+  }
+  return out;
+}
+
+Histogram Histogram::Restore(
+    int64_t count, int64_t sum, int64_t min, int64_t max,
+    const std::vector<std::pair<int, uint32_t>>& buckets) {
+  Histogram h;
+  for (const auto& [idx, cnt] : buckets) {
+    if (idx >= 0 && idx < kNumBuckets) h.buckets_[idx] = cnt;
+  }
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
+}
+
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0u);
   count_ = sum_ = min_ = max_ = 0;

@@ -17,12 +17,25 @@ class Histogram {
 
   void Record(int64_t value);
   void Merge(const Histogram& other);
+  // Bucket-wise subtraction of an *earlier* snapshot of the same histogram
+  // (metrics delta). min/max cannot be recovered from buckets alone, so the
+  // later snapshot's extremes are kept — an over-approximation documented in
+  // DESIGN.md "Observability".
+  void Subtract(const Histogram& earlier);
   void Reset();
 
   int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
   int64_t min() const { return count_ ? min_ : 0; }
   int64_t max() const { return max_; }
   double mean() const { return count_ ? double(sum_) / double(count_) : 0.0; }
+
+  // Sparse serialization (metrics JSON exporter): the non-empty buckets as
+  // (index, count) pairs, and reconstruction from those parts.
+  std::vector<std::pair<int, uint32_t>> NonZeroBuckets() const;
+  static Histogram Restore(
+      int64_t count, int64_t sum, int64_t min, int64_t max,
+      const std::vector<std::pair<int, uint32_t>>& buckets);
 
   // quantile in [0,1], e.g. 0.999. Returns a representative value from the
   // bucket containing that rank.

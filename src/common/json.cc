@@ -1,0 +1,357 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace cm::json {
+
+// Writer --------------------------------------------------------------------
+
+void Writer::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_.push_back(',');
+    needs_comma_.back() = true;
+  }
+}
+
+void Writer::Escape(std::string_view v) {
+  out_.push_back('"');
+  for (char c : v) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void Writer::BeginObject() {
+  MaybeComma();
+  out_.push_back('{');
+  needs_comma_.push_back(false);
+}
+
+void Writer::EndObject() {
+  out_.push_back('}');
+  needs_comma_.pop_back();
+}
+
+void Writer::BeginArray() {
+  MaybeComma();
+  out_.push_back('[');
+  needs_comma_.push_back(false);
+}
+
+void Writer::EndArray() {
+  out_.push_back(']');
+  needs_comma_.pop_back();
+}
+
+void Writer::Key(std::string_view k) {
+  MaybeComma();
+  Escape(k);
+  out_.push_back(':');
+  pending_key_ = true;
+}
+
+void Writer::String(std::string_view v) {
+  MaybeComma();
+  Escape(v);
+}
+
+void Writer::Int(int64_t v) {
+  MaybeComma();
+  out_ += std::to_string(v);
+}
+
+void Writer::UInt(uint64_t v) {
+  MaybeComma();
+  out_ += std::to_string(v);
+}
+
+void Writer::Double(double v) {
+  MaybeComma();
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+}
+
+void Writer::Bool(bool v) {
+  MaybeComma();
+  out_ += v ? "true" : "false";
+}
+
+void Writer::Null() {
+  MaybeComma();
+  out_ += "null";
+}
+
+void Writer::Raw(std::string_view json) {
+  MaybeComma();
+  out_ += json;
+}
+
+// Value ---------------------------------------------------------------------
+
+const Value* Value::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+int64_t Value::GetInt(const std::string& key, int64_t def) const {
+  const Value* v = Find(key);
+  if (!v || !v->IsNumber()) return def;
+  return v->is_int ? v->i : static_cast<int64_t>(v->d);
+}
+
+double Value::GetDouble(const std::string& key, double def) const {
+  const Value* v = Find(key);
+  if (!v || !v->IsNumber()) return def;
+  return v->is_int ? static_cast<double>(v->i) : v->d;
+}
+
+std::string Value::GetString(const std::string& key,
+                             const std::string& def) const {
+  const Value* v = Find(key);
+  return (v && v->IsString()) ? v->s : def;
+}
+
+// Parser --------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool ParseDocument(Value* out) {
+    SkipWs();
+    if (!ParseValue(out, 0)) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"':
+        out->type = Value::Type::kString;
+        return ParseString(&out->s);
+      case 't':
+        out->type = Value::Type::kBool;
+        out->b = true;
+        return Literal("true");
+      case 'f':
+        out->type = Value::Type::kBool;
+        out->b = false;
+        return Literal("false");
+      case 'n':
+        out->type = Value::Type::kNull;
+        return Literal("null");
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Value* out, int depth) {
+    out->type = Value::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      SkipWs();
+      Value v;
+      if (!ParseValue(&v, depth + 1)) return false;
+      out->obj[std::move(key)] = std::move(v);
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(Value* out, int depth) {
+    out->type = Value::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      Value v;
+      if (!ParseValue(&v, depth + 1)) return false;
+      out->arr.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return false;
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // the exporters never emit them).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  bool ParseNumber(Value* out) {
+    const size_t start = pos_;
+    bool is_int = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_int = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return false;
+    std::string_view tok = text_.substr(start, pos_ - start);
+    out->type = Value::Type::kNumber;
+    if (is_int) {
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(),
+                                     out->i);
+      if (ec == std::errc{} && p == tok.data() + tok.size()) {
+        out->is_int = true;
+        out->d = static_cast<double>(out->i);
+        return true;
+      }
+      // Fall through to double on overflow.
+    }
+    char* end = nullptr;
+    std::string owned(tok);
+    out->d = std::strtod(owned.c_str(), &end);
+    out->is_int = false;
+    out->i = static_cast<int64_t>(out->d);
+    return end == owned.c_str() + owned.size();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> Parse(std::string_view text) {
+  Parser p(text);
+  Value v;
+  if (!p.ParseDocument(&v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace cm::json

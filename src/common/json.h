@@ -1,0 +1,85 @@
+// Minimal JSON writer + parser. Just enough for the metrics exporter
+// (common/metrics.h), the bench --json reports (bench/bench_util.h), and the
+// snapshot round-trip tests — not a general-purpose library. No external
+// dependencies, deterministic output (object keys are emitted in insertion
+// order by the writer; the parser preserves them in a sorted map).
+#ifndef CM_COMMON_JSON_H_
+#define CM_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cm::json {
+
+// Streaming writer. Emits commas/colons automatically; callers pair
+// BeginObject/EndObject and BeginArray/EndArray and call Key() before every
+// value inside an object.
+class Writer {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view k);
+  void String(std::string_view v);
+  void Int(int64_t v);
+  void UInt(uint64_t v);
+  void Double(double v);
+  void Bool(bool v);
+  void Null();
+  // Splices a pre-rendered JSON value verbatim (e.g. a nested snapshot).
+  void Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void MaybeComma();
+  void Escape(std::string_view v);
+
+  std::string out_;
+  // One entry per open container: true once a value has been written at that
+  // level (so the next one needs a comma). pending_key_ suppresses the comma
+  // between a key and its value.
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+// Parsed JSON value (recursive). Numbers keep both an integer and a double
+// view; is_int marks values that were written without '.'/'e' and fit int64.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  bool is_int = false;
+  int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+  std::vector<Value> arr;
+  std::map<std::string, Value> obj;
+
+  bool IsObject() const { return type == Type::kObject; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsString() const { return type == Type::kString; }
+  bool IsNumber() const { return type == Type::kNumber; }
+  // Object member access; returns nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+  // Convenience typed getters with defaults.
+  int64_t GetInt(const std::string& key, int64_t def = 0) const;
+  double GetDouble(const std::string& key, double def = 0.0) const;
+  std::string GetString(const std::string& key,
+                        const std::string& def = {}) const;
+};
+
+// Parses a complete JSON document; std::nullopt on any syntax error or
+// trailing garbage.
+std::optional<Value> Parse(std::string_view text);
+
+}  // namespace cm::json
+
+#endif  // CM_COMMON_JSON_H_

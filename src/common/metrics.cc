@@ -1,0 +1,343 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+
+namespace cm::metrics {
+
+namespace {
+
+const char* KindName(Kind k) {
+  switch (k) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::optional<Kind> KindFromName(const std::string& s) {
+  if (s == "counter") return Kind::kCounter;
+  if (s == "gauge") return Kind::kGauge;
+  if (s == "histogram") return Kind::kHistogram;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string RenderName(std::string_view base, const Labels& labels) {
+  if (labels.empty()) return std::string(base);
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out(base);
+  out.push_back('{');
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i) out.push_back(',');
+    out += sorted[i].first;
+    out.push_back('=');
+    out += sorted[i].second;
+  }
+  out.push_back('}');
+  return out;
+}
+
+// Snapshot -------------------------------------------------------------------
+
+bool Snapshot::Has(const std::string& name) const {
+  return metrics.count(name) != 0;
+}
+
+int64_t Snapshot::value(const std::string& name) const {
+  auto it = metrics.find(name);
+  if (it == metrics.end()) return 0;
+  if (it->second.kind == Kind::kHistogram) return it->second.hist.count();
+  return it->second.value;
+}
+
+const Histogram* Snapshot::histogram(const std::string& name) const {
+  auto it = metrics.find(name);
+  if (it == metrics.end() || it->second.kind != Kind::kHistogram) {
+    return nullptr;
+  }
+  return &it->second.hist;
+}
+
+int64_t Snapshot::SumPrefix(const std::string& prefix) const {
+  int64_t total = 0;
+  for (auto it = metrics.lower_bound(prefix);
+       it != metrics.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    total += it->second.kind == Kind::kHistogram ? it->second.hist.count()
+                                                 : it->second.value;
+  }
+  return total;
+}
+
+Snapshot Snapshot::DeltaFrom(const Snapshot& earlier) const {
+  Snapshot out = *this;
+  for (auto& [name, m] : out.metrics) {
+    auto it = earlier.metrics.find(name);
+    if (it == earlier.metrics.end() || it->second.kind != m.kind) continue;
+    if (m.kind == Kind::kCounter) {
+      m.value -= it->second.value;
+    } else if (m.kind == Kind::kHistogram) {
+      m.hist.Subtract(it->second.hist);
+    }
+    // Gauges keep the later value.
+  }
+  return out;
+}
+
+void Snapshot::MergeFrom(const Snapshot& other) {
+  for (const auto& [name, m] : other.metrics) {
+    auto [it, inserted] = metrics.emplace(name, m);
+    if (inserted) continue;
+    if (it->second.kind != m.kind) continue;  // mismatched families don't mix
+    if (m.kind == Kind::kHistogram) {
+      it->second.hist.Merge(m.hist);
+    } else {
+      it->second.value += m.value;
+    }
+  }
+}
+
+std::string Snapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, m] : metrics) {
+    out += name;
+    out.push_back(' ');
+    out += KindName(m.kind);
+    out.push_back(' ');
+    if (m.kind == Kind::kHistogram) {
+      out += m.hist.Summary(1.0, "");
+    } else {
+      out += std::to_string(m.value);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Snapshot::ToJson() const {
+  json::Writer w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String(kSchema);
+  w.Key("metrics");
+  w.BeginObject();
+  for (const auto& [name, m] : metrics) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("kind");
+    w.String(KindName(m.kind));
+    if (m.kind == Kind::kHistogram) {
+      const Histogram& h = m.hist;
+      w.Key("count");
+      w.Int(h.count());
+      w.Key("sum");
+      w.Int(h.sum());
+      w.Key("min");
+      w.Int(h.min());
+      w.Key("max");
+      w.Int(h.max());
+      w.Key("p50");
+      w.Int(h.Percentile(0.50));
+      w.Key("p99");
+      w.Int(h.Percentile(0.99));
+      w.Key("buckets");
+      w.BeginArray();
+      for (const auto& [idx, cnt] : h.NonZeroBuckets()) {
+        w.BeginArray();
+        w.Int(idx);
+        w.UInt(cnt);
+        w.EndArray();
+      }
+      w.EndArray();
+    } else {
+      w.Key("value");
+      w.Int(m.value);
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+std::optional<Snapshot> Snapshot::FromJson(std::string_view text) {
+  auto doc = json::Parse(text);
+  if (!doc || !doc->IsObject()) return std::nullopt;
+  if (doc->GetString("schema") != kSchema) return std::nullopt;
+  const json::Value* ms = doc->Find("metrics");
+  if (!ms || !ms->IsObject()) return std::nullopt;
+  Snapshot out;
+  for (const auto& [name, v] : ms->obj) {
+    if (!v.IsObject()) return std::nullopt;
+    auto kind = KindFromName(v.GetString("kind"));
+    if (!kind) return std::nullopt;
+    Metric m;
+    m.kind = *kind;
+    if (*kind == Kind::kHistogram) {
+      std::vector<std::pair<int, uint32_t>> buckets;
+      if (const json::Value* b = v.Find("buckets"); b && b->IsArray()) {
+        for (const auto& pair : b->arr) {
+          if (!pair.IsArray() || pair.arr.size() != 2 ||
+              !pair.arr[0].IsNumber() || !pair.arr[1].IsNumber()) {
+            return std::nullopt;
+          }
+          buckets.emplace_back(static_cast<int>(pair.arr[0].i),
+                               static_cast<uint32_t>(pair.arr[1].i));
+        }
+      }
+      m.hist = Histogram::Restore(v.GetInt("count"), v.GetInt("sum"),
+                                  v.GetInt("min"), v.GetInt("max"), buckets);
+    } else {
+      m.value = v.GetInt("value");
+    }
+    out.metrics.emplace(name, std::move(m));
+  }
+  return out;
+}
+
+// Registry -------------------------------------------------------------------
+
+Registry::Entry* Registry::Upsert(std::string_view name, const Labels& labels,
+                                  Kind kind, uint64_t owner) {
+  std::string full = RenderName(name, labels);
+  auto [it, inserted] = entries_.try_emplace(std::move(full));
+  Entry& e = it->second;
+  if (!inserted && e.kind != kind) return nullptr;
+  if (!inserted && owner == 0 && e.owner == 0) return &e;  // handle reuse
+  // New entry, or a rebind: the latest registration wins and owns the name.
+  e = Entry{};
+  e.kind = kind;
+  e.owner = owner;
+  return &e;
+}
+
+Counter* Registry::AddCounter(std::string_view name, const Labels& labels) {
+  Entry* e = Upsert(name, labels, Kind::kCounter, 0);
+  if (!e) return nullptr;
+  if (!e->counter) e->counter = std::make_unique<Counter>();
+  return e->counter.get();
+}
+
+Gauge* Registry::AddGauge(std::string_view name, const Labels& labels) {
+  Entry* e = Upsert(name, labels, Kind::kGauge, 0);
+  if (!e) return nullptr;
+  if (!e->gauge) e->gauge = std::make_unique<Gauge>();
+  return e->gauge.get();
+}
+
+Histogram* Registry::AddHistogram(std::string_view name,
+                                  const Labels& labels) {
+  Entry* e = Upsert(name, labels, Kind::kHistogram, 0);
+  if (!e) return nullptr;
+  if (!e->hist) e->hist = std::make_unique<Histogram>();
+  return e->hist.get();
+}
+
+void Registry::ExportCounter(std::string_view name, const Labels& labels,
+                             const int64_t* slot, uint64_t owner) {
+  std::string full = RenderName(name, labels);
+  Entry& e = entries_[full];
+  e = Entry{};
+  e.kind = Kind::kCounter;
+  e.owner = owner;
+  e.slot = slot;
+}
+
+void Registry::ExportGauge(std::string_view name, const Labels& labels,
+                           std::function<int64_t()> fn, uint64_t owner) {
+  std::string full = RenderName(name, labels);
+  Entry& e = entries_[full];
+  e = Entry{};
+  e.kind = Kind::kGauge;
+  e.owner = owner;
+  e.fn = std::move(fn);
+}
+
+void Registry::ExportHistogram(std::string_view name, const Labels& labels,
+                               const Histogram* hist, uint64_t owner) {
+  std::string full = RenderName(name, labels);
+  Entry& e = entries_[full];
+  e = Entry{};
+  e.kind = Kind::kHistogram;
+  e.owner = owner;
+  e.ext_hist = hist;
+}
+
+void Registry::RemoveOwned(const std::string& name, uint64_t owner) {
+  auto it = entries_.find(name);
+  if (it != entries_.end() && it->second.owner == owner) entries_.erase(it);
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot out;
+  for (const auto& [name, e] : entries_) {
+    Snapshot::Metric m;
+    m.kind = e.kind;
+    switch (e.kind) {
+      case Kind::kCounter:
+        m.value = e.slot ? *e.slot : (e.counter ? e.counter->value() : 0);
+        break;
+      case Kind::kGauge:
+        m.value = e.fn ? e.fn() : (e.gauge ? e.gauge->value() : 0);
+        break;
+      case Kind::kHistogram:
+        if (e.ext_hist) {
+          m.hist = *e.ext_hist;
+        } else if (e.hist) {
+          m.hist = *e.hist;
+        }
+        break;
+    }
+    out.metrics.emplace(name, std::move(m));
+  }
+  return out;
+}
+
+// ExportGroup ----------------------------------------------------------------
+
+ExportGroup::ExportGroup(Registry* registry) { Bind(registry); }
+
+ExportGroup::~ExportGroup() { Clear(); }
+
+void ExportGroup::Bind(Registry* registry) {
+  Clear();
+  registry_ = registry;
+  owner_ = registry_ ? registry_->NextOwner() : 0;
+}
+
+void ExportGroup::ExportCounter(std::string_view name, const Labels& labels,
+                                const int64_t* slot) {
+  if (!registry_) return;
+  registry_->ExportCounter(name, labels, slot, owner_);
+  names_.push_back(RenderName(name, labels));
+}
+
+void ExportGroup::ExportGauge(std::string_view name, const Labels& labels,
+                              std::function<int64_t()> fn) {
+  if (!registry_) return;
+  registry_->ExportGauge(name, labels, std::move(fn), owner_);
+  names_.push_back(RenderName(name, labels));
+}
+
+void ExportGroup::ExportHistogram(std::string_view name, const Labels& labels,
+                                  const Histogram* hist) {
+  if (!registry_) return;
+  registry_->ExportHistogram(name, labels, hist, owner_);
+  names_.push_back(RenderName(name, labels));
+}
+
+void ExportGroup::Clear() {
+  if (registry_) {
+    for (const std::string& n : names_) registry_->RemoveOwned(n, owner_);
+  }
+  names_.clear();
+  registry_ = nullptr;
+  owner_ = 0;
+}
+
+}  // namespace cm::metrics

@@ -1,0 +1,163 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace cm::trace {
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t MixBytes(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t MixU64(uint64_t h, uint64_t v) { return MixBytes(h, &v, sizeof(v)); }
+
+}  // namespace
+
+void Tracer::SetRingCapacity(size_t cap) {
+  ring_cap_ = std::max<size_t>(1, cap);
+  ring_.clear();
+  ring_.shrink_to_fit();
+  ring_next_ = 0;
+  ring_wrapped_ = false;
+}
+
+SpanId Tracer::BeginRoot(const char* name, uint32_t actor) {
+  if (!enabled_) return kNoSpan;
+  const uint64_t seq = root_seq_++;
+  if (sample_every_ > 1 && seq % sample_every_ != 0) return kNoSpan;
+  ++roots_;
+  Span s;
+  s.id = next_id_++;
+  s.parent = kNoSpan;
+  s.name = name;
+  s.start = clock_ ? clock_() : 0;
+  s.actor = actor;
+  open_.emplace(s.id, s);
+  return s.id;
+}
+
+SpanId Tracer::Begin(const char* name, SpanId parent, uint32_t actor) {
+  if (!enabled_ || parent == kNoSpan) return kNoSpan;
+  Span s;
+  s.id = next_id_++;
+  s.parent = parent;
+  s.name = name;
+  s.start = clock_ ? clock_() : 0;
+  s.actor = actor;
+  open_.emplace(s.id, s);
+  return s.id;
+}
+
+void Tracer::End(SpanId id, int64_t arg) {
+  if (id == kNoSpan) return;
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  Span s = it->second;
+  open_.erase(it);
+  s.end = clock_ ? clock_() : 0;
+  s.arg = arg;
+  Complete(s);
+}
+
+void Tracer::AddSpan(const char* name, SpanId parent, int64_t start,
+                     int64_t end, uint32_t actor, int64_t arg) {
+  if (!enabled_ || parent == kNoSpan) return;
+  Span s;
+  s.id = next_id_++;
+  s.parent = parent;
+  s.name = name;
+  s.start = start;
+  s.end = end;
+  s.actor = actor;
+  s.arg = arg;
+  Complete(s);
+}
+
+void Tracer::Complete(const Span& s) {
+  ++completed_;
+  // Same construction as net::FaultPlan::Record: fold each field of the
+  // completed span into the rolling FNV-1a state, in completion order.
+  uint64_t h = fingerprint_;
+  h = MixBytes(h, s.name, std::strlen(s.name));
+  h = MixU64(h, s.id);
+  h = MixU64(h, s.parent);
+  h = MixU64(h, static_cast<uint64_t>(s.start));
+  h = MixU64(h, static_cast<uint64_t>(s.end));
+  h = MixU64(h, (uint64_t{s.actor} << 32) ^ static_cast<uint64_t>(s.arg));
+  fingerprint_ = h;
+
+  if (ring_.size() < ring_cap_) {
+    ring_.push_back(s);
+  } else {
+    ring_[ring_next_] = s;
+    ring_wrapped_ = true;
+  }
+  ring_next_ = (ring_next_ + 1) % ring_cap_;
+}
+
+std::vector<Span> Tracer::Completed() const {
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  if (ring_wrapped_) {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+    }
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+std::string Tracer::Dump(size_t max) const {
+  std::vector<Span> spans = Completed();
+  if (spans.size() > max) {
+    spans.erase(spans.begin(), spans.end() - static_cast<long>(max));
+  }
+  // Depth = number of ancestors still present in the dumped window.
+  std::unordered_map<SpanId, SpanId> parent_of;
+  parent_of.reserve(spans.size());
+  for (const Span& s : spans) parent_of[s.id] = s.parent;
+  std::string out;
+  char buf[192];
+  for (const Span& s : spans) {
+    int depth = 0;
+    for (SpanId p = s.parent; p != kNoSpan && depth < 16; ++depth) {
+      auto it = parent_of.find(p);
+      if (it == parent_of.end()) break;
+      p = it->second;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%*s%s id=%llu parent=%llu [%lld..%lld] actor=%u arg=%lld\n",
+                  depth * 2, "", s.name, static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent),
+                  static_cast<long long>(s.start),
+                  static_cast<long long>(s.end), s.actor,
+                  static_cast<long long>(s.arg));
+    out += buf;
+  }
+  return out;
+}
+
+void Tracer::Reset() {
+  next_id_ = 1;
+  root_seq_ = 0;
+  roots_ = 0;
+  completed_ = 0;
+  fingerprint_ = 1469598103934665603ull;
+  open_.clear();
+  ring_.clear();
+  ring_next_ = 0;
+  ring_wrapped_ = false;
+}
+
+}  // namespace cm::trace

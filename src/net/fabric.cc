@@ -24,11 +24,35 @@ Host::Host(sim::Simulator& sim, HostId id, const HostConfig& config)
 }
 
 Fabric::Fabric(sim::Simulator& sim, const FabricConfig& config)
-    : sim_(sim), config_(config) {}
+    : sim_(sim), config_(config), host_exports_(&metrics_) {
+  tracer_.SetClock([this] { return sim_.now(); });
+  transfers_ = metrics_.AddCounter("cm.fabric.transfers");
+  wire_bytes_ = metrics_.AddCounter("cm.fabric.wire_bytes");
+}
+
+Fabric::~Fabric() {
+  // A plan can outlive the fabric (tests hold shared_ptrs); make sure its
+  // exports stop referencing our registry first.
+  if (faults_ != nullptr) faults_->BindMetrics(nullptr);
+}
+
+void Fabric::InstallFaults(std::shared_ptr<FaultPlan> plan) {
+  if (faults_ != nullptr) faults_->BindMetrics(nullptr);
+  faults_ = std::move(plan);
+  if (faults_ != nullptr) faults_->BindMetrics(&metrics_);
+}
 
 HostId Fabric::AddHost(const HostConfig& config) {
   auto id = static_cast<HostId>(hosts_.size());
   hosts_.push_back(std::make_unique<Host>(sim_, id, config));
+  Host* h = hosts_.back().get();
+  const metrics::Labels labels = {{"host", std::to_string(id)}};
+  host_exports_.ExportGauge("cm.host.tx_bytes", labels,
+                            [h] { return h->tx().total_bytes; });
+  host_exports_.ExportGauge("cm.host.rx_bytes", labels,
+                            [h] { return h->rx().total_bytes; });
+  host_exports_.ExportGauge("cm.host.cpu_busy_ns", labels,
+                            [h] { return h->cpu().total_busy_ns(); });
   return id;
 }
 
@@ -72,8 +96,10 @@ sim::Task<void> Fabric::Transfer(HostId src, HostId dst,
 }
 
 sim::Task<MessageFate> Fabric::TransferFaulty(HostId src, HostId dst,
-                                              int64_t payload_bytes) {
+                                              int64_t payload_bytes,
+                                              trace::SpanId parent) {
   assert(src < hosts_.size() && dst < hosts_.size());
+  transfers_->Inc();
   MessageFate fate;
   if (faults_ != nullptr) {
     // A paused source NIC moves no bytes: the send begins after the stall.
@@ -86,7 +112,9 @@ sim::Task<MessageFate> Fabric::TransferFaulty(HostId src, HostId dst,
   }
   const int64_t wire = WireBytes(payload_bytes);
   const int64_t wire_total = fate.duplicate ? 2 * wire : wire;
+  wire_bytes_->Add(wire_total);
   auto [tx_start, tx_end] = hosts_[src]->tx().Reserve(sim_.now(), wire_total);
+  tracer_.AddSpan("fabric_tx", parent, tx_start, tx_end, src, wire_total);
   if (!fate.delivered) {
     // Dropped / partition-blocked: the sender pays serialization, nothing
     // reaches the receiver. The caller imposes its own timeout semantics.
@@ -103,7 +131,7 @@ sim::Task<MessageFate> Fabric::TransferFaulty(HostId src, HostId dst,
     }
   }
   auto [rx_start, rx_end] = hosts_[dst]->rx().Reserve(sim_.now(), wire_total);
-  (void)rx_start;
+  tracer_.AddSpan("fabric_rx", parent, rx_start, rx_end, dst, wire_total);
   co_await sim_.WaitUntil(std::max(rx_end, tx_end + config_.base_rtt / 2));
   co_return fate;
 }

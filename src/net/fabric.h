@@ -19,6 +19,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "net/faults.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
@@ -72,6 +74,7 @@ struct FabricConfig {
 class Fabric {
  public:
   Fabric(sim::Simulator& sim, const FabricConfig& config);
+  ~Fabric();
 
   HostId AddHost(const HostConfig& config);
   size_t host_count() const { return hosts_.size(); }
@@ -80,6 +83,15 @@ class Fabric {
 
   sim::Simulator& simulator() { return sim_; }
   const FabricConfig& config() const { return config_; }
+
+  // Observability --------------------------------------------------------
+  // The fabric owns the cell's metrics registry and tracer: it is
+  // constructed first and destroyed last (see Cell's member order), so every
+  // component above it can safely export slots for its own lifetime. The
+  // tracer's clock is the simulator's.
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
+  trace::Tracer& tracer() { return tracer_; }
 
   // Wire bytes including MTU framing overhead.
   int64_t WireBytes(int64_t payload_bytes) const;
@@ -93,10 +105,9 @@ class Fabric {
 
   // Fault injection ------------------------------------------------------
   // Attaches a fault plan; all subsequent TransferFaulty calls roll against
-  // it. Pass nullptr to stop injecting.
-  void InstallFaults(std::shared_ptr<FaultPlan> plan) {
-    faults_ = std::move(plan);
-  }
+  // it. Pass nullptr to stop injecting. The installed plan's FaultStats are
+  // exported into the registry (and the previous plan's export unbound).
+  void InstallFaults(std::shared_ptr<FaultPlan> plan);
   FaultPlan* faults() { return faults_.get(); }
 
   // Awaitable transfer that consults the fault plan: the returned fate says
@@ -104,9 +115,11 @@ class Fabric {
   // corrupted / was duplicated / was spike-delayed. A dropped or blocked
   // message still pays tx serialization (the frame dies in the fabric);
   // pauses stall the transfer on whichever side is paused. With no plan
-  // installed this is exactly Transfer().
-  sim::Task<MessageFate> TransferFaulty(HostId src, HostId dst,
-                                        int64_t payload_bytes);
+  // installed this is exactly Transfer(). When `parent` is a live span,
+  // fabric_tx / fabric_rx child spans record the serialization intervals.
+  sim::Task<MessageFate> TransferFaulty(
+      HostId src, HostId dst, int64_t payload_bytes,
+      trace::SpanId parent = trace::kNoSpan);
 
   // Sustained background demand on a host's NIC (antagonist, §7.2.1). The
   // demand competes for tx and rx serialization with real traffic. When the
@@ -131,6 +144,13 @@ class Fabric {
 
   sim::Simulator& sim_;
   FabricConfig config_;
+  // Registry + tracer first: destroyed after everything that exports into
+  // them (hosts below, components above via Cell's member order).
+  metrics::Registry metrics_;
+  trace::Tracer tracer_;
+  metrics::ExportGroup host_exports_;
+  metrics::Counter* transfers_ = nullptr;
+  metrics::Counter* wire_bytes_ = nullptr;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::shared_ptr<Antagonist>> antagonists_;
   std::shared_ptr<FaultPlan> faults_;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "sim/time.h"
 
@@ -137,6 +138,12 @@ class FaultPlan {
   const std::vector<std::string>& trace() const { return trace_; }
   std::string Summary() const;
 
+  // Exports FaultStats and the trace fingerprint into `registry` under
+  // cm.faults.* (nullptr unbinds). The Fabric calls this on InstallFaults
+  // and unbinds in its destructor, so the registry reference never dangles
+  // regardless of plan/fabric destruction order.
+  void BindMetrics(metrics::Registry* registry);
+
  private:
   struct Partition {
     HostId src, dst;
@@ -166,6 +173,7 @@ class FaultPlan {
   uint64_t fingerprint_ = 1469598103934665603ull;  // FNV-1a offset basis
   int64_t trace_events_ = 0;
   std::vector<std::string> trace_;
+  metrics::ExportGroup exports_;
 };
 
 }  // namespace cm::net

@@ -4,7 +4,21 @@ namespace cm::rma {
 
 HwRmaTransport::HwRmaTransport(net::Fabric& fabric, RmaNetwork& rma_network,
                                const HwRmaConfig& config)
-    : fabric_(fabric), rma_network_(rma_network), config_(config) {}
+    : fabric_(fabric),
+      rma_network_(rma_network),
+      config_(config),
+      exports_(&fabric.metrics()) {
+  const metrics::Labels l = {{"transport", "hw"}};
+  exports_.ExportCounter("cm.rma.reads", l, &stats_.reads);
+  exports_.ExportCounter("cm.rma.failed_ops", l, &stats_.failed_ops);
+  exports_.ExportCounter("cm.rma.op_timeouts", l, &stats_.op_timeouts);
+  exports_.ExportCounter("cm.rma.corrupt_deliveries", l,
+                         &stats_.corrupt_deliveries);
+  exports_.ExportCounter("cm.rma.initiator_nic_ns", l,
+                         &stats_.initiator_nic_ns);
+  exports_.ExportCounter("cm.rma.target_nic_ns", l, &stats_.target_nic_ns);
+  exports_.ExportHistogram("cm.rma.hw_timestamps_ns", l, &hw_timestamps_);
+}
 
 net::NicSide& HwRmaTransport::pcie(net::HostId host) {
   while (pcie_.size() <= host) {
@@ -19,20 +33,24 @@ sim::Task<StatusOr<Bytes>> HwRmaTransport::Read(net::HostId initiator,
                                                 net::HostId target,
                                                 RegionId region,
                                                 uint64_t offset,
-                                                uint32_t length) {
+                                                uint32_t length,
+                                                trace::SpanId parent) {
   sim::Simulator& sim = fabric_.simulator();
+  trace::Tracer& tracer = fabric_.tracer();
+  const trace::SpanId span = tracer.Begin("rma_read", parent, initiator);
   ++stats_.reads;
   const sim::Time hw_start = sim.now();
 
   // Initiator NIC pipeline + command on the wire.
   stats_.initiator_nic_ns += config_.nic_pipeline_latency;
   co_await sim.Delay(config_.nic_pipeline_latency);
-  net::MessageFate cmd =
-      co_await fabric_.TransferFaulty(initiator, target, config_.command_bytes);
+  net::MessageFate cmd = co_await fabric_.TransferFaulty(
+      initiator, target, config_.command_bytes, span);
   if (!cmd.delivered || cmd.corrupt) {
     ++stats_.failed_ops;
     ++stats_.op_timeouts;
     co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
     co_return DeadlineExceededError("rma read command lost");
   }
 
@@ -48,6 +66,7 @@ sim::Task<StatusOr<Bytes>> HwRmaTransport::Read(net::HostId initiator,
   if (host_state == nullptr || host_state->registry == nullptr) {
     ++stats_.failed_ops;
     co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
+    tracer.End(span, -1);
     co_return UnavailableError("no rma host state for target");
   }
   StatusOr<Bytes> mem =
@@ -55,17 +74,19 @@ sim::Task<StatusOr<Bytes>> HwRmaTransport::Read(net::HostId initiator,
   if (!mem.ok()) {
     ++stats_.failed_ops;
     co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
+    tracer.End(span, -1);
     co_return mem.status();
   }
   Bytes data = *std::move(mem);
 
   net::MessageFate resp = co_await fabric_.TransferFaulty(
       target, initiator,
-      config_.response_header_bytes + static_cast<int64_t>(data.size()));
+      config_.response_header_bytes + static_cast<int64_t>(data.size()), span);
   if (!resp.delivered) {
     ++stats_.failed_ops;
     ++stats_.op_timeouts;
     co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
     co_return DeadlineExceededError("rma read completion lost");
   }
   if (resp.corrupt && fabric_.faults() != nullptr && !data.empty()) {
@@ -73,12 +94,13 @@ sim::Task<StatusOr<Bytes>> HwRmaTransport::Read(net::HostId initiator,
     fabric_.faults()->CorruptBytes(data);
   }
   hw_timestamps_.Record(sim.now() - hw_start);
+  tracer.End(span, static_cast<int64_t>(data.size()));
   co_return data;
 }
 
 sim::Task<StatusOr<ScarResult>> HwRmaTransport::ScanAndRead(
     net::HostId, net::HostId, RegionId, uint64_t, uint32_t, uint64_t,
-    uint64_t) {
+    uint64_t, trace::SpanId) {
   ++stats_.failed_ops;
   co_return UnimplementedError("hardware RMA offers no SCAR primitive");
 }

@@ -47,13 +47,14 @@ class HwRmaTransport : public RmaTransport {
 
   bool SupportsScar() const override { return false; }
 
-  sim::Task<StatusOr<Bytes>> Read(net::HostId initiator, net::HostId target,
-                                  RegionId region, uint64_t offset,
-                                  uint32_t length) override;
+  sim::Task<StatusOr<Bytes>> Read(
+      net::HostId initiator, net::HostId target, RegionId region,
+      uint64_t offset, uint32_t length,
+      trace::SpanId parent = trace::kNoSpan) override;
 
-  sim::Task<StatusOr<ScarResult>> ScanAndRead(net::HostId, net::HostId,
-                                              RegionId, uint64_t, uint32_t,
-                                              uint64_t, uint64_t) override;
+  sim::Task<StatusOr<ScarResult>> ScanAndRead(
+      net::HostId, net::HostId, RegionId, uint64_t, uint32_t, uint64_t,
+      uint64_t, trace::SpanId parent = trace::kNoSpan) override;
 
   const RmaStats& stats() const override { return stats_; }
 
@@ -70,6 +71,7 @@ class HwRmaTransport : public RmaTransport {
   HwRmaConfig config_;
   RmaStats stats_;
   Histogram hw_timestamps_;
+  metrics::ExportGroup exports_;
   std::vector<std::unique_ptr<net::NicSide>> pcie_;
 };
 

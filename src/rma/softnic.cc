@@ -40,12 +40,38 @@ void EngineGroup::MaybeRescale() {
 SoftNicTransport::SoftNicTransport(net::Fabric& fabric,
                                    RmaNetwork& rma_network,
                                    const SoftNicConfig& config)
-    : fabric_(fabric), rma_network_(rma_network), config_(config) {}
+    : fabric_(fabric),
+      rma_network_(rma_network),
+      config_(config),
+      exports_(&fabric.metrics()) {
+  // Migrate RmaStats into the registry: the struct fields stay the storage,
+  // the registry reads them at snapshot time. A later transport on the same
+  // fabric rebinds the names (latest wins).
+  const metrics::Labels l = {{"transport", "softnic"}};
+  exports_.ExportCounter("cm.rma.reads", l, &stats_.reads);
+  exports_.ExportCounter("cm.rma.scars", l, &stats_.scars);
+  exports_.ExportCounter("cm.rma.messages", l, &stats_.messages);
+  exports_.ExportCounter("cm.rma.failed_ops", l, &stats_.failed_ops);
+  exports_.ExportCounter("cm.rma.op_timeouts", l, &stats_.op_timeouts);
+  exports_.ExportCounter("cm.rma.corrupt_deliveries", l,
+                         &stats_.corrupt_deliveries);
+  exports_.ExportCounter("cm.rma.initiator_nic_ns", l,
+                         &stats_.initiator_nic_ns);
+  exports_.ExportCounter("cm.rma.target_nic_ns", l, &stats_.target_nic_ns);
+}
 
 EngineGroup& SoftNicTransport::engines(net::HostId host) {
   while (engines_.size() <= host) {
+    const auto id = static_cast<net::HostId>(engines_.size());
     engines_.push_back(
         std::make_unique<EngineGroup>(fabric_.simulator(), config_));
+    EngineGroup* g = engines_.back().get();
+    const metrics::Labels l = {{"host", std::to_string(id)},
+                               {"transport", "softnic"}};
+    exports_.ExportGauge("cm.rma.active_engines", l,
+                         [g] { return int64_t{g->active_engines()}; });
+    exports_.ExportGauge("cm.rma.engine_busy_ns", l,
+                         [g] { return g->total_busy_ns(); });
   }
   return *engines_[host];
 }
@@ -54,21 +80,25 @@ sim::Task<StatusOr<Bytes>> SoftNicTransport::Read(net::HostId initiator,
                                                   net::HostId target,
                                                   RegionId region,
                                                   uint64_t offset,
-                                                  uint32_t length) {
+                                                  uint32_t length,
+                                                  trace::SpanId parent) {
   sim::Simulator& sim = fabric_.simulator();
+  trace::Tracer& tracer = fabric_.tracer();
+  const trace::SpanId span = tracer.Begin("rma_read", parent, initiator);
   ++stats_.reads;
 
   // Initiator engine prepares and posts the command.
   stats_.initiator_nic_ns += config_.initiator_op_cost;
   co_await sim.WaitUntil(engines(initiator).Reserve(config_.initiator_op_cost));
-  net::MessageFate cmd =
-      co_await fabric_.TransferFaulty(initiator, target, config_.command_bytes);
+  net::MessageFate cmd = co_await fabric_.TransferFaulty(
+      initiator, target, config_.command_bytes, span);
   if (!cmd.delivered || cmd.corrupt) {
     // Lost in the fabric, or the target NIC's link CRC rejected the frame:
     // either way no completion ever arrives and the op fails by timeout.
     ++stats_.failed_ops;
     ++stats_.op_timeouts;
     co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
     co_return DeadlineExceededError("rma read command lost");
   }
 
@@ -80,6 +110,7 @@ sim::Task<StatusOr<Bytes>> SoftNicTransport::Read(net::HostId initiator,
   if (host_state == nullptr || host_state->registry == nullptr) {
     ++stats_.failed_ops;
     co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
+    tracer.End(span, -1);
     co_return UnavailableError("no rma host state for target");
   }
   // Copy at this instant: a racing server-side mutation before delivery is
@@ -89,17 +120,19 @@ sim::Task<StatusOr<Bytes>> SoftNicTransport::Read(net::HostId initiator,
   if (!mem.ok()) {
     ++stats_.failed_ops;
     co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
+    tracer.End(span, -1);
     co_return mem.status();
   }
   Bytes data = *std::move(mem);
 
   net::MessageFate resp = co_await fabric_.TransferFaulty(
       target, initiator,
-      config_.response_header_bytes + static_cast<int64_t>(data.size()));
+      config_.response_header_bytes + static_cast<int64_t>(data.size()), span);
   if (!resp.delivered) {
     ++stats_.failed_ops;
     ++stats_.op_timeouts;
     co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
     co_return DeadlineExceededError("rma read completion lost");
   }
   if (resp.corrupt && fabric_.faults() != nullptr && !data.empty()) {
@@ -112,24 +145,28 @@ sim::Task<StatusOr<Bytes>> SoftNicTransport::Read(net::HostId initiator,
   stats_.initiator_nic_ns += config_.initiator_op_cost / 2;
   co_await sim.WaitUntil(
       engines(initiator).Reserve(config_.initiator_op_cost / 2));
+  tracer.End(span, static_cast<int64_t>(data.size()));
   co_return data;
 }
 
 sim::Task<StatusOr<ScarResult>> SoftNicTransport::ScanAndRead(
     net::HostId initiator, net::HostId target, RegionId index_region,
     uint64_t bucket_offset, uint32_t bucket_len, uint64_t hash_hi,
-    uint64_t hash_lo) {
+    uint64_t hash_lo, trace::SpanId parent) {
   sim::Simulator& sim = fabric_.simulator();
+  trace::Tracer& tracer = fabric_.tracer();
+  const trace::SpanId span = tracer.Begin("rma_scar", parent, initiator);
   ++stats_.scars;
 
   stats_.initiator_nic_ns += config_.initiator_op_cost;
   co_await sim.WaitUntil(engines(initiator).Reserve(config_.initiator_op_cost));
-  net::MessageFate cmd =
-      co_await fabric_.TransferFaulty(initiator, target, config_.command_bytes);
+  net::MessageFate cmd = co_await fabric_.TransferFaulty(
+      initiator, target, config_.command_bytes, span);
   if (!cmd.delivered || cmd.corrupt) {
     ++stats_.failed_ops;
     ++stats_.op_timeouts;
     co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
     co_return DeadlineExceededError("rma scar command lost");
   }
 
@@ -137,6 +174,7 @@ sim::Task<StatusOr<ScarResult>> SoftNicTransport::ScanAndRead(
   if (host_state == nullptr || !host_state->scar) {
     ++stats_.failed_ops;
     co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
+    tracer.End(span, -1);
     co_return UnimplementedError("target does not offer SCAR");
   }
 
@@ -152,17 +190,20 @@ sim::Task<StatusOr<ScarResult>> SoftNicTransport::ScanAndRead(
   if (!result.ok()) {
     ++stats_.failed_ops;
     co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
+    tracer.End(span, -1);
     co_return result.status();
   }
 
   net::MessageFate resp = co_await fabric_.TransferFaulty(
       target, initiator,
       config_.response_header_bytes +
-          static_cast<int64_t>(result->bucket.size() + result->data.size()));
+          static_cast<int64_t>(result->bucket.size() + result->data.size()),
+      span);
   if (!resp.delivered) {
     ++stats_.failed_ops;
     ++stats_.op_timeouts;
     co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
     co_return DeadlineExceededError("rma scar completion lost");
   }
   if (resp.corrupt && fabric_.faults() != nullptr) {
@@ -176,27 +217,32 @@ sim::Task<StatusOr<ScarResult>> SoftNicTransport::ScanAndRead(
   stats_.initiator_nic_ns += config_.initiator_op_cost / 2;
   co_await sim.WaitUntil(
       engines(initiator).Reserve(config_.initiator_op_cost / 2));
+  tracer.End(span,
+             static_cast<int64_t>(result->bucket.size() + result->data.size()));
   co_return result;
 }
 
 sim::Task<StatusOr<Bytes>> SoftNicTransport::Message(
     net::HostId initiator, net::HostId target, Bytes payload,
     const std::function<sim::Task<StatusOr<Bytes>>(ByteSpan)>& handler,
-    sim::Duration handler_cpu_cost) {
+    sim::Duration handler_cpu_cost, trace::SpanId parent) {
   sim::Simulator& sim = fabric_.simulator();
+  trace::Tracer& tracer = fabric_.tracer();
+  const trace::SpanId span = tracer.Begin("rma_msg", parent, initiator);
   ++stats_.messages;
 
   stats_.initiator_nic_ns += config_.initiator_op_cost;
   co_await sim.WaitUntil(engines(initiator).Reserve(config_.initiator_op_cost));
   net::MessageFate cmd = co_await fabric_.TransferFaulty(
       initiator, target,
-      config_.command_bytes + static_cast<int64_t>(payload.size()));
+      config_.command_bytes + static_cast<int64_t>(payload.size()), span);
   if (!cmd.delivered || cmd.corrupt) {
     // Two-sided messaging carries a software checksum: a corrupted request
     // is discarded at the receiver, indistinguishable from a drop.
     ++stats_.failed_ops;
     ++stats_.op_timeouts;
     co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
     co_return DeadlineExceededError("rma message request lost");
   }
 
@@ -211,23 +257,27 @@ sim::Task<StatusOr<Bytes>> SoftNicTransport::Message(
   if (!response.ok()) {
     ++stats_.failed_ops;
     co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
+    tracer.End(span, -1);
     co_return response.status();
   }
 
   net::MessageFate resp = co_await fabric_.TransferFaulty(
       target, initiator,
-      config_.response_header_bytes + static_cast<int64_t>(response->size()));
+      config_.response_header_bytes + static_cast<int64_t>(response->size()),
+      span);
   if (!resp.delivered || resp.corrupt) {
     // The handler ran but the reply never reached the initiator: surfaces
     // as a timeout, never as silent success.
     ++stats_.failed_ops;
     ++stats_.op_timeouts;
     co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
     co_return DeadlineExceededError("rma message response lost");
   }
   stats_.initiator_nic_ns += config_.initiator_op_cost / 2;
   co_await sim.WaitUntil(
       engines(initiator).Reserve(config_.initiator_op_cost / 2));
+  tracer.End(span, static_cast<int64_t>(response->size()));
   co_return response;
 }
 

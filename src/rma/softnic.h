@@ -70,21 +70,23 @@ class SoftNicTransport : public RmaTransport {
 
   bool SupportsScar() const override { return true; }
 
-  sim::Task<StatusOr<Bytes>> Read(net::HostId initiator, net::HostId target,
-                                  RegionId region, uint64_t offset,
-                                  uint32_t length) override;
+  sim::Task<StatusOr<Bytes>> Read(
+      net::HostId initiator, net::HostId target, RegionId region,
+      uint64_t offset, uint32_t length,
+      trace::SpanId parent = trace::kNoSpan) override;
 
   sim::Task<StatusOr<ScarResult>> ScanAndRead(
       net::HostId initiator, net::HostId target, RegionId index_region,
       uint64_t bucket_offset, uint32_t bucket_len, uint64_t hash_hi,
-      uint64_t hash_lo) override;
+      uint64_t hash_lo, trace::SpanId parent = trace::kNoSpan) override;
 
   // Two-sided messaging lookup path (the MSG strategy of Fig 7): delivers a
   // request to a host-CPU handler after an engine + thread-wake cost.
   sim::Task<StatusOr<Bytes>> Message(
       net::HostId initiator, net::HostId target, Bytes payload,
       const std::function<sim::Task<StatusOr<Bytes>>(ByteSpan)>& handler,
-      sim::Duration handler_cpu_cost);
+      sim::Duration handler_cpu_cost,
+      trace::SpanId parent = trace::kNoSpan);
 
   const RmaStats& stats() const override { return stats_; }
 
@@ -96,6 +98,7 @@ class SoftNicTransport : public RmaTransport {
   RmaNetwork& rma_network_;
   SoftNicConfig config_;
   RmaStats stats_;
+  metrics::ExportGroup exports_;
   std::vector<std::unique_ptr<EngineGroup>> engines_;
 };
 

@@ -87,16 +87,18 @@ class RmaTransport {
   virtual bool SupportsScar() const = 0;
 
   // One-sided read of [offset, offset+length) in `region` on `target`.
-  virtual sim::Task<StatusOr<Bytes>> Read(net::HostId initiator,
-                                          net::HostId target, RegionId region,
-                                          uint64_t offset,
-                                          uint32_t length) = 0;
+  // `parent` (optional) nests the op's rma_read span — and the fabric tx/rx
+  // spans beneath it — under the caller's trace tree.
+  virtual sim::Task<StatusOr<Bytes>> Read(
+      net::HostId initiator, net::HostId target, RegionId region,
+      uint64_t offset, uint32_t length,
+      trace::SpanId parent = trace::kNoSpan) = 0;
 
   // Single-round-trip scan-and-read; only valid when SupportsScar().
   virtual sim::Task<StatusOr<ScarResult>> ScanAndRead(
       net::HostId initiator, net::HostId target, RegionId index_region,
       uint64_t bucket_offset, uint32_t bucket_len, uint64_t hash_hi,
-      uint64_t hash_lo) = 0;
+      uint64_t hash_lo, trace::SpanId parent = trace::kNoSpan) = 0;
 
   virtual const RmaStats& stats() const = 0;
 };

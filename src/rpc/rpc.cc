@@ -4,8 +4,14 @@ namespace cm::rpc {
 
 RpcServer::RpcServer(RpcNetwork& network, net::HostId host,
                      const RpcCostModel& costs)
-    : network_(network), host_(host), costs_(costs) {
+    : network_(network),
+      host_(host),
+      costs_(costs),
+      exports_(&network.fabric().metrics()) {
   network_.Register(host_, this);
+  const metrics::Labels l = {{"host", std::to_string(host_)}};
+  exports_.ExportCounter("cm.rpc.server_bytes", l, &total_bytes_);
+  exports_.ExportCounter("cm.rpc.server_calls", l, &calls_served_);
 }
 
 RpcServer::~RpcServer() { network_.Unregister(host_); }
@@ -37,9 +43,13 @@ RpcChannel::RpcChannel(RpcNetwork& network, net::HostId client_host,
       costs_(costs) {}
 
 sim::Task<StatusOr<Bytes>> RpcChannel::Call(std::string method, Bytes request,
-                                            sim::Duration deadline) {
+                                            sim::Duration deadline,
+                                            trace::SpanId parent) {
   net::Fabric& fabric = network_.fabric();
   sim::Simulator& sim = fabric.simulator();
+  trace::Tracer& tracer = fabric.tracer();
+  const trace::SpanId span = tracer.Begin("rpc", parent, client_host_);
+  network_.calls_->Inc();
   const sim::Time start = sim.now();
   const sim::Time deadline_at = start + deadline;
 
@@ -48,8 +58,8 @@ sim::Task<StatusOr<Bytes>> RpcChannel::Call(std::string method, Bytes request,
 
   const auto req_bytes =
       static_cast<int64_t>(request.size()) + costs_.header_bytes;
-  net::MessageFate req_fate =
-      co_await fabric.TransferFaulty(client_host_, server_host_, req_bytes);
+  net::MessageFate req_fate = co_await fabric.TransferFaulty(
+      client_host_, server_host_, req_bytes, span);
 
   RpcServer* server = network_.Find(server_host_);
   if (server == nullptr || server->down() || req_fate.partitioned) {
@@ -61,6 +71,8 @@ sim::Task<StatusOr<Bytes>> RpcChannel::Call(std::string method, Bytes request,
                                   std::max<sim::Duration>(
                                       deadline_at - sim.now(), 0));
     co_await sim.Delay(wait);
+    network_.call_errors_->Inc();
+    tracer.End(span, -1);
     co_return UnavailableError("server unreachable");
   }
   if (!req_fate.delivered || req_fate.corrupt) {
@@ -68,6 +80,8 @@ sim::Task<StatusOr<Bytes>> RpcChannel::Call(std::string method, Bytes request,
     // discarded by the transport CRC, indistinguishable from a drop): the
     // call can only expire. Never silent success.
     co_await sim.WaitUntil(deadline_at);
+    network_.call_errors_->Inc();
+    tracer.End(span, -1);
     co_return DeadlineExceededError("rpc request lost");
   }
 
@@ -91,8 +105,8 @@ sim::Task<StatusOr<Bytes>> RpcChannel::Call(std::string method, Bytes request,
       response.ok() ? static_cast<int64_t>(response->size()) : 0;
   const int64_t resp_bytes = resp_payload + costs_.header_bytes;
   server->total_bytes_ += resp_bytes;
-  net::MessageFate resp_fate =
-      co_await fabric.TransferFaulty(server_host_, client_host_, resp_bytes);
+  net::MessageFate resp_fate = co_await fabric.TransferFaulty(
+      server_host_, client_host_, resp_bytes, span);
 
   // Client receive path.
   co_await fabric.host(client_host_).cpu().Run(costs_.client_recv_cpu);
@@ -101,12 +115,17 @@ sim::Task<StatusOr<Bytes>> RpcChannel::Call(std::string method, Bytes request,
     // observes only a deadline expiry (ambiguity is the point — retries must
     // be idempotent / version-gated).
     co_await sim.WaitUntil(deadline_at);
+    network_.call_errors_->Inc();
+    tracer.End(span, -1);
     co_return DeadlineExceededError("rpc response lost");
   }
 
   if (sim.now() > deadline_at) {
+    network_.call_errors_->Inc();
+    tracer.End(span, -1);
     co_return DeadlineExceededError("rpc deadline exceeded");
   }
+  tracer.End(span, resp_bytes);
   co_return response;
 }
 

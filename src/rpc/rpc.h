@@ -45,9 +45,14 @@ using Handler =
 class RpcServer;
 
 // Registry binding hosts to RPC servers; channels resolve targets here.
+// Also holds the pre-resolved network-wide RPC counters (channels are
+// constructed per call, so the O(1) handles live here).
 class RpcNetwork {
  public:
-  explicit RpcNetwork(net::Fabric& fabric) : fabric_(fabric) {}
+  explicit RpcNetwork(net::Fabric& fabric)
+      : fabric_(fabric),
+        calls_(fabric.metrics().AddCounter("cm.rpc.calls")),
+        call_errors_(fabric.metrics().AddCounter("cm.rpc.call_errors")) {}
 
   net::Fabric& fabric() { return fabric_; }
 
@@ -61,12 +66,18 @@ class RpcNetwork {
   }
 
  private:
+  friend class RpcChannel;
+
   net::Fabric& fabric_;
+  metrics::Counter* calls_;
+  metrics::Counter* call_errors_;
   std::unordered_map<net::HostId, RpcServer*> servers_;
 };
 
 class RpcServer {
  public:
+  // Registers with the network and exports cm.rpc.server_* metrics under a
+  // {host=N} label into the fabric's registry for its own lifetime.
   RpcServer(RpcNetwork& network, net::HostId host,
             const RpcCostModel& costs = {});
   ~RpcServer();
@@ -111,6 +122,7 @@ class RpcServer {
   bool down_ = false;
   int64_t total_bytes_ = 0;
   int64_t calls_served_ = 0;
+  metrics::ExportGroup exports_;
   std::unordered_map<std::string, Handler> methods_;
 };
 
@@ -122,8 +134,11 @@ class RpcChannel {
 
   // Issues a call: charges framework CPU on both hosts, transfers request
   // and response over the fabric, runs the handler coroutine server-side.
+  // A live `parent` span nests an "rpc" span (and the fabric spans below it)
+  // under the caller's trace tree.
   sim::Task<StatusOr<Bytes>> Call(std::string method, Bytes request,
-                                  sim::Duration deadline);
+                                  sim::Duration deadline,
+                                  trace::SpanId parent = trace::kNoSpan);
 
   net::HostId server_host() const { return server_host_; }
 

@@ -43,6 +43,9 @@ struct ChaosOutcome {
   // Fault-plan trace (determinism check).
   uint64_t fingerprint = 0;
   int64_t trace_events = 0;
+  // Per-op trace spans (trace::Tracer determinism check).
+  uint64_t span_fingerprint = 0;
+  int64_t spans_completed = 0;
   net::FaultStats faults;
   // Invariant violations.
   int value_violations = 0;
@@ -92,7 +95,7 @@ std::shared_ptr<net::FaultPlan> MakePlan(uint64_t seed, Rng& prng,
   return plan;
 }
 
-ChaosOutcome RunChaos(uint64_t seed) {
+ChaosOutcome RunChaos(uint64_t seed, bool trace = true) {
   sim::Simulator sim;
   CellOptions o;
   o.num_shards = 6;
@@ -101,6 +104,9 @@ ChaosOutcome RunChaos(uint64_t seed) {
   o.backend.initial_buckets = 128;
   Cell cell(sim, std::move(o));
   cell.Start();
+  // Span tracing rides along: it must observe without perturbing (the
+  // disabled-tracing control below holds the run bit-identical either way).
+  cell.tracer().Enable(trace);
 
   Rng prng(seed * 0x9E3779B97F4A7C15ull + 0xC11E);
   auto plan = MakePlan(seed, prng, cell.num_shards());
@@ -240,6 +246,8 @@ ChaosOutcome RunChaos(uint64_t seed) {
   ChaosOutcome out;
   out.fingerprint = plan->trace_fingerprint();
   out.trace_events = plan->trace_events();
+  out.span_fingerprint = cell.tracer().fingerprint();
+  out.spans_completed = cell.tracer().spans_completed();
   out.faults = plan->stats();
   out.fault_summary = *violation_detail + plan->Summary();
   out.value_violations = *value_violations;
@@ -332,7 +340,7 @@ TEST_P(ChaosTest, SoakSeedIsSafeAndDeterministic) {
         << Describe(a);
   }
 
-  // C4: identical replay.
+  // C4: identical replay — the fault trace AND the per-op span trace.
   ChaosOutcome b = RunChaos(seed);
   EXPECT_EQ(a.fingerprint, b.fingerprint) << "seed " << seed
                                           << " is not deterministic";
@@ -341,10 +349,29 @@ TEST_P(ChaosTest, SoakSeedIsSafeAndDeterministic) {
   EXPECT_EQ(a.faults.drops, b.faults.drops);
   EXPECT_EQ(a.faults.corruptions, b.faults.corruptions);
   EXPECT_EQ(a.clients.gets, b.clients.gets);
+  EXPECT_GT(a.spans_completed, 0) << "tracing produced no spans";
+  EXPECT_EQ(a.span_fingerprint, b.span_fingerprint)
+      << "seed " << seed << " span trace is not deterministic";
+  EXPECT_EQ(a.spans_completed, b.spans_completed);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
                          ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+// Tracing is pure observation: a run with the tracer disabled must be
+// bit-identical (fault fingerprint, op counts) to the same seed traced.
+TEST(ChaosTrace, DisabledTracingLeavesRunUnchanged) {
+  ChaosOutcome traced = RunChaos(3, /*trace=*/true);
+  ChaosOutcome untraced = RunChaos(3, /*trace=*/false);
+  EXPECT_GT(traced.spans_completed, 0);
+  EXPECT_EQ(untraced.spans_completed, 0);
+  EXPECT_EQ(traced.fingerprint, untraced.fingerprint);
+  EXPECT_EQ(traced.trace_events, untraced.trace_events);
+  EXPECT_EQ(traced.faults.messages, untraced.faults.messages);
+  EXPECT_EQ(traced.clients.gets, untraced.clients.gets);
+  EXPECT_EQ(traced.clients.hits, untraced.clients.hits);
+  EXPECT_EQ(traced.clients.retries, untraced.clients.retries);
+}
 
 // No-fault control: with a clean fabric and write traffic quiesced, the
 // validation-failure rate must sit inside §4's "<0.01% of GETs" envelope

@@ -1,0 +1,306 @@
+// Unified observability layer: metrics registry (handles, label sets,
+// snapshot/delta/merge, JSON round-trip) and the deterministic trace-span
+// tracer (nesting, ring bound, sampling, fingerprint determinism).
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace cm::metrics {
+namespace {
+
+TEST(RenderName, LabelsSortByKeyAndRenderStably) {
+  EXPECT_EQ(RenderName("cm.client.gets", {}), "cm.client.gets");
+  EXPECT_EQ(RenderName("cm.rma.reads", {{"transport", "softnic"}}),
+            "cm.rma.reads{transport=softnic}");
+  // Label order in the input must not matter.
+  EXPECT_EQ(RenderName("cm.x", {{"b", "2"}, {"a", "1"}}),
+            RenderName("cm.x", {{"a", "1"}, {"b", "2"}}));
+  EXPECT_EQ(RenderName("cm.x", {{"b", "2"}, {"a", "1"}}), "cm.x{a=1,b=2}");
+}
+
+TEST(Registry, HandleReuseReturnsSameInstrument) {
+  Registry r;
+  Counter* c1 = r.AddCounter("cm.t.ops");
+  Counter* c2 = r.AddCounter("cm.t.ops");
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1, c2);
+  c1->Inc();
+  c2->Add(2);
+  EXPECT_EQ(c1->value(), 3);
+  EXPECT_EQ(r.size(), 1u);
+
+  // Same base name, different labels: distinct instruments.
+  Counter* l1 = r.AddCounter("cm.t.ops", {{"shard", "1"}});
+  Counter* l2 = r.AddCounter("cm.t.ops", {{"shard", "2"}});
+  EXPECT_NE(l1, l2);
+  EXPECT_NE(l1, c1);
+  EXPECT_EQ(r.size(), 3u);
+
+  // Kind mismatch on an existing name is rejected, not aliased.
+  EXPECT_EQ(r.AddGauge("cm.t.ops"), nullptr);
+  EXPECT_EQ(r.AddHistogram("cm.t.ops"), nullptr);
+}
+
+TEST(Registry, SnapshotDeltaAndSumPrefix) {
+  Registry r;
+  Counter* ops1 = r.AddCounter("cm.t.ops", {{"shard", "1"}});
+  Counter* ops2 = r.AddCounter("cm.t.ops", {{"shard", "2"}});
+  Gauge* depth = r.AddGauge("cm.t.depth");
+  Histogram* lat = r.AddHistogram("cm.t.latency_ns");
+
+  ops1->Add(10);
+  ops2->Add(5);
+  depth->Set(7);
+  lat->Record(100);
+  lat->Record(300);
+  Snapshot before = r.TakeSnapshot();
+
+  ops1->Add(3);
+  depth->Set(2);
+  lat->Record(500);
+  Snapshot after = r.TakeSnapshot();
+
+  Snapshot d = after.DeltaFrom(before);
+  // Counters subtract...
+  EXPECT_EQ(d.value("cm.t.ops{shard=1}"), 3);
+  EXPECT_EQ(d.value("cm.t.ops{shard=2}"), 0);
+  // ...gauges keep the later value...
+  EXPECT_EQ(d.value("cm.t.depth"), 2);
+  // ...histograms subtract bucket-wise (value() is the count).
+  ASSERT_NE(d.histogram("cm.t.latency_ns"), nullptr);
+  EXPECT_EQ(d.histogram("cm.t.latency_ns")->count(), 1);
+  EXPECT_EQ(d.histogram("cm.t.latency_ns")->sum(), 500);
+
+  // SumPrefix aggregates the labeled family.
+  EXPECT_EQ(after.SumPrefix("cm.t.ops"), 18);
+  EXPECT_EQ(d.SumPrefix("cm.t.ops"), 3);
+  EXPECT_FALSE(d.Has("cm.t.absent"));
+  EXPECT_EQ(d.value("cm.t.absent"), 0);
+}
+
+TEST(Registry, MergeAccumulatesAcrossSnapshots) {
+  Registry r1, r2;
+  r1.AddCounter("cm.t.ops")->Add(4);
+  r1.AddGauge("cm.t.live")->Set(10);
+  r1.AddHistogram("cm.t.h")->Record(50);
+  r2.AddCounter("cm.t.ops")->Add(6);
+  r2.AddGauge("cm.t.live")->Set(20);
+  r2.AddHistogram("cm.t.h")->Record(70);
+  r2.AddCounter("cm.t.only_second")->Inc();
+
+  Snapshot merged = r1.TakeSnapshot();
+  merged.MergeFrom(r2.TakeSnapshot());
+  EXPECT_EQ(merged.value("cm.t.ops"), 10);
+  EXPECT_EQ(merged.value("cm.t.live"), 30);  // gauges sum under merge
+  EXPECT_EQ(merged.histogram("cm.t.h")->count(), 2);
+  EXPECT_EQ(merged.value("cm.t.only_second"), 1);
+}
+
+TEST(Registry, ExportedSlotsReadAtSnapshotTime) {
+  Registry r;
+  int64_t gets = 0;
+  int64_t live = 100;
+  Histogram lat;
+  {
+    ExportGroup group(&r);
+    group.ExportCounter("cm.t.gets", {{"client", "1"}}, &gets);
+    group.ExportGauge("cm.t.live", {}, [&] { return live; });
+    group.ExportHistogram("cm.t.lat_ns", {}, &lat);
+
+    gets = 42;  // ++stats_.field IS the handle; registry reads at snapshot
+    live = 99;
+    lat.Record(1000);
+    Snapshot s = r.TakeSnapshot();
+    EXPECT_EQ(s.value("cm.t.gets{client=1}"), 42);
+    EXPECT_EQ(s.value("cm.t.live"), 99);
+    EXPECT_EQ(s.histogram("cm.t.lat_ns")->count(), 1);
+    EXPECT_EQ(r.size(), 3u);
+  }
+  // Group destruction deregisters everything it published.
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(Registry, RebindSurvivesOldOwnerTeardown) {
+  Registry r;
+  int64_t first = 1, second = 2;
+  auto old_group = std::make_unique<ExportGroup>(&r);
+  old_group->ExportCounter("cm.t.slot", {}, &first);
+
+  // A successor rebinds the same name (e.g. a replacement FaultPlan).
+  ExportGroup new_group(&r);
+  new_group.ExportCounter("cm.t.slot", {}, &second);
+  EXPECT_EQ(r.TakeSnapshot().value("cm.t.slot"), 2);
+
+  // The stale owner's teardown must not tear down its successor's entry.
+  old_group.reset();
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.TakeSnapshot().value("cm.t.slot"), 2);
+}
+
+TEST(Registry, NullBoundGroupIsANoOp) {
+  int64_t slot = 5;
+  ExportGroup group;  // unregistered component (unit tests, standalone use)
+  group.ExportCounter("cm.t.x", {}, &slot);
+  group.Clear();  // must not crash
+}
+
+TEST(Snapshot, JsonRoundTripPreservesEveryMetric) {
+  Registry r;
+  r.AddCounter("cm.t.ops", {{"shard", "3"}})->Add(17);
+  r.AddGauge("cm.t.depth")->Set(-4);
+  Histogram* h = r.AddHistogram("cm.t.lat_ns");
+  h->Record(100);
+  h->Record(250000);
+  h->Record(250000);
+
+  Snapshot s = r.TakeSnapshot();
+  std::optional<Snapshot> back = Snapshot::FromJson(s.ToJson());
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->metrics.size(), s.metrics.size());
+  EXPECT_EQ(back->value("cm.t.ops{shard=3}"), 17);
+  EXPECT_EQ(back->value("cm.t.depth"), -4);
+  const Histogram* hb = back->histogram("cm.t.lat_ns");
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(hb->count(), 3);
+  EXPECT_EQ(hb->sum(), h->sum());
+  EXPECT_EQ(hb->min(), h->min());
+  EXPECT_EQ(hb->max(), h->max());
+  EXPECT_EQ(hb->Percentile(0.5), h->Percentile(0.5));
+  // Re-encoding the decoded snapshot is byte-stable.
+  EXPECT_EQ(back->ToJson(), s.ToJson());
+
+  EXPECT_FALSE(Snapshot::FromJson("not json").has_value());
+}
+
+}  // namespace
+}  // namespace cm::metrics
+
+namespace cm::trace {
+namespace {
+
+TEST(Tracer, DisabledReturnsNoSpanEverywhere) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  SpanId root = t.BeginRoot("get");
+  EXPECT_EQ(root, kNoSpan);
+  EXPECT_EQ(t.Begin("child", root), kNoSpan);
+  t.End(root, 7);                          // no-op
+  t.AddSpan("seg", root, 0, 10);           // no-op
+  EXPECT_EQ(t.spans_completed(), 0);
+  EXPECT_EQ(t.roots_started(), 0);
+  EXPECT_TRUE(t.Completed().empty());
+}
+
+TEST(Tracer, BeginEndNestingRecordsParentsAndArgs) {
+  Tracer t;
+  t.Enable(true);
+  int64_t now = 100;
+  t.SetClock([&] { return now; });
+
+  SpanId root = t.BeginRoot("get", /*actor=*/9);
+  ASSERT_NE(root, kNoSpan);
+  now = 110;
+  SpanId child = t.Begin("quorum_fetch", root, 9);
+  ASSERT_NE(child, kNoSpan);
+  now = 150;
+  t.End(child, /*arg=*/2);
+  t.AddSpan("validate", root, 150, 160, 9, 64);
+  now = 170;
+  t.End(root, 1);
+
+  std::vector<Span> spans = t.Completed();
+  ASSERT_EQ(spans.size(), 3u);  // completion order: child, validate, root
+  EXPECT_STREQ(spans[0].name, "quorum_fetch");
+  EXPECT_EQ(spans[0].parent, root);
+  EXPECT_EQ(spans[0].start, 110);
+  EXPECT_EQ(spans[0].end, 150);
+  EXPECT_EQ(spans[0].arg, 2);
+  EXPECT_STREQ(spans[1].name, "validate");
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[1].arg, 64);
+  EXPECT_STREQ(spans[2].name, "get");
+  EXPECT_EQ(spans[2].parent, kNoSpan);
+  EXPECT_EQ(spans[2].end, 170);
+  EXPECT_EQ(spans[2].actor, 9u);
+  EXPECT_EQ(t.spans_completed(), 3);
+  EXPECT_EQ(t.roots_started(), 1);
+
+  // Double-End is a no-op, not a duplicate completion.
+  t.End(root, 99);
+  EXPECT_EQ(t.spans_completed(), 3);
+}
+
+TEST(Tracer, RingBoundEvictsOldestButFingerprintCoversAll) {
+  Tracer t;
+  t.Enable(true);
+  t.SetRingCapacity(8);
+  for (int i = 0; i < 50; ++i) {
+    t.End(t.BeginRoot("op"), i);
+  }
+  EXPECT_EQ(t.spans_completed(), 50);
+  std::vector<Span> ring = t.Completed();
+  ASSERT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.front().arg, 42);  // oldest surviving
+  EXPECT_EQ(ring.back().arg, 49);
+
+  // The fingerprint saw all 50 spans: a tracer that only ever saw the last
+  // 8 must disagree.
+  Tracer last8;
+  last8.Enable(true);
+  last8.SetRingCapacity(8);
+  for (int i = 42; i < 50; ++i) last8.End(last8.BeginRoot("op"), i);
+  EXPECT_NE(t.fingerprint(), last8.fingerprint());
+}
+
+TEST(Tracer, SamplingDropsWholeTrees) {
+  Tracer t;
+  t.Enable(true);
+  t.SetSampleEvery(3);
+  int kept = 0;
+  for (int i = 0; i < 9; ++i) {
+    SpanId root = t.BeginRoot("get");
+    SpanId child = t.Begin("fetch", root);
+    // Children inherit the drop through the parent id.
+    EXPECT_EQ(child == kNoSpan, root == kNoSpan);
+    t.End(child);
+    t.End(root);
+    if (root != kNoSpan) ++kept;
+  }
+  EXPECT_EQ(kept, 3);
+  EXPECT_EQ(t.roots_started(), 3);  // counts sampled-in roots only
+  EXPECT_EQ(t.spans_completed(), 2 * 3);
+}
+
+TEST(Tracer, SameSequenceSameFingerprint) {
+  auto run = [](int ops) {
+    Tracer t;
+    t.Enable(true);
+    int64_t now = 0;
+    t.SetClock([&] { return now; });
+    for (int i = 0; i < ops; ++i) {
+      SpanId root = t.BeginRoot("get", 1);
+      now += 5;
+      SpanId c = t.Begin("quorum_fetch", root, 1);
+      now += 10;
+      t.End(c, i % 3);
+      t.End(root, 1);
+    }
+    return t.fingerprint();
+  };
+  EXPECT_EQ(run(20), run(20));
+  EXPECT_NE(run(20), run(21));
+
+  // Reset restarts the fingerprint to the empty-trace value.
+  Tracer t;
+  t.Enable(true);
+  const uint64_t empty = t.fingerprint();
+  t.End(t.BeginRoot("op"));
+  EXPECT_NE(t.fingerprint(), empty);
+  t.Reset();
+  EXPECT_EQ(t.fingerprint(), empty);
+  EXPECT_TRUE(t.Completed().empty());
+}
+
+}  // namespace
+}  // namespace cm::trace

@@ -63,6 +63,46 @@ TEST_P(ShimLangTest, MissPropagatesThroughPipe) {
             StatusCode::kNotFound);
 }
 
+TEST_P(ShimLangTest, MultiGetBatchesThroughOneFrame) {
+  LanguageShim shim(client, GetParam());
+  ASSERT_TRUE(RunOp(sim, shim.Set("mg-a", ToBytes("va"))).ok());
+  ASSERT_TRUE(RunOp(sim, shim.Set("mg-c", ToBytes("vc"))).ok());
+  const int64_t before = shim.messages();
+  auto results = RunOp(sim, shim.MultiGet({"mg-a", "mg-absent", "mg-c"}));
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_EQ(ToString(results[0]->value), "va");
+  EXPECT_EQ(results[1].status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(results[2].ok()) << results[2].status().ToString();
+  EXPECT_EQ(ToString(results[2]->value), "vc");
+  if (GetParam() != ShimLanguage::kCpp) {
+    // The whole batch crossed the pipe as one frame.
+    EXPECT_EQ(shim.messages() - before, 1);
+  }
+}
+
+TEST_P(ShimLangTest, CasAppliesOnlyOnVersionMatch) {
+  LanguageShim shim(client, GetParam());
+  ASSERT_TRUE(RunOp(sim, shim.Set("cas-key", ToBytes("v1"))).ok());
+  auto got = RunOp(sim, shim.Get("cas-key"));
+  ASSERT_TRUE(got.ok());
+
+  auto swapped = RunOp(sim, shim.Cas("cas-key", ToBytes("v2"), got->version));
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  EXPECT_TRUE(*swapped);
+  auto after = RunOp(sim, shim.Get("cas-key"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(ToString(after->value), "v2");
+
+  // Stale expected version: the swap must not take.
+  auto stale = RunOp(sim, shim.Cas("cas-key", ToBytes("v3"), got->version));
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  EXPECT_FALSE(*stale);
+  auto final_get = RunOp(sim, shim.Get("cas-key"));
+  ASSERT_TRUE(final_get.ok());
+  EXPECT_EQ(ToString(final_get->value), "v2");
+}
+
 INSTANTIATE_TEST_SUITE_P(Languages, ShimLangTest,
                          ::testing::Values(ShimLanguage::kCpp,
                                            ShimLanguage::kJava,
