@@ -35,6 +35,11 @@ done
   | "$JQ" -e '.scalars["scar.issue_ns_per_op"] > 0 and (.metrics.scar.schema == "cm.metrics.v1")' >/dev/null \
   || { echo "fig07 --json: missing registry attribution"; exit 1; }
 
+echo "== perf gate: simulator-core scalars vs committed baseline =="
+# Warns past 1.3x drift (noise/minor regressions stay non-fatal); fails the
+# gate only past 2x — a real scheduler or payload-path regression.
+scripts/perf_gate.sh simcore
+
 if [[ "$FAST" == "1" ]]; then
   echo "== done (fast mode: sanitizer stage skipped) =="
   exit 0

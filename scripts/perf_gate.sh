@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Perf-regression gate: re-runs selected bench binaries and diffs every
+# cm.bench.v1 scalar against the committed BENCH_<name>.json baseline.
+#
+# Direction is inferred from the scalar name:
+#   *_per_sec / *per_second / *throughput*  -> higher is better
+#   everything else (…_ns, …_us, …_ms, …_per_byte, ratios)  -> lower is better
+#
+# A scalar that regresses by more than WARN_RATIO prints a warning; more
+# than FAIL_RATIO fails the gate (exit 1). Improvements are reported
+# informationally — refresh the baseline (EXPERIMENTS.md) to bank them.
+#
+# Usage: scripts/perf_gate.sh [bench-name ...]     (default: simcore)
+#   bench-name is the suffix: `simcore` runs build/bench/bench_simcore
+#   and diffs against BENCH_simcore.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JQ=/usr/bin/jq
+WARN_RATIO="${PERF_GATE_WARN:-1.3}"
+FAIL_RATIO="${PERF_GATE_FAIL:-2.0}"
+
+benches=("$@")
+[[ ${#benches[@]} -eq 0 ]] && benches=(simcore)
+
+fail=0
+for name in "${benches[@]}"; do
+  bin="build/bench/bench_${name}"
+  baseline="BENCH_${name}.json"
+  if [[ ! -x "$bin" ]]; then
+    echo "perf_gate: ${bin} not built; skipping"
+    continue
+  fi
+  if [[ ! -f "$baseline" ]]; then
+    echo "perf_gate: no baseline ${baseline}; run EXPERIMENTS.md regeneration"
+    continue
+  fi
+  echo "perf_gate: ${name} (warn >${WARN_RATIO}x, fail >${FAIL_RATIO}x)"
+  current="$("$bin" --json)"
+  echo "$current" | "$JQ" -e '.schema == "cm.bench.v1"' >/dev/null \
+    || { echo "  ${bin} --json: bad schema"; exit 1; }
+
+  # Emit "key old new" for every scalar present in both documents.
+  while read -r key old new; do
+    verdict="$("$JQ" -rn \
+      --arg key "$key" --argjson old "$old" --argjson new "$new" \
+      --argjson warn "$WARN_RATIO" --argjson fail "$FAIL_RATIO" '
+      def higher_better:
+        ($key | test("per_sec|per_second|throughput"));
+      # ratio > 1 means "worse by that factor".
+      ( if $old == 0 or $new == 0 then 1
+        elif higher_better then $old / $new
+        else $new / $old end ) as $ratio |
+      if $ratio > $fail then "FAIL"
+      elif $ratio > $warn then "WARN"
+      elif $ratio < (1 / $warn) then "GOOD"
+      else "ok" end
+      + " " + ($ratio * 100 | round / 100 | tostring)')"
+    status="${verdict%% *}"
+    ratio="${verdict#* }"
+    case "$status" in
+      FAIL)
+        printf '  FAIL %-34s %14.4g -> %-14.4g (%sx worse)\n' \
+          "$key" "$old" "$new" "$ratio"
+        fail=1 ;;
+      WARN)
+        printf '  warn %-34s %14.4g -> %-14.4g (%sx worse)\n' \
+          "$key" "$old" "$new" "$ratio" ;;
+      GOOD)
+        printf '  good %-34s %14.4g -> %-14.4g (improved; refresh baseline)\n' \
+          "$key" "$old" "$new" ;;
+      *)
+        printf '  ok   %-34s %14.4g -> %-14.4g\n' "$key" "$old" "$new" ;;
+    esac
+  done < <("$JQ" -r --argjson cur "$current" '
+      .scalars | to_entries[]
+      | select($cur.scalars[.key] != null)
+      | "\(.key) \(.value) \($cur.scalars[.key])"' "$baseline")
+done
+
+if [[ "$fail" == "1" ]]; then
+  echo "perf_gate: FAILED (a scalar regressed past the fail threshold)"
+  exit 1
+fi
+echo "perf_gate: ok"

@@ -983,7 +983,7 @@ StatusOr<rma::ScarResult> Backend::ExecuteScar(uint64_t hash_hi,
       !registry_.IsLive(index_region)) {
     return PermissionDeniedError("scar against stale index window");
   }
-  auto bucket = registry_.ResolveCopy(index_region, bucket_offset, bucket_len);
+  auto bucket = registry_.ResolveView(index_region, bucket_offset, bucket_len);
   if (!bucket.ok()) return bucket.status();
 
   rma::ScarResult result;
@@ -992,13 +992,15 @@ StatusOr<rma::ScarResult> Backend::ExecuteScar(uint64_t hash_hi,
   for (int w = 0; w < config_.ways; ++w) {
     const size_t at = kBucketHeaderSize + size_t(w) * kIndexEntrySize;
     if (at + kIndexEntrySize > result.bucket.size()) break;
-    IndexEntry e = DecodeIndexEntry(ByteSpan(result.bucket).subspan(at));
+    IndexEntry e = DecodeIndexEntry(result.bucket.span().subspan(at));
     if (e.keyhash == want && !e.pointer.is_null()) {
       // Read the DataEntry at this instant; a torn pointer or mid-write
-      // entry surfaces to the client as a checksum failure.
-      Bytes data(e.pointer.size);
+      // entry surfaces to the client as a checksum failure. Like the bucket,
+      // this is the single materialization copy the GET costs.
+      Buffer data = Buffer::Allocate(e.pointer.size);
       if (data_->ReadAt(e.pointer.offset, e.pointer.size, data.data()).ok()) {
-        result.data = std::move(data);
+        BufferStats::NoteCopy(e.pointer.size);
+        result.data = std::move(data).Share();
       }
       break;
     }

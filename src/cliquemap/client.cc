@@ -282,7 +282,7 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
   if (result.ok() && config_.compress_values) {
     auto raw = DecompressValue(result->value);
     if (raw.ok()) {
-      result->value = *std::move(raw);
+      result->value = std::move(raw).value();
     } else {
       result = raw.status();
     }
@@ -575,7 +575,7 @@ sim::Task<void> Client::FetchIndex(
   const uint64_t offset = bucket * BucketBytes(conn.ways);
   const auto length = static_cast<uint32_t>(BucketBytes(conn.ways));
 
-  Bytes bucket_bytes;
+  BufferView bucket_bytes;
   if (use_scar) {
     auto r = co_await transport_->ScanAndRead(host_, conn.host,
                                               conn.index_region, offset,
@@ -626,7 +626,7 @@ sim::Task<void> Client::FetchIndex(
   }
   vote.overflow = header.overflow;
   for (uint32_t w = 0; w < conn.ways; ++w) {
-    IndexEntry e = DecodeIndexEntry(ByteSpan(bucket_bytes).subspan(
+    IndexEntry e = DecodeIndexEntry(bucket_bytes.span().subspan(
         kBucketHeaderSize + size_t(w) * kIndexEntrySize));
     if (e.keyhash == hash && !e.pointer.is_null()) {
       vote.has_entry = true;
@@ -670,7 +670,8 @@ sim::Task<StatusOr<GetResult>> Client::FetchData(const std::string& key,
   co_return ValidateData(*r, key, hash, entry.version);
 }
 
-StatusOr<GetResult> Client::ValidateData(ByteSpan blob, const std::string& key,
+StatusOr<GetResult> Client::ValidateData(const BufferView& blob,
+                                         const std::string& key,
                                          const Hash128& hash,
                                          const VersionNumber& quorum_version) {
   // (1) end-to-end checksum: guards torn reads.
@@ -688,8 +689,8 @@ StatusOr<GetResult> Client::ValidateData(ByteSpan blob, const std::string& key,
   if (view->key != key) {
     return NotFoundError("key hash collision");
   }
-  return GetResult{Bytes(view->value.begin(), view->value.end()),
-                   view->version};
+  // The value is a slice of the materialized read — no extraction copy.
+  return GetResult{blob.SliceOf(view->value), view->version};
 }
 
 sim::Task<StatusOr<GetResult>> Client::GetViaRpc(const std::string& key,

@@ -80,7 +80,9 @@ struct ClientConfig {
 };
 
 struct GetResult {
-  Bytes value;
+  // Refcounted slice of the RMA read's single materialization (or an
+  // adopted RPC-response vector); exposes a Bytes-like read surface.
+  BufferView value;
   VersionNumber version;
 };
 
@@ -193,7 +195,7 @@ class Client {
     bool has_entry = false;
     IndexEntry entry;
     bool overflow = false;      // bucket overflow bit observed
-    Bytes scar_data;            // SCAR only: piggybacked DataEntry bytes
+    BufferView scar_data;       // SCAR only: piggybacked DataEntry bytes
   };
 
   sim::Task<Status> RefreshConfig();
@@ -227,9 +229,10 @@ class Client {
                                            Hash128 hash, uint32_t shard,
                                            IndexEntry entry,
                                            trace::SpanId parent);
-  // Validates a DataEntry blob against the four hit conditions.
-  StatusOr<GetResult> ValidateData(ByteSpan blob, const std::string& key,
-                                   const Hash128& hash,
+  // Validates a DataEntry blob against the four hit conditions. On a hit
+  // the returned value is a slice of `blob` (shared storage, no copy).
+  StatusOr<GetResult> ValidateData(const BufferView& blob,
+                                   const std::string& key, const Hash128& hash,
                                    const VersionNumber& quorum_version);
 
   VersionNumber NextVersion();

@@ -1,0 +1,226 @@
+#include "common/buffer.h"
+
+#include <cassert>
+#include <new>
+
+namespace cm {
+namespace {
+
+int64_t g_bytes_copied = 0;
+int64_t g_allocations = 0;
+int64_t g_slab_reuses = 0;
+
+}  // namespace
+
+int64_t BufferStats::bytes_copied() { return g_bytes_copied; }
+int64_t BufferStats::allocations() { return g_allocations; }
+int64_t BufferStats::slab_reuses() { return g_slab_reuses; }
+void BufferStats::NoteCopy(int64_t n) { g_bytes_copied += n; }
+
+namespace internal {
+
+// Slab blocks are [BufCtl | payload] in one allocation; freed blocks park on
+// a per-class freelist (the payload area doubles as the free-link). Adopted
+// vectors get a standalone AdoptedCtl. Single-threaded by design.
+struct alignas(16) BufCtl {
+  uint32_t refs;
+  uint8_t size_class;  // index into kClassSizes, or kHuge / kAdopted
+};
+
+namespace {
+
+constexpr size_t kClassSizes[] = {64, 256, 1024, 4096, 16384, 65536};
+constexpr int kNumClasses = 6;
+constexpr uint8_t kHuge = 0xFE;
+constexpr uint8_t kAdopted = 0xFF;
+
+struct AdoptedCtl : BufCtl {
+  Bytes vec;
+};
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+struct Arena {
+  FreeNode* freelists[kNumClasses] = {};
+  ~Arena() {
+    for (FreeNode*& head : freelists) {
+      while (head != nullptr) {
+        FreeNode* n = head;
+        head = head->next;
+        ::operator delete(reinterpret_cast<std::byte*>(n) - sizeof(BufCtl));
+      }
+    }
+  }
+};
+
+Arena& arena() {
+  static Arena a;
+  return a;
+}
+
+std::byte* Payload(BufCtl* ctl) {
+  return reinterpret_cast<std::byte*>(ctl) + sizeof(BufCtl);
+}
+
+int ClassFor(size_t n) {
+  for (int c = 0; c < kNumClasses; ++c) {
+    if (n <= kClassSizes[c]) return c;
+  }
+  return -1;
+}
+
+}  // namespace
+
+BufCtl* NewSlabCtl(size_t capacity, std::byte** payload) {
+  ++g_allocations;
+  int c = ClassFor(capacity);
+  BufCtl* ctl;
+  if (c < 0) {
+    ctl = static_cast<BufCtl*>(::operator new(sizeof(BufCtl) + capacity));
+    ctl->size_class = kHuge;
+  } else if (arena().freelists[c] != nullptr) {
+    ++g_slab_reuses;
+    FreeNode* n = arena().freelists[c];
+    arena().freelists[c] = n->next;
+    ctl = reinterpret_cast<BufCtl*>(reinterpret_cast<std::byte*>(n) -
+                                    sizeof(BufCtl));
+    ctl->size_class = static_cast<uint8_t>(c);
+  } else {
+    ctl = static_cast<BufCtl*>(::operator new(sizeof(BufCtl) +
+                                              kClassSizes[c]));
+    ctl->size_class = static_cast<uint8_t>(c);
+  }
+  ctl->refs = 1;
+  *payload = Payload(ctl);
+  return ctl;
+}
+
+BufCtl* NewAdoptedCtl(Bytes&& owned, const std::byte** data, size_t* size) {
+  auto* ctl = new AdoptedCtl;
+  ctl->refs = 1;
+  ctl->size_class = kAdopted;
+  ctl->vec = std::move(owned);
+  *data = ctl->vec.data();
+  *size = ctl->vec.size();
+  return ctl;
+}
+
+void BufRef(BufCtl* ctl) { ++ctl->refs; }
+
+void BufUnref(BufCtl* ctl) {
+  assert(ctl->refs > 0);
+  if (--ctl->refs != 0) return;
+  if (ctl->size_class == kAdopted) {
+    delete static_cast<AdoptedCtl*>(ctl);
+  } else if (ctl->size_class == kHuge) {
+    ::operator delete(ctl);
+  } else {
+    auto* n = reinterpret_cast<FreeNode*>(Payload(ctl));
+    n->next = arena().freelists[ctl->size_class];
+    arena().freelists[ctl->size_class] = n;
+  }
+}
+
+}  // namespace internal
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+  if (this != &other) {
+    if (ctl_ != nullptr) internal::BufUnref(ctl_);
+    ctl_ = std::exchange(other.ctl_, nullptr);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+Buffer::~Buffer() {
+  if (ctl_ != nullptr) internal::BufUnref(ctl_);
+}
+
+Buffer Buffer::Allocate(size_t n) {
+  Buffer b;
+  if (n > 0) {
+    b.ctl_ = internal::NewSlabCtl(n, &b.data_);
+    b.size_ = n;
+  }
+  return b;
+}
+
+BufferView Buffer::Share() && {
+  BufferView v;
+  v.ctl_ = std::exchange(ctl_, nullptr);
+  v.data_ = std::exchange(data_, nullptr);
+  v.len_ = std::exchange(size_, 0);
+  return v;
+}
+
+BufferView::BufferView(Bytes&& owned) {
+  if (!owned.empty()) {
+    ctl_ = internal::NewAdoptedCtl(std::move(owned), &data_, &len_);
+  }
+}
+
+BufferView::BufferView(const BufferView& other)
+    : ctl_(other.ctl_), data_(other.data_), len_(other.len_) {
+  if (ctl_ != nullptr) internal::BufRef(ctl_);
+}
+
+BufferView& BufferView::operator=(const BufferView& other) {
+  if (this != &other) {
+    if (other.ctl_ != nullptr) internal::BufRef(other.ctl_);
+    if (ctl_ != nullptr) internal::BufUnref(ctl_);
+    ctl_ = other.ctl_;
+    data_ = other.data_;
+    len_ = other.len_;
+  }
+  return *this;
+}
+
+BufferView::BufferView(BufferView&& other) noexcept
+    : ctl_(std::exchange(other.ctl_, nullptr)),
+      data_(std::exchange(other.data_, nullptr)),
+      len_(std::exchange(other.len_, 0)) {}
+
+BufferView& BufferView::operator=(BufferView&& other) noexcept {
+  if (this != &other) {
+    if (ctl_ != nullptr) internal::BufUnref(ctl_);
+    ctl_ = std::exchange(other.ctl_, nullptr);
+    data_ = std::exchange(other.data_, nullptr);
+    len_ = std::exchange(other.len_, 0);
+  }
+  return *this;
+}
+
+BufferView::~BufferView() {
+  if (ctl_ != nullptr) internal::BufUnref(ctl_);
+}
+
+BufferView BufferView::CopyOf(ByteSpan s) {
+  Buffer b = Buffer::Allocate(s.size());
+  if (!s.empty()) {
+    std::memcpy(b.data(), s.data(), s.size());
+    BufferStats::NoteCopy(static_cast<int64_t>(s.size()));
+  }
+  return std::move(b).Share();
+}
+
+BufferView BufferView::Slice(size_t off, size_t len) const {
+  assert(off + len <= len_);
+  BufferView v;
+  if (len > 0) {
+    v.ctl_ = ctl_;
+    if (v.ctl_ != nullptr) internal::BufRef(v.ctl_);
+    v.data_ = data_ + off;
+    v.len_ = len;
+  }
+  return v;
+}
+
+Bytes BufferView::ToBytes() const {
+  BufferStats::NoteCopy(static_cast<int64_t>(len_));
+  return Bytes(data_, data_ + len_);
+}
+
+}  // namespace cm

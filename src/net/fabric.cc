@@ -28,6 +28,14 @@ Fabric::Fabric(sim::Simulator& sim, const FabricConfig& config)
   tracer_.SetClock([this] { return sim_.now(); });
   transfers_ = metrics_.AddCounter("cm.fabric.transfers");
   wire_bytes_ = metrics_.AddCounter("cm.fabric.wire_bytes");
+  // Hot-path health gauges (DESIGN.md §10): payload bytes that crossed a
+  // buffer-layer copy (process-wide; ~one materialization per RMA read when
+  // the zero-copy path is intact), and scheduler posts that targeted the
+  // past and were clamped (a modeling bug worth surfacing, never fatal).
+  host_exports_.ExportGauge("cm.net.bytes_copied", {},
+                            [] { return BufferStats::bytes_copied(); });
+  host_exports_.ExportGauge("cm.sim.post_in_past", {},
+                            [this] { return sim_.posts_in_past(); });
 }
 
 Fabric::~Fabric() {

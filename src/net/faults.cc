@@ -164,6 +164,17 @@ void FaultPlan::CorruptBytes(Bytes& payload) {
   payload[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
 }
 
+BufferView FaultPlan::CorruptCow(BufferView payload) {
+  if (payload.empty()) return payload;
+  const uint64_t bit = rng_.NextBounded(uint64_t(payload.size()) * 8);
+  Buffer copy = Buffer::Allocate(payload.size());
+  std::memcpy(copy.data(), payload.data(), payload.size());
+  BufferStats::NoteCopy(static_cast<int64_t>(payload.size()));
+  copy.data()[bit / 8] ^=
+      std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+  return std::move(copy).Share();
+}
+
 std::string FaultPlan::Summary() const {
   char buf[256];
   std::snprintf(buf, sizeof buf,

@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -126,6 +127,11 @@ class FaultPlan {
 
   // Flips one uniformly-chosen bit of `payload` (no-op when empty).
   void CorruptBytes(Bytes& payload);
+  // Copy-on-write variant for shared payload views: returns a corrupted
+  // private copy, leaving other holders of the same buffer (retries,
+  // duplicate deliveries) with the pristine bytes. Draws exactly the same
+  // single rng value as CorruptBytes, so fault traces are unchanged.
+  BufferView CorruptCow(BufferView payload);
 
   // Observability ------------------------------------------------------
   const FaultStats& stats() const { return stats_; }

@@ -29,12 +29,12 @@ net::NicSide& HwRmaTransport::pcie(net::HostId host) {
   return *pcie_[host];
 }
 
-sim::Task<StatusOr<Bytes>> HwRmaTransport::Read(net::HostId initiator,
-                                                net::HostId target,
-                                                RegionId region,
-                                                uint64_t offset,
-                                                uint32_t length,
-                                                trace::SpanId parent) {
+sim::Task<StatusOr<BufferView>> HwRmaTransport::Read(net::HostId initiator,
+                                                     net::HostId target,
+                                                     RegionId region,
+                                                     uint64_t offset,
+                                                     uint32_t length,
+                                                     trace::SpanId parent) {
   sim::Simulator& sim = fabric_.simulator();
   trace::Tracer& tracer = fabric_.tracer();
   const trace::SpanId span = tracer.Begin("rma_read", parent, initiator);
@@ -69,15 +69,15 @@ sim::Task<StatusOr<Bytes>> HwRmaTransport::Read(net::HostId initiator,
     tracer.End(span, -1);
     co_return UnavailableError("no rma host state for target");
   }
-  StatusOr<Bytes> mem =
-      host_state->registry->ResolveCopy(region, offset, length);
+  StatusOr<BufferView> mem =
+      host_state->registry->ResolveView(region, offset, length);
   if (!mem.ok()) {
     ++stats_.failed_ops;
     co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
     tracer.End(span, -1);
     co_return mem.status();
   }
-  Bytes data = *std::move(mem);
+  BufferView data = *std::move(mem);
 
   net::MessageFate resp = co_await fabric_.TransferFaulty(
       target, initiator,
@@ -91,7 +91,7 @@ sim::Task<StatusOr<Bytes>> HwRmaTransport::Read(net::HostId initiator,
   }
   if (resp.corrupt && fabric_.faults() != nullptr && !data.empty()) {
     ++stats_.corrupt_deliveries;
-    fabric_.faults()->CorruptBytes(data);
+    data = fabric_.faults()->CorruptCow(std::move(data));
   }
   hw_timestamps_.Record(sim.now() - hw_start);
   tracer.End(span, static_cast<int64_t>(data.size()));

@@ -47,7 +47,7 @@ class HwRmaTransport : public RmaTransport {
 
   bool SupportsScar() const override { return false; }
 
-  sim::Task<StatusOr<Bytes>> Read(
+  sim::Task<StatusOr<BufferView>> Read(
       net::HostId initiator, net::HostId target, RegionId region,
       uint64_t offset, uint32_t length,
       trace::SpanId parent = trace::kNoSpan) override;

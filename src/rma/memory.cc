@@ -35,4 +35,21 @@ StatusOr<Bytes> MemoryRegistry::ResolveCopy(RegionId id, uint64_t offset,
   return out;
 }
 
+StatusOr<BufferView> MemoryRegistry::ResolveView(RegionId id, uint64_t offset,
+                                                 uint32_t length) const {
+  auto it = windows_.find(id);
+  if (it == windows_.end() || it->second.revoked) {
+    return PermissionDeniedError("rma window revoked or unknown");
+  }
+  const Window& w = it->second;
+  if (offset + length > w.size) {
+    return InvalidArgumentError("rma read out of window bounds");
+  }
+  Buffer buf = Buffer::Allocate(length);
+  Status s = w.source->ReadAt(offset, length, buf.data());
+  if (!s.ok()) return s;
+  BufferStats::NoteCopy(length);
+  return std::move(buf).Share();
+}
+
 }  // namespace cm::rma

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "common/status.h"
 
@@ -82,6 +83,13 @@ class MemoryRegistry {
   // INVALID_ARGUMENT for out-of-bounds.
   StatusOr<Bytes> ResolveCopy(RegionId id, uint64_t offset,
                               uint32_t length) const;
+
+  // Same semantics, but materializes into a shareable slab-backed view: the
+  // one copy out of backend memory that the rest of the delivery path
+  // (fabric hops, fault COW, client decode slices) shares without copying.
+  // The materialization is counted in BufferStats::bytes_copied.
+  StatusOr<BufferView> ResolveView(RegionId id, uint64_t offset,
+                                   uint32_t length) const;
 
   int64_t registrations() const { return registrations_; }
 

@@ -76,8 +76,8 @@ EngineGroup& SoftNicTransport::engines(net::HostId host) {
   return *engines_[host];
 }
 
-sim::Task<StatusOr<Bytes>> SoftNicTransport::Read(net::HostId initiator,
-                                                  net::HostId target,
+sim::Task<StatusOr<BufferView>> SoftNicTransport::Read(net::HostId initiator,
+                                                       net::HostId target,
                                                   RegionId region,
                                                   uint64_t offset,
                                                   uint32_t length,
@@ -113,17 +113,19 @@ sim::Task<StatusOr<Bytes>> SoftNicTransport::Read(net::HostId initiator,
     tracer.End(span, -1);
     co_return UnavailableError("no rma host state for target");
   }
-  // Copy at this instant: a racing server-side mutation before delivery is
-  // observed as a torn read by the client (by design; clients validate).
-  StatusOr<Bytes> mem =
-      host_state->registry->ResolveCopy(region, offset, length);
+  // Materialize at this instant: a racing server-side mutation before
+  // delivery is observed as a torn read by the client (by design; clients
+  // validate). This is the one copy on the read path; everything downstream
+  // shares the view.
+  StatusOr<BufferView> mem =
+      host_state->registry->ResolveView(region, offset, length);
   if (!mem.ok()) {
     ++stats_.failed_ops;
     co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
     tracer.End(span, -1);
     co_return mem.status();
   }
-  Bytes data = *std::move(mem);
+  BufferView data = *std::move(mem);
 
   net::MessageFate resp = co_await fabric_.TransferFaulty(
       target, initiator,
@@ -138,8 +140,9 @@ sim::Task<StatusOr<Bytes>> SoftNicTransport::Read(net::HostId initiator,
   if (resp.corrupt && fabric_.faults() != nullptr && !data.empty()) {
     // Payload bit flip below the link CRC (DMA/memory corruption): delivered
     // as-is; only the client's end-to-end checksum can catch it (§5.1).
+    // Copy-on-write: other holders of the buffer keep the pristine bytes.
     ++stats_.corrupt_deliveries;
-    fabric_.faults()->CorruptBytes(data);
+    data = fabric_.faults()->CorruptCow(std::move(data));
   }
   // Initiator engine processes the completion.
   stats_.initiator_nic_ns += config_.initiator_op_cost / 2;
@@ -209,9 +212,9 @@ sim::Task<StatusOr<ScarResult>> SoftNicTransport::ScanAndRead(
   if (resp.corrupt && fabric_.faults() != nullptr) {
     ++stats_.corrupt_deliveries;
     if (!result->data.empty()) {
-      fabric_.faults()->CorruptBytes(result->data);
+      result->data = fabric_.faults()->CorruptCow(std::move(result->data));
     } else if (!result->bucket.empty()) {
-      fabric_.faults()->CorruptBytes(result->bucket);
+      result->bucket = fabric_.faults()->CorruptCow(std::move(result->bucket));
     }
   }
   stats_.initiator_nic_ns += config_.initiator_op_cost / 2;

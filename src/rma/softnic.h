@@ -70,7 +70,7 @@ class SoftNicTransport : public RmaTransport {
 
   bool SupportsScar() const override { return true; }
 
-  sim::Task<StatusOr<Bytes>> Read(
+  sim::Task<StatusOr<BufferView>> Read(
       net::HostId initiator, net::HostId target, RegionId region,
       uint64_t offset, uint32_t length,
       trace::SpanId parent = trace::kNoSpan) override;

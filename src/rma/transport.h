@@ -12,6 +12,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "common/status.h"
 #include "net/fabric.h"
@@ -22,10 +23,12 @@ namespace cm::rma {
 
 // Result of the custom Scan-and-Read op (§6.3): the NIC scans the Bucket
 // server-side for the requested KeyHash and returns the Bucket plus the
-// pointed-to DataEntry in a single round trip.
+// pointed-to DataEntry in a single round trip. Both payloads are refcounted
+// views of the backend-side materialization — the transport and client
+// layers slice them without copying.
 struct ScarResult {
-  Bytes bucket;
-  Bytes data;  // empty when the scan found no matching IndexEntry
+  BufferView bucket;
+  BufferView data;  // empty when the scan found no matching IndexEntry
 };
 
 // Installed by a backend when it co-designs with a software NIC: given the
@@ -88,8 +91,9 @@ class RmaTransport {
 
   // One-sided read of [offset, offset+length) in `region` on `target`.
   // `parent` (optional) nests the op's rma_read span — and the fabric tx/rx
-  // spans beneath it — under the caller's trace tree.
-  virtual sim::Task<StatusOr<Bytes>> Read(
+  // spans beneath it — under the caller's trace tree. The payload is a
+  // refcounted view materialized exactly once at the target window.
+  virtual sim::Task<StatusOr<BufferView>> Read(
       net::HostId initiator, net::HostId target, RegionId region,
       uint64_t offset, uint32_t length,
       trace::SpanId parent = trace::kNoSpan) = 0;

@@ -1,10 +1,13 @@
 #include "sim/simulator.h"
 
-#include <cassert>
-#include <memory>
+#include <algorithm>
+#include <bit>
+#include <limits>
 
 namespace cm::sim {
 namespace {
+
+constexpr Time kNoEvent = std::numeric_limits<Time>::max();
 
 // Self-starting, self-destroying wrapper that owns a detached Task<void>.
 struct Detached {
@@ -23,47 +26,266 @@ struct Detached {
 
 Detached RunDetached(Task<void> task) { co_await std::move(task); }
 
+// First set bit at index >= from in a 256-bit map, or -1.
+int FindFirst(const uint64_t* occ, int from) {
+  if (from >= 256) return -1;
+  int w = from >> 6;
+  uint64_t word = occ[w] & (~uint64_t{0} << (from & 63));
+  for (;;) {
+    if (word != 0) return (w << 6) + std::countr_zero(word);
+    if (++w == 4) return -1;
+    word = occ[w];
+  }
+}
+
+void SetBit(uint64_t* occ, int i) { occ[i >> 6] |= uint64_t{1} << (i & 63); }
+void ClearBit(uint64_t* occ, int i) {
+  occ[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+// Overflow heap order: min (t, seq) at front.
+struct OverflowLater {
+  bool operator()(const auto* a, const auto* b) const {
+    if (a->t != b->t) return a->t > b->t;
+    return a->seq > b->seq;
+  }
+};
+
 }  // namespace
 
-void Simulator::PostAt(Time t, std::function<void()> fn) {
-  assert(t >= now_);
-  queue_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+Simulator::Simulator() = default;
+
+Simulator::~Simulator() { DestroyPending(); }
+
+void Simulator::DestroyPending() {
+  // Pending callables are destroyed deterministically: wheel levels inner to
+  // outer, slots in index order, list order within a slot, then the overflow
+  // heap. Coroutine nodes only reference their frame (never own it), exactly
+  // like the old std::function-of-handle events.
+  auto destroy_list = [](EventNode* n) {
+    for (; n != nullptr; n = n->next) {
+      if (n->invoke != nullptr && n->destroy != nullptr) n->destroy(n);
+    }
+  };
+  for (int lvl = 0; lvl < kLevels; ++lvl) {
+    for (int s = 0; s < kSlots; ++s) destroy_list(wheel_[lvl][s].head);
+  }
+  for (EventNode* n : overflow_) {
+    if (n->invoke != nullptr && n->destroy != nullptr) n->destroy(n);
+  }
+}
+
+Simulator::EventNode* Simulator::NewNode(Time t) {
+  if (t < now_) {
+    ++posts_in_past_;
+    t = now_;
+  }
+  if (free_ == nullptr) RefillPool();
+  EventNode* n = free_;
+  free_ = n->next;
+  n->next = nullptr;
+  n->t = t;
+  n->seq = next_seq_++;
+  return n;
+}
+
+void Simulator::FreeNode(EventNode* n) {
+  n->next = free_;
+  free_ = n;
+}
+
+void Simulator::RefillPool() {
+  constexpr size_t kBlockNodes = 256;
+  pool_blocks_.emplace_back(new EventNode[kBlockNodes]);
+  EventNode* block = pool_blocks_.back().get();
+  for (size_t i = 0; i < kBlockNodes; ++i) {
+    block[i].next = (i + 1 < kBlockNodes) ? &block[i + 1] : free_;
+  }
+  free_ = block;
+}
+
+void Simulator::Classify(EventNode* n) {
+  const Time t = n->t;
+  n->next = nullptr;
+  if ((t >> 8) == (base_ >> 8)) {
+    // Same 256ns block: level 0, one slot per distinct t.
+    Slot& sl = wheel_[0][t & 255];
+    if (sl.head == nullptr) {
+      sl.head = sl.tail = n;
+      SetBit(occupancy_[0], int(t & 255));
+    } else {
+      sl.tail->next = n;
+      sl.tail = n;
+    }
+    return;
+  }
+  int level;
+  int slot;
+  if ((t >> 16) == (base_ >> 16)) {
+    level = 1;
+    slot = int((t >> 8) & 255);
+  } else if ((t >> 24) == (base_ >> 24)) {
+    level = 2;
+    slot = int((t >> 16) & 255);
+  } else if ((t >> 32) == (base_ >> 32)) {
+    level = 3;
+    slot = int((t >> 24) & 255);
+  } else {
+    overflow_.push_back(n);
+    std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+    return;
+  }
+  Slot& sl = wheel_[level][slot];
+  if (sl.head == nullptr) {
+    sl.head = sl.tail = n;
+    SetBit(occupancy_[level], slot);
+  } else {
+    sl.tail->next = n;
+    sl.tail = n;
+  }
+}
+
+void Simulator::CascadeSlot(int level, int slot) {
+  Slot moved = wheel_[level][slot];
+  wheel_[level][slot] = Slot{};
+  ClearBit(occupancy_[level], slot);
+  // Redistribution preserves list order, which together with append-only
+  // inserts keeps every level-0 slot in ascending seq order (DESIGN.md §10).
+  for (EventNode* n = moved.head; n != nullptr;) {
+    EventNode* next = n->next;
+    Classify(n);
+    n = next;
+  }
+}
+
+bool Simulator::AdvanceBase() {
+  int s = FindFirst(occupancy_[1], int((base_ >> 8) & 255) + 1);
+  if (s >= 0) {
+    base_ = (base_ >> 16 << 16) | (Time(s) << 8);
+    CascadeSlot(1, s);
+    return true;
+  }
+  s = FindFirst(occupancy_[2], int((base_ >> 16) & 255) + 1);
+  if (s >= 0) {
+    base_ = (base_ >> 24 << 24) | (Time(s) << 16);
+    CascadeSlot(2, s);
+    return true;
+  }
+  s = FindFirst(occupancy_[3], int((base_ >> 24) & 255) + 1);
+  if (s >= 0) {
+    base_ = (base_ >> 32 << 32) | (Time(s) << 24);
+    CascadeSlot(3, s);
+    return true;
+  }
+  if (!overflow_.empty()) {
+    // Re-anchor the wheel at the earliest overflow event's block and pull in
+    // everything within the new horizon. Heap pops arrive in (t, seq) order,
+    // so redistributed lists stay seq-sorted for equal t.
+    base_ = overflow_.front()->t >> 8 << 8;
+    while (!overflow_.empty() &&
+           (overflow_.front()->t >> 32) == (base_ >> 32)) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+      EventNode* n = overflow_.back();
+      overflow_.pop_back();
+      Classify(n);
+    }
+    return true;
+  }
+  return false;
+}
+
+Simulator::EventNode* Simulator::PopMin() {
+  for (;;) {
+    const int hint =
+        ((now_ >> 8) == (base_ >> 8)) ? int(now_ & 255) : 0;
+    const int s = FindFirst(occupancy_[0], hint);
+    if (s >= 0) {
+      Slot& sl = wheel_[0][s];
+      EventNode* n = sl.head;
+      sl.head = n->next;
+      if (sl.head == nullptr) {
+        sl.tail = nullptr;
+        ClearBit(occupancy_[0], s);
+      }
+      --live_events_;
+      return n;
+    }
+    if (!AdvanceBase()) return nullptr;
+  }
+}
+
+Time Simulator::PeekTime() const {
+  int s = FindFirst(occupancy_[0], 0);
+  if (s >= 0) return wheel_[0][s].head->t;
+  // Levels 1-3: the first occupied slot holds the earliest block; its list
+  // is unordered by t, so take the list minimum. (The next Step cascades
+  // this same list, so the walk is work we were about to do anyway.)
+  for (int lvl = 1; lvl < kLevels; ++lvl) {
+    s = FindFirst(occupancy_[lvl], int((base_ >> (8 * lvl)) & 255) + 1);
+    if (s >= 0) {
+      Time min_t = kNoEvent;
+      for (const EventNode* n = wheel_[lvl][s].head; n != nullptr;
+           n = n->next) {
+        min_t = std::min(min_t, n->t);
+      }
+      return min_t;
+    }
+  }
+  if (!overflow_.empty()) return overflow_.front()->t;
+  return kNoEvent;
 }
 
 void Simulator::ScheduleAt(Time t, std::coroutine_handle<> h) {
-  PostAt(t, [h] { h.resume(); });
+  EventNode* n = NewNode(t);
+  void* addr = h.address();
+  std::memcpy(n->payload, &addr, sizeof addr);
+  n->invoke = nullptr;
+  n->destroy = nullptr;
+  InsertNode(n);
 }
 
 void Simulator::Spawn(Task<void> task) {
   // The wrapper coroutine frame takes ownership of the task; we kick it off
   // through the event queue at the current time so spawn order equals run
-  // order deterministically.
-  PostAt(now_, [t = std::make_shared<Task<void>>(std::move(task))]() mutable {
-    RunDetached(std::move(*t));
-  });
+  // order deterministically. The move-only lambda lives in the node's
+  // inline payload — no shared_ptr, no heap.
+  PostAt(now_, [t = std::move(task)]() mutable { RunDetached(std::move(t)); });
 }
 
 void Simulator::Step() {
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  assert(ev.t >= now_);
-  now_ = ev.t;
+  EventNode* n = PopMin();
+  if (n == nullptr) return;
+  assert(n->t >= now_);
+  now_ = n->t;
   ++events_processed_;
-  ev.fn();
+  if (n->invoke == nullptr) {
+    // Coroutine fast path: copy the handle out, recycle the node first
+    // (the resumed frame may immediately allocate new events), resume.
+    void* addr;
+    std::memcpy(&addr, n->payload, sizeof addr);
+    FreeNode(n);
+    std::coroutine_handle<>::from_address(addr).resume();
+  } else {
+    n->invoke(n);
+    // The callable is destroyed as soon as its event ran — same point as
+    // the old value-typed Event going out of scope in Step().
+    if (n->destroy != nullptr) n->destroy(n);
+    FreeNode(n);
+  }
 }
 
 void Simulator::Run() {
-  while (!queue_.empty()) Step();
+  while (live_events_ > 0) Step();
 }
 
 bool Simulator::RunUntil(Time t) {
-  while (!queue_.empty() && queue_.top().t <= t) Step();
+  while (live_events_ > 0 && PeekTime() <= t) Step();
   if (now_ < t) now_ = t;
-  return !queue_.empty();
+  return live_events_ > 0;
 }
 
 void Simulator::RunSteps(uint64_t n) {
-  while (n-- > 0 && !queue_.empty()) Step();
+  while (n-- > 0 && live_events_ > 0) Step();
 }
 
 }  // namespace cm::sim

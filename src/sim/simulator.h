@@ -1,16 +1,31 @@
 // Deterministic single-threaded discrete-event simulator.
 //
-// Events are (time, sequence) ordered in a binary heap; ties break by
-// insertion order so runs are reproducible. Coroutine tasks suspend by
-// scheduling their own resumption (see delay()/sync.h) and the simulator
-// pumps the event queue, advancing virtual time.
+// Events are (time, sequence) ordered — ties break by insertion order so
+// runs are reproducible — and live in a hierarchical calendar queue (a
+// 4-level × 256-slot timer wheel over the low 32 bits of sim Time, with a
+// min-heap overflow for events beyond the wheel horizon). Event records are
+// intrusive nodes from a slab pool with small-buffer-optimized callback
+// storage; coroutine resumptions (ScheduleAt) store the bare handle and
+// never touch a type-erased callable. See DESIGN.md §10 for the ordering
+// contract and the proof that wheel cascades preserve the exact (t, seq)
+// total order of the original binary-heap implementation.
+//
+// Coroutine tasks suspend by scheduling their own resumption (see
+// Delay()/sync.h) and the simulator pumps the queue, advancing virtual
+// time.
 #ifndef CM_SIM_SIMULATOR_H_
 #define CM_SIM_SIMULATOR_H_
 
+#include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <functional>  // transitive convenience for event-callback users
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/task.h"
@@ -20,17 +35,61 @@ namespace cm::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   Time now() const { return now_; }
 
-  // Schedules fn to run at absolute time t (>= now).
-  void PostAt(Time t, std::function<void()> fn);
-  void PostAfter(Duration d, std::function<void()> fn) {
-    PostAt(now_ + d, std::move(fn));
+  // Schedules fn (any move-constructible void() callable — move-only is
+  // fine) to run at absolute time t. A t earlier than now() is clamped to
+  // now() and counted in posts_in_past() (exported as cm.sim.post_in_past):
+  // a past-time post is a modeling bug worth surfacing, but never worth
+  // corrupting the clock over.
+  template <typename F>
+  void PostAt(Time t, F&& fn) {
+    static_assert(std::is_invocable_v<std::decay_t<F>&>,
+                  "event callback must be invocable with no arguments");
+    EventNode* n = NewNode(t);
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCallbackBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(n->payload)) Fn(std::forward<F>(fn));
+      n->invoke = [](EventNode* e) {
+        (*std::launder(reinterpret_cast<Fn*>(e->payload)))();
+      };
+      if constexpr (std::is_trivially_destructible_v<Fn>) {
+        n->destroy = nullptr;
+      } else {
+        n->destroy = [](EventNode* e) {
+          std::launder(reinterpret_cast<Fn*>(e->payload))->~Fn();
+        };
+      }
+    } else {
+      auto* f = new Fn(std::forward<F>(fn));
+      std::memcpy(n->payload, &f, sizeof f);
+      n->invoke = [](EventNode* e) {
+        Fn* f;
+        std::memcpy(&f, e->payload, sizeof f);
+        (*f)();
+      };
+      n->destroy = [](EventNode* e) {
+        Fn* f;
+        std::memcpy(&f, e->payload, sizeof f);
+        delete f;
+      };
+    }
+    InsertNode(n);
   }
+  template <typename F>
+  void PostAfter(Duration d, F&& fn) {
+    PostAt(now_ + d, std::forward<F>(fn));
+  }
+
+  // Coroutine fast path: the node stores the bare handle address; Step()
+  // resumes it directly without any type-erased callable.
   void ScheduleAt(Time t, std::coroutine_handle<> h);
 
   // Starts a detached task: it runs until its first suspension immediately,
@@ -46,8 +105,11 @@ class Simulator {
   // Runs at most `n` events.
   void RunSteps(uint64_t n);
 
-  bool empty() const { return queue_.empty(); }
+  bool empty() const { return live_events_ == 0; }
   uint64_t events_processed() const { return events_processed_; }
+  // Posts (PostAt/ScheduleAt) whose target time lay in the past and were
+  // clamped to now(). Deterministic; exported as cm.sim.post_in_past.
+  int64_t posts_in_past() const { return posts_in_past_; }
 
   // Awaitable: suspends the caller until absolute time t.
   auto WaitUntil(Time t) {
@@ -67,24 +129,64 @@ class Simulator {
   auto Yield() { return Delay(0); }
 
  private:
-  struct Event {
+  // Inline storage covers every hot callback in the tree (lambdas capturing
+  // a few pointers/refs, a Task handle, or a small struct copy); larger or
+  // potentially-throwing callables fall back to a heap allocation.
+  static constexpr size_t kInlineCallbackBytes = 64;
+  static constexpr int kLevels = 4;   // 8 bits each → 2^32 ns ≈ 4.3 s horizon
+  static constexpr int kSlots = 256;
+
+  struct EventNode {
+    EventNode* next;
     Time t;
     uint64_t seq;
-    std::function<void()> fn;
+    // nullptr → coroutine fast path: payload holds the handle address.
+    void (*invoke)(EventNode*);
+    void (*destroy)(EventNode*);
+    alignas(std::max_align_t) unsigned char payload[kInlineCallbackBytes];
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
   };
+
+  // Allocates a pooled node with seq assigned and t clamped to now().
+  EventNode* NewNode(Time t);
+  void FreeNode(EventNode* n);
+  void RefillPool();
+
+  // Classifies n against base_ into a wheel level or the overflow heap.
+  void Classify(EventNode* n);
+  void InsertNode(EventNode* n) {
+    Classify(n);
+    ++live_events_;
+  }
+  // Pops the global (t, seq) minimum; cascades/advances base_ as needed.
+  EventNode* PopMin();
+  // Moves base_ forward to the next occupied block and redistributes it.
+  bool AdvanceBase();
+  void CascadeSlot(int level, int slot);
+  // Non-destructive: earliest pending event time (no cascading, so a peek
+  // beyond `t` in RunUntil can never strand base_ past later insertions).
+  Time PeekTime() const;
 
   void Step();
+  void DestroyPending();
 
   Time now_ = 0;
+  Time base_ = 0;  // wheel origin: all pending events have t >= base_
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  uint64_t live_events_ = 0;
+  int64_t posts_in_past_ = 0;
+
+  Slot wheel_[kLevels][kSlots];
+  uint64_t occupancy_[kLevels][kSlots / 64] = {};
+  // (t, seq) min-heap for events beyond the wheel horizon.
+  std::vector<EventNode*> overflow_;
+
+  EventNode* free_ = nullptr;
+  std::vector<std::unique_ptr<EventNode[]>> pool_blocks_;
 };
 
 }  // namespace cm::sim

@@ -344,5 +344,48 @@ TEST(CellStats, TornReadCountersStartAtZeroAndGetsAreCheap) {
   EXPECT_EQ(client->stats().hits, 101);  // warm-up GET + 100 measured
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy GET path (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+TEST(ZeroCopyGetPath, ValueBytesAreMaterializedAtMostOnce) {
+  // 2xR over hardware RMA: the quorum phase reads R index buckets and the
+  // data phase reads the DataEntry blob exactly once; validation and the
+  // returned GetResult slice that one materialization without copying.
+  sim::Simulator sim;
+  CellOptions opts = SmallCell(ReplicationMode::kR32, TransportKind::kOneRma);
+  Cell cell(sim, opts);
+  cell.Start();
+  Client* client = cell.AddClient();
+  ASSERT_TRUE(RunOp(sim, client->Connect()).ok());
+
+  const std::string key = "zero-copy-key";
+  const Bytes value(4096, std::byte{0x42});
+  ASSERT_TRUE(RunOp(sim, client->Set(key, value)).ok());
+  // Warm the per-shard RMA handshakes so the measured GET is pure RMA.
+  ASSERT_TRUE(RunOp(sim, client->Get(key)).ok());
+
+  const int64_t before = BufferStats::bytes_copied();
+  auto got = RunOp(sim, client->Get(key));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->value, value);
+  const int64_t copied = BufferStats::bytes_copied() - before;
+
+  // Budget: R bucket materializations + one DataEntry blob (value plus
+  // key/header/checksum framing). A second copy of the value anywhere on
+  // the path (transport hop, validation, extraction into GetResult) would
+  // blow this budget by another 4096.
+  const int64_t replicas = ReplicaCount(opts.mode);
+  const int64_t bucket = int64_t(BucketBytes(opts.backend.ways));
+  const int64_t framing = 512;
+  EXPECT_GE(copied, int64_t(value.size()));  // the one materialization
+  EXPECT_LE(copied, replicas * bucket + int64_t(value.size()) + framing);
+
+  // The process-wide counter is exported through the cell fabric's registry
+  // as cm.net.bytes_copied.
+  EXPECT_EQ(cell.fabric().metrics().TakeSnapshot().value("cm.net.bytes_copied"),
+            BufferStats::bytes_copied());
+}
+
 }  // namespace
 }  // namespace cm::cliquemap

@@ -107,7 +107,7 @@ sim::Task<void> Traffic(sim::Simulator& sim, Client* client, int c,
             got.status().ToString());
         continue;
       }
-      const Bytes& v = got->value;
+      const auto& v = got->value;
       bool valid = v.size() == kValueBytes &&
                    uint8_t(v[0]) == uint8_t(k);
       if (valid) {
@@ -286,7 +286,7 @@ TimelineOutcome RunTimeline(uint64_t seed, bool with_faults) {
       ++out->lost_writes;
       continue;
     }
-    const Bytes& v = got->value;
+    const auto& v = got->value;
     if (v.size() != kValueBytes || uint8_t(v[0]) != uint8_t(k)) {
       ++out->wrong_values;
       continue;

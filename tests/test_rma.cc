@@ -107,12 +107,12 @@ struct RmaFixture : ::testing::Test {
     rma_network.Attach(server, &registry);
   }
 
-  template <typename T>
-  T RunRead(RmaTransport& t, RegionId r, uint64_t off, uint32_t len) {
-    StatusOr<cm::Bytes> out = InternalError("never ran");
+  StatusOr<cm::BufferView> RunRead(RmaTransport& t, RegionId r, uint64_t off,
+                                   uint32_t len) {
+    StatusOr<cm::BufferView> out = InternalError("never ran");
     sim.Spawn([](RmaTransport& t, net::HostId c, net::HostId s, RegionId r,
                  uint64_t off, uint32_t len,
-                 StatusOr<cm::Bytes>& out) -> sim::Task<void> {
+                 StatusOr<cm::BufferView>& out) -> sim::Task<void> {
       out = co_await t.Read(c, s, r, off, len);
     }(t, client, server, r, off, len, out));
     sim.Run();
@@ -122,7 +122,7 @@ struct RmaFixture : ::testing::Test {
 
 TEST_F(RmaFixture, SoftNicReadReturnsBytes) {
   SoftNicTransport t(fabric, rma_network);
-  auto out = RunRead<StatusOr<cm::Bytes>>(t, region, 100, 16);
+  auto out = RunRead(t, region, 100, 16);
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out->size(), 16u);
   for (int i = 0; i < 16; ++i) {
@@ -134,14 +134,14 @@ TEST_F(RmaFixture, SoftNicReadReturnsBytes) {
 TEST_F(RmaFixture, SoftNicReadOfRevokedRegionFails) {
   SoftNicTransport t(fabric, rma_network);
   registry.Revoke(region);
-  auto out = RunRead<StatusOr<cm::Bytes>>(t, region, 0, 16);
+  auto out = RunRead(t, region, 0, 16);
   EXPECT_EQ(out.status().code(), StatusCode::kPermissionDenied);
   EXPECT_EQ(t.stats().failed_ops, 1);
 }
 
 TEST_F(RmaFixture, SoftNicReadIsFarCheaperThanRpc) {
   SoftNicTransport t(fabric, rma_network);
-  (void)RunRead<StatusOr<cm::Bytes>>(t, region, 0, 64);
+  (void)RunRead(t, region, 0, 64);
   // NIC processing on both sides is well under 2us combined, vs >50us for
   // a framework RPC.
   EXPECT_LT(t.stats().initiator_nic_ns + t.stats().target_nic_ns,
@@ -215,7 +215,7 @@ TEST_F(RmaFixture, EngineScaleInWhenIdle) {
 
 TEST_F(RmaFixture, HwRmaReadWorksWithoutServerCpuOrEngines) {
   HwRmaTransport t(fabric, rma_network, HwRmaConfig::OneRma());
-  auto out = RunRead<StatusOr<cm::Bytes>>(t, region, 8, 8);
+  auto out = RunRead(t, region, 8, 8);
   ASSERT_TRUE(out.ok());
   EXPECT_EQ((*out)[0], std::byte{8});
   EXPECT_EQ(fabric.host(server).cpu().total_busy_ns(), 0);
@@ -238,10 +238,10 @@ TEST_F(RmaFixture, ClassicRdmaSlowerThanOneRma) {
   HwRmaTransport onerma(fabric, rma_network, HwRmaConfig::OneRma());
   HwRmaTransport rdma(fabric, rma_network, HwRmaConfig::ClassicRdma());
   sim::Time t0 = sim.now();
-  (void)RunRead<StatusOr<cm::Bytes>>(onerma, region, 0, 64);
+  (void)RunRead(onerma, region, 0, 64);
   sim::Time onerma_elapsed = sim.now() - t0;
   t0 = sim.now();
-  (void)RunRead<StatusOr<cm::Bytes>>(rdma, region, 0, 64);
+  (void)RunRead(rdma, region, 0, 64);
   sim::Time rdma_elapsed = sim.now() - t0;
   EXPECT_LT(onerma_elapsed, rdma_elapsed);
 }
@@ -251,9 +251,9 @@ TEST_F(RmaFixture, TornReadIsObservable) {
   // sees intermediate bytes. Start a read, mutate the buffer while the
   // simulated op is in flight (before the copy), observe mixed state.
   SoftNicTransport t(fabric, rma_network);
-  StatusOr<cm::Bytes> out = InternalError("never ran");
+  StatusOr<cm::BufferView> out = InternalError("never ran");
   sim.Spawn([](SoftNicTransport& t, net::HostId c, net::HostId s, RegionId r,
-               StatusOr<cm::Bytes>& out) -> sim::Task<void> {
+               StatusOr<cm::BufferView>& out) -> sim::Task<void> {
     out = co_await t.Read(c, s, r, 0, 8);
   }(t, client, server, region, out));
   // The command takes ~2us to arrive; mutate at 1us (before server copy).

@@ -347,5 +347,70 @@ TEST(CpuPool, BusyCoreSkipsPenalty) {
   EXPECT_EQ(done[1], Microseconds(60));  // no penalty: idle gap < threshold
 }
 
+// A past-time post is clamped to now() (it still runs, after already-queued
+// same-time events) and surfaced via posts_in_past() rather than asserting:
+// the clock must never run backwards, but the modeling bug is observable.
+TEST(Simulator, PastTimePostClampsToNowAndCounts) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.PostAt(100, [&] {
+    order.push_back(1);
+    sim.PostAt(50, [&] { order.push_back(2); });  // in the past: clamp to 100
+    sim.PostAt(100, [&] { order.push_back(3); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.posts_in_past(), 1);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, PastTimeSpawnAfterRunUntil) {
+  Simulator sim;
+  bool ran = false;
+  sim.RunUntil(1000);  // advances now() with an empty queue
+  EXPECT_EQ(sim.posts_in_past(), 0);
+  sim.PostAt(10, [&] { ran = true; });  // t < now(): clamped, not dropped
+  EXPECT_EQ(sim.posts_in_past(), 1);
+  sim.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+// Event callables are destroyed in a deterministic order: an executed
+// event's callable dies immediately after it runs (before the next event
+// fires), and unexecuted callables die in wheel order at simulator
+// teardown. Regression test for the old const_cast top-pop Step(), where
+// destruction piggybacked on priority_queue internals.
+TEST(Simulator, CallbackDestructionOrderIsDeterministic) {
+  struct Tracker {
+    std::vector<int>* log;
+    int id;
+    bool armed = true;
+    Tracker(std::vector<int>* log, int id) : log(log), id(id) {}
+    Tracker(Tracker&& o) noexcept
+        : log(o.log), id(o.id), armed(std::exchange(o.armed, false)) {}
+    Tracker(const Tracker& o) : log(o.log), id(o.id), armed(o.armed) {}
+    ~Tracker() {
+      if (armed) log->push_back(id);
+    }
+    void operator()() { log->push_back(100 + id); }
+  };
+
+  std::vector<int> log;
+  {
+    Simulator sim;
+    sim.PostAt(10, Tracker(&log, 1));
+    sim.PostAt(10, Tracker(&log, 2));
+    sim.PostAt(20, Tracker(&log, 3));
+    sim.RunUntil(10);
+    // Events 1 and 2 ran at t=10; each callable was destroyed right after
+    // it ran. Event 3 is still pending.
+    EXPECT_EQ(log, (std::vector<int>{101, 1, 102, 2}));
+  }
+  // Teardown destroyed the pending callable exactly once, without running it.
+  EXPECT_EQ(log, (std::vector<int>{101, 1, 102, 2, 3}));
+}
+
 }  // namespace
 }  // namespace cm::sim
