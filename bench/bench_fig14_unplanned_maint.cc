@@ -1,11 +1,21 @@
-// Figure 14: unplanned maintenance (crash) and en-masse repairs.
+// Figure 14: unplanned maintenance (crash) and en-masse repairs — driven
+// end-to-end by the self-healing control plane.
 //
-// §7.2.3: a backend is forcibly crashed at a known time; the replacement
-// restarts ~90s later and a burst of repair RPC traffic restores its shard
-// from the cohort. Latency fluctuates only slightly — and can even trend
-// down while the cell is degraded, because clients send only two of three
-// per-GET operations while a replica is down.
+// §7.2.3: a backend is forcibly crashed at a known time. Unlike the paper's
+// operator-timeline rendition (and this bench's earlier revision, which
+// called CrashAndRestart by hand), nobody here touches the cell after the
+// crash: the CellDoctor's failure detector notices the probe misses, the
+// lease lapses at the ConfigService, the shard is declared dead, and the
+// doctor drives the Resharder to build and seed a replacement from the
+// cohort. Clients ride through on 2/3 quorums with hedged data fetches and
+// slow-replica ejection enabled, so the availability dip stays shallow.
+//
+// Reported self-healing scalars (perf-gated, see scripts/check.sh):
+//   doctor.detect_ms  last good probe -> DEAD verdict
+//   doctor.mttr_ms    DEAD verdict -> replacement committed + seeded
+//   hedge.*           hedged fetches issued / won, slow-replica ejections
 #include "bench_util.h"
+#include "cliquemap/doctor.h"
 
 int main(int argc, char** argv) {
   using namespace cm;
@@ -14,8 +24,9 @@ int main(int argc, char** argv) {
   using namespace cm::workload;
   JsonReport report(argc, argv, "fig14_unplanned_maint");
   if (!report.enabled()) {
-    Banner("Figure 14: unplanned crash + repairs\n"
-           "(R=3.2; crash at t=60s, restart at t=150s, cohort repairs)");
+    Banner("Figure 14: unplanned crash, self-healing recovery\n"
+           "(R=3.2; crash at t=60s; detection, fencing, and replacement\n"
+           "are fully automatic — zero operator calls)");
   }
 
   sim::Simulator sim;
@@ -28,6 +39,19 @@ int main(int argc, char** argv) {
   Cell cell(sim, std::move(o));
   cell.Start();
 
+  // Production-scaled control plane: second-granularity leases/probes (the
+  // unit-test doctor runs millisecond-scaled ones for speed).
+  DoctorOptions dopt;
+  dopt.probe_interval = sim::Milliseconds(500);
+  dopt.probe_timeout = sim::Milliseconds(100);
+  dopt.suspect_after_misses = 2;
+  dopt.dead_after_misses = 5;
+  dopt.heartbeat_interval = sim::Seconds(1);
+  dopt.lease_duration = sim::Seconds(5);
+  dopt.cooldown = sim::Seconds(30);
+  CellDoctor doctor(cell, dopt);
+  doctor.Start();
+
   WorkloadProfile profile = WorkloadProfile::Uniform(3000, 1024, 1.0);
   constexpr int kClients = 5;
   auto loaded = std::make_shared<sim::Notification>(sim);
@@ -37,6 +61,9 @@ int main(int argc, char** argv) {
   for (int c = 0; c < kClients; ++c) {
     ClientConfig cc;
     cc.client_id = uint32_t(c + 1);
+    // Gray-failure defense on: hedged quorum fetches + outlier ejection.
+    cc.hedge_reads = true;
+    cc.eject_slow_replicas = true;
     Client* client = cell.AddClient(cc);
     clients.push_back(client);
     LoadDriver::Options opts;
@@ -58,14 +85,10 @@ int main(int argc, char** argv) {
       co_await d->Run();
     }(client, drivers.back().get(), c == 0, loaded));
   }
-  // Crash at 60s; replacement restarts 90s later and recovers via repair.
+  // Crash at 60s — and that is the last operator action of the run.
   tasks.push_back([](sim::Simulator& sim, Cell* cell) -> sim::Task<void> {
     co_await sim.Delay(sim::Seconds(60));
     cell->CrashShard(0);
-    co_await sim.Delay(sim::Seconds(90));
-    // Restart + en-masse recovery from the two healthy cohort members.
-    Status s = co_await cell->CrashAndRestart(0, 0);
-    if (!s.ok()) std::printf("restart failed: %s\n", s.ToString().c_str());
   }(sim, &cell));
 
   auto rpc_series = std::make_shared<std::vector<int64_t>>();
@@ -78,6 +101,7 @@ int main(int argc, char** argv) {
   }(sim, &cell, rpc_series));
 
   RunAll(sim, std::move(tasks));
+  doctor.Stop();
 
   if (!report.enabled()) {
     std::printf("%7s %9s %9s %9s %9s %9s %14s\n", "t(s)", "GET/s", "p50_us",
@@ -86,6 +110,7 @@ int main(int argc, char** argv) {
   int64_t prev_bytes = 0;
   size_t max_windows = 0;
   for (const auto& d : drivers) max_windows = std::max(max_windows, d->windows().size());
+  std::vector<double> goodput(max_windows, 0.0);
   for (size_t w = 0; w < max_windows; ++w) {
     Histogram get_ns;
     int64_t gets = 0, errors = 0, misses = 0;
@@ -96,6 +121,7 @@ int main(int argc, char** argv) {
       errors += d->windows()[w].get_errors;
       misses += d->windows()[w].misses;
     }
+    goodput[w] = double(gets - errors) / 10.0;
     int64_t bytes = w < rpc_series->size() ? (*rpc_series)[w] : prev_bytes;
     const std::string tag = "t" + std::to_string(w * 10);
     report.AddScalar(tag + ".get_per_sec", double(gets) / 10.0);
@@ -107,8 +133,7 @@ int main(int argc, char** argv) {
                      double(bytes - prev_bytes) / 10.0);
     if (!report.enabled()) {
       const char* note = "";
-      if (w == 6) note = "  <- crash";
-      if (w == 15) note = "  <- restart + repairs";
+      if (w == 6) note = "  <- crash (doctor takes it from here)";
       std::printf("%7zu %9.0f %9.1f %9.1f %9.1f %9lld %14.0f%s\n", w * 10,
                   double(gets) / 10.0, get_ns.Percentile(0.50) / 1000.0,
                   get_ns.Percentile(0.99) / 1000.0,
@@ -118,10 +143,42 @@ int main(int argc, char** argv) {
     }
     prev_bytes = bytes;
   }
-  // Fault/retry observability: how the client fleet and the repair plane
-  // absorbed the crash (the same counters the chaos harness asserts on).
+
+  // Self-healing scalars: detection latency and MTTR straight from the
+  // doctor's recovery records.
+  const auto& recs = doctor.recoveries();
+  double detect_ms = 0.0, mttr_ms = 0.0;
+  int recovered = 0;
+  for (const auto& r : recs) {
+    if (!r.ok) continue;
+    ++recovered;
+    detect_ms = double(r.detected_at - r.last_ok) / 1e6;
+    mttr_ms = double(r.converged_at - r.detected_at) / 1e6;
+  }
+  report.AddScalar("doctor.detect_ms", detect_ms);
+  report.AddScalar("doctor.mttr_ms", mttr_ms);
+  report.AddScalar("doctor.recoveries", double(recovered));
+  report.AddScalar("doctor.dead_transitions",
+                   double(doctor.stats().dead_transitions));
+
+  // Availability dip: deepest degraded-window goodput against the pre-crash
+  // median (windows 1..5; window 0 is warm-up). 0 = no visible dip.
+  std::vector<double> pre(goodput.begin() + 1,
+                          goodput.begin() + std::min<size_t>(6, goodput.size()));
+  std::sort(pre.begin(), pre.end());
+  const double pre_median = pre.empty() ? 0.0 : pre[pre.size() / 2];
+  double min_after = pre_median;
+  for (size_t w = 6; w < goodput.size(); ++w) {
+    min_after = std::min(min_after, goodput[w]);
+  }
+  const double dip_frac =
+      pre_median > 0.0 ? std::max(0.0, 1.0 - min_after / pre_median) : 0.0;
+  report.AddScalar("availability.dip_frac", dip_frac);
+
+  // Gray-failure defense + fault/retry counters.
   int64_t retries = 0, op_timeouts = 0, backoffs = 0, backoff_ns = 0;
   int64_t torn = 0, inquorate = 0, budget = 0;
+  int64_t hedged = 0, hedge_wins = 0, ejections = 0;
   for (const Client* c : clients) {
     const ClientStats& s = c->stats();
     retries += s.retries;
@@ -131,8 +188,17 @@ int main(int argc, char** argv) {
     torn += s.torn_reads;
     inquorate += s.inquorate;
     budget += s.budget_exhausted;
+    hedged += s.hedged_reads;
+    hedge_wins += s.hedge_wins;
+    ejections += s.slow_ejections;
   }
+  int64_t shed = 0;
+  for (const auto& d : drivers) shed += d->shed();
   const BackendStats bs = cell.AggregateBackendStats();
+  report.AddScalar("hedge.reads", double(hedged));
+  report.AddScalar("hedge.wins", double(hedge_wins));
+  report.AddScalar("hedge.slow_ejections", double(ejections));
+  report.AddScalar("workload.shed", double(shed));
   report.AddScalar("client.retries", double(retries));
   report.AddScalar("client.op_timeouts", double(op_timeouts));
   report.AddScalar("client.torn_reads", double(torn));
@@ -150,6 +216,15 @@ int main(int argc, char** argv) {
     return 0;
   }
   std::printf(
+      "\nSelf-healing: dead_transitions=%lld recoveries=%d "
+      "detect=%.0fms mttr=%.0fms dip=%.1f%%\n"
+      "Gray-failure defense: hedged_reads=%lld hedge_wins=%lld "
+      "slow_ejections=%lld shed=%lld\n",
+      static_cast<long long>(doctor.stats().dead_transitions), recovered,
+      detect_ms, mttr_ms, dip_frac * 100.0, static_cast<long long>(hedged),
+      static_cast<long long>(hedge_wins), static_cast<long long>(ejections),
+      static_cast<long long>(shed));
+  std::printf(
       "\nFault/retry counters:\n"
       "  client: retries=%lld op_timeouts=%lld torn_reads=%lld "
       "inquorate=%lld budget_exhausted=%lld\n"
@@ -166,8 +241,8 @@ int main(int argc, char** argv) {
       static_cast<long long>(bs.bump_versions),
       static_cast<long long>(bs.bulk_installed));
   std::printf(
-      "\nTakeaway check: a repair-RPC burst right after the restart window;\n"
-      "GETs keep succeeding via the 2/3 quorum while degraded; latency\n"
-      "fluctuates only slightly.\n");
+      "\nTakeaway check: the crash is detected, fenced, and healed with zero\n"
+      "operator calls; a repair-RPC burst follows the DEAD verdict; GETs keep\n"
+      "succeeding via the 2/3 quorum while degraded.\n");
   return 0;
 }

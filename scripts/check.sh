@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # One-command gate: tier-1 build + tests, then a sanitizer build running the
-# fault-injection (chaos) and elasticity (resharding) suites.
+# fault-injection (chaos), elasticity (resharding), and self-healing
+# (health) suites.
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast  skip the sanitizer stage (tier-1 only)
@@ -35,10 +36,12 @@ done
   | "$JQ" -e '.scalars["scar.issue_ns_per_op"] > 0 and (.metrics.scar.schema == "cm.metrics.v1")' >/dev/null \
   || { echo "fig07 --json: missing registry attribution"; exit 1; }
 
-echo "== perf gate: simulator-core scalars vs committed baseline =="
+echo "== perf gate: simulator-core + self-healing scalars vs baselines =="
 # Warns past 1.3x drift (noise/minor regressions stay non-fatal); fails the
-# gate only past 2x — a real scheduler or payload-path regression.
-scripts/perf_gate.sh simcore
+# gate only past 2x — a real scheduler or payload-path regression. fig14
+# gates only its health scalars (detection latency, MTTR, hedge efficacy);
+# its throughput figures are workload-shaped and too noisy to gate.
+scripts/perf_gate.sh simcore 'fig14_unplanned_maint:^(doctor|hedge)\.'
 
 if [[ "$FAST" == "1" ]]; then
   echo "== done (fast mode: sanitizer stage skipped) =="
@@ -49,7 +52,7 @@ echo "== sanitizer (ASan/UBSan): build =="
 cmake -B build-asan -S . -DCM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j
 
-echo "== sanitizer: chaos + resharding labels =="
-(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L 'chaos|resharding')
+echo "== sanitizer: chaos + resharding + health labels =="
+(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L 'chaos|resharding|health')
 
 echo "== all checks passed =="

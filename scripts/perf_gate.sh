@@ -10,9 +10,13 @@
 # than FAIL_RATIO fails the gate (exit 1). Improvements are reported
 # informationally — refresh the baseline (EXPERIMENTS.md) to bank them.
 #
-# Usage: scripts/perf_gate.sh [bench-name ...]     (default: simcore)
+# Usage: scripts/perf_gate.sh [bench-name[:scalar-regex] ...]   (default: simcore)
 #   bench-name is the suffix: `simcore` runs build/bench/bench_simcore
 #   and diffs against BENCH_simcore.json.
+#   An optional :scalar-regex gates only matching scalars — e.g.
+#   `fig14_unplanned_maint:^(doctor|hedge)\.` diffs the self-healing
+#   scalars (detection latency, MTTR, hedge efficacy) while ignoring the
+#   bench's noisy workload-shaped throughput figures.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +28,10 @@ benches=("$@")
 [[ ${#benches[@]} -eq 0 ]] && benches=(simcore)
 
 fail=0
-for name in "${benches[@]}"; do
+for spec in "${benches[@]}"; do
+  name="${spec%%:*}"
+  filter=""
+  [[ "$spec" == *:* ]] && filter="${spec#*:}"
   bin="build/bench/bench_${name}"
   baseline="BENCH_${name}.json"
   if [[ ! -x "$bin" ]]; then
@@ -35,7 +42,7 @@ for name in "${benches[@]}"; do
     echo "perf_gate: no baseline ${baseline}; run EXPERIMENTS.md regeneration"
     continue
   fi
-  echo "perf_gate: ${name} (warn >${WARN_RATIO}x, fail >${FAIL_RATIO}x)"
+  echo "perf_gate: ${name}${filter:+ [scalars ~ ${filter}]} (warn >${WARN_RATIO}x, fail >${FAIL_RATIO}x)"
   current="$("$bin" --json)"
   echo "$current" | "$JQ" -e '.schema == "cm.bench.v1"' >/dev/null \
     || { echo "  ${bin} --json: bad schema"; exit 1; }
@@ -72,9 +79,10 @@ for name in "${benches[@]}"; do
       *)
         printf '  ok   %-34s %14.4g -> %-14.4g\n' "$key" "$old" "$new" ;;
     esac
-  done < <("$JQ" -r --argjson cur "$current" '
+  done < <("$JQ" -r --argjson cur "$current" --arg flt "$filter" '
       .scalars | to_entries[]
       | select($cur.scalars[.key] != null)
+      | select($flt == "" or (.key | test($flt)))
       | "\(.key) \(.value) \($cur.scalars[.key])"' "$baseline")
 done
 

@@ -153,6 +153,12 @@ Backend::Backend(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
                          &stats_.draining_rejects);
   exports_.ExportCounter("cm.backend.entries_dropped", l,
                          &stats_.entries_dropped);
+  exports_.ExportCounter("cm.backend.heartbeats_sent", l,
+                         &stats_.heartbeats_sent);
+  exports_.ExportCounter("cm.backend.heartbeat_failures", l,
+                         &stats_.heartbeat_failures);
+  exports_.ExportCounter("cm.backend.self_fences", l, &stats_.self_fences);
+  exports_.ExportCounter("cm.backend.unfences", l, &stats_.unfences);
   exports_.ExportGauge("cm.backend.live_entries", l, [this] {
     return static_cast<int64_t>(live_entries_);
   });
@@ -229,6 +235,8 @@ void Backend::Start(uint32_t config_id) {
                                 bind(&Backend::HandleTouch));
     rpc_server_->RegisterMethod(proto::kMethodInfo,
                                 bind(&Backend::HandleInfo));
+    rpc_server_->RegisterMethod(proto::kMethodPing,
+                                bind(&Backend::HandlePing));
     rpc_server_->RegisterMethod(proto::kMethodRepairPull,
                                 bind(&Backend::HandleRepairPull));
     rpc_server_->RegisterMethod(proto::kMethodGetByHash,
@@ -240,6 +248,8 @@ void Backend::Start(uint32_t config_id) {
   }
   rpc_server_->SetDown(false);
 
+  fenced_ = false;
+  lease_expires_at_ = 0;
   serving_ = true;
 }
 
@@ -256,6 +266,78 @@ void Backend::Stop() {
 }
 
 void Backend::Crash() { Stop(); }
+
+// ---------------------------------------------------------------------------
+// Lease-based membership (self-healing control plane)
+// ---------------------------------------------------------------------------
+
+void Backend::StartHeartbeats(sim::Duration interval) {
+  heartbeat_interval_ = interval;
+  if (heartbeats_running_) return;
+  heartbeats_running_ = true;
+  // Like the repair loop, the heartbeat loop survives Stop()/Start() cycles
+  // (a restarted backend must re-acquire its lease without re-orchestration)
+  // and simply skips renewals while not serving.
+  sim_.Spawn([](Backend* b, std::shared_ptr<bool> alive) -> sim::Task<void> {
+    while (*alive && b->heartbeats_running_) {
+      if (b->serving_) {
+        co_await b->SendHeartbeat();
+      }
+      if (!*alive || !b->heartbeats_running_) co_return;
+      co_await b->sim_.Delay(b->heartbeat_interval_);
+    }
+  }(this, alive_));
+}
+
+void Backend::StopHeartbeats() { heartbeats_running_ = false; }
+
+sim::Task<void> Backend::SendHeartbeat() {
+  ++stats_.heartbeats_sent;
+  // The lease clock starts at *send* time: the granted duration is counted
+  // from before the request left, so this backend's view of its lease
+  // always expires no later than the ConfigService's. Self-fencing therefore
+  // happens before (or exactly when) the membership layer declares the
+  // lease lapsed — a stale window can never outlive its membership.
+  const sim::Time sent_at = sim_.now();
+  rpc::WireWriter w;
+  w.PutU32(proto::kTagHeartbeatHost, host_);
+  w.PutU32(proto::kTagHeartbeatShard, shard_);
+  rpc::RpcChannel ch(rpc_network_, host_, config_service_->host());
+  auto resp = co_await ch.Call(proto::kMethodHeartbeat, std::move(w).Take(),
+                               heartbeat_interval_);
+  if (!serving_ || !heartbeats_running_) co_return;  // stopped across await
+  if (resp.ok()) {
+    rpc::WireReader r(*resp);
+    if (auto lease_ns = r.GetU64(proto::kTagLeaseNs)) {
+      lease_expires_at_ = sent_at + static_cast<sim::Duration>(*lease_ns);
+      if (fenced_) UnfenceRma();
+      co_return;
+    }
+  }
+  ++stats_.heartbeat_failures;
+  if (!fenced_ && lease_expires_at_ != 0 && sim_.now() >= lease_expires_at_) {
+    FenceRma();
+  }
+}
+
+void Backend::FenceRma() {
+  if (fenced_ || !serving_) return;
+  fenced_ = true;
+  ++stats_.self_fences;
+  // Drop RMA permission in place: region ids (and the pointers stored in
+  // index entries that embed them) stay allocated, so a later renewal can
+  // restore access without rewriting the index.
+  if (index_region_ != rma::kInvalidRegion) registry_.Revoke(index_region_);
+  for (auto r : data_regions_) registry_.Revoke(r);
+}
+
+void Backend::UnfenceRma() {
+  if (!fenced_ || !serving_) return;
+  fenced_ = false;
+  ++stats_.unfences;
+  if (index_region_ != rma::kInvalidRegion) registry_.Restore(index_region_);
+  for (auto r : data_regions_) registry_.Restore(r);
+}
 
 void Backend::SetConfigId(uint32_t config_id) {
   config_id_ = config_id;
@@ -471,6 +553,9 @@ sim::Task<void> Backend::ResizeIndex() {
   num_buckets_ = new_buckets;
   locations_ = std::move(new_locations);
   index_region_ = registry_.Register(index_.get(), index_->size());
+  // A fenced backend must not grow new live windows: permission stays
+  // revoked until the lease renews.
+  if (fenced_) registry_.Revoke(index_region_);
 
   // The larger index usually has room for keys that overflowed the old
   // one: promote them back to RMA-servable residency. Whatever still
@@ -536,6 +621,7 @@ sim::Task<void> Backend::GrowData() {
   // Establish the second, larger, overlapping window; old windows stay
   // live (clients converge to the new one over time).
   data_regions_.push_back(registry_.Register(data_.get(), slab_->populated()));
+  if (fenced_) registry_.Revoke(data_regions_.back());  // lease still lapsed
   data_growing_ = false;
   if (grow_done_) grow_done_->Notify();
 }
@@ -836,6 +922,12 @@ sim::Task<StatusOr<Bytes>> Backend::HandleTouch(ByteSpan req) {
 
 sim::Task<StatusOr<Bytes>> Backend::HandleInfo(ByteSpan) {
   co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu / 2);
+  if (fenced_) {
+    // Lease lapsed: the RMA windows are revoked, so a handshake would only
+    // hand out dead region ids. Clients treat this replica as unavailable
+    // (skip + backoff) until the lease renews.
+    co_return UnavailableError("lease fenced");
+  }
   rpc::WireWriter w;
   w.PutU32(proto::kTagIndexRegion, index_region_);
   w.PutU64(proto::kTagNumBuckets, num_buckets_);
@@ -845,6 +937,15 @@ sim::Task<StatusOr<Bytes>> Backend::HandleInfo(ByteSpan) {
   for (auto region : data_regions_) {
     w.PutU32(proto::kTagDataRegion, region);
   }
+  co_return std::move(w).Take();
+}
+
+sim::Task<StatusOr<Bytes>> Backend::HandlePing(ByteSpan) {
+  co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu / 2);
+  rpc::WireWriter w;
+  w.PutU32(proto::kTagHeartbeatShard, shard_);
+  w.PutU64(proto::kTagIncarnation, incarnation_);
+  w.PutU32(proto::kTagFlags, fenced_ ? 1 : 0);
   co_return std::move(w).Take();
 }
 

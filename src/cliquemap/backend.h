@@ -98,6 +98,13 @@ struct BackendStats {
   int64_t stale_generation_rejects = 0;
   int64_t draining_rejects = 0;
   int64_t entries_dropped = 0;
+  // Lease-based membership (self-healing control plane): heartbeats sent to
+  // the ConfigService, failed renewals, and self-fence/unfence events (RMA
+  // windows revoked while the lease is lapsed, restored on renewal).
+  int64_t heartbeats_sent = 0;
+  int64_t heartbeat_failures = 0;
+  int64_t self_fences = 0;
+  int64_t unfences = 0;
 };
 
 class Backend {
@@ -136,6 +143,22 @@ class Backend {
   // Reassigns which shard this backend serves (resharding cutover; the
   // caller is responsible for streaming the right records in).
   void SetShard(uint32_t shard) { shard_ = shard; }
+
+  // Lease-based membership (self-healing) -------------------------------
+  // Starts the heartbeat loop: while serving, renews this backend's lease
+  // with the ConfigService every `interval`. If renewal fails past the
+  // lease deadline the backend *self-fences* — it revokes its RMA windows
+  // (modeling lease-gated NIC permissions: stale one-sided readers fail
+  // fast with PERMISSION_DENIED instead of silently reading stale state)
+  // and its Info handshake answers UNAVAILABLE. A later successful renewal
+  // restores the windows in place (region ids, and thus stored pointers,
+  // stay valid). Off by default: tests that pin determinism fingerprints
+  // run without any heartbeat traffic.
+  void StartHeartbeats(sim::Duration interval);
+  void StopHeartbeats();
+  bool fenced() const { return fenced_; }
+  // Sim time at which this backend's lease lapses (0 = no lease yet).
+  sim::Time lease_expires_at() const { return lease_expires_at_; }
 
   // Background repair (§5.4) -------------------------------------------
   // Scans cohorts for dirty quorums and repairs them. Periodic scans cover
@@ -201,6 +224,7 @@ class Backend {
   sim::Task<StatusOr<Bytes>> HandleGet(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleTouch(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleInfo(ByteSpan req);
+  sim::Task<StatusOr<Bytes>> HandlePing(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleRepairPull(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleGetByHash(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleBumpVersion(ByteSpan req);
@@ -323,6 +347,15 @@ class Backend {
   bool repair_loop_running_ = false;
   sim::Duration repair_interval_ = sim::Seconds(30);
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  // Lease/heartbeat state.
+  sim::Task<void> SendHeartbeat();
+  void FenceRma();
+  void UnfenceRma();
+  bool heartbeats_running_ = false;
+  bool fenced_ = false;
+  sim::Duration heartbeat_interval_ = sim::Milliseconds(20);
+  sim::Time lease_expires_at_ = 0;
 
   std::unique_ptr<rpc::RpcServer> rpc_server_;
   int64_t lifetime_rpc_bytes_ = 0;

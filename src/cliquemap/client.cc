@@ -53,6 +53,10 @@ Client::Client(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
                          &stats_.stale_generation_rejects);
   exports_.ExportCounter("cm.client.prev_window_gets", l,
                          &stats_.prev_window_gets);
+  exports_.ExportCounter("cm.client.hedged_reads", l, &stats_.hedged_reads);
+  exports_.ExportCounter("cm.client.hedge_wins", l, &stats_.hedge_wins);
+  exports_.ExportCounter("cm.client.slow_ejections", l,
+                         &stats_.slow_ejections);
   exports_.ExportCounter("cm.client.issue_cpu_ns", l, &stats_.issue_cpu_ns);
   exports_.ExportCounter("cm.client.validate_cpu_ns", l,
                          &stats_.validate_cpu_ns);
@@ -416,6 +420,36 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
     }
   }
 
+  // Outlier ejection (gray failure): drop replicas whose index-fetch EWMA
+  // is an outlier against the fastest live replica — a slow-but-alive
+  // backend otherwise delays every quorum it participates in. Never ejects
+  // below quorum size.
+  if (config_.eject_slow_replicas &&
+      static_cast<int>(targets.size()) > quorum) {
+    double best = 0.0;
+    for (uint32_t shard : targets) {
+      const double e = conns_[shard].lat_ewma_ns;
+      if (e > 0.0 && (best == 0.0 || e < best)) best = e;
+    }
+    if (best > 0.0) {
+      std::vector<uint32_t> kept;
+      std::vector<uint32_t> slow;
+      for (uint32_t shard : targets) {
+        if (conns_[shard].lat_ewma_ns > config_.slow_eject_factor * best) {
+          slow.push_back(shard);
+        } else {
+          kept.push_back(shard);
+        }
+      }
+      while (static_cast<int>(kept.size()) < quorum && !slow.empty()) {
+        kept.push_back(slow.front());
+        slow.erase(slow.begin());
+      }
+      stats_.slow_ejections += static_cast<int64_t>(slow.size());
+      targets = std::move(kept);
+    }
+  }
+
   // Fan out index fetches; votes arrive in responder order (Fig 4).
   auto votes = std::make_shared<sim::Channel<IndexVote>>(sim_);
   for (size_t i = 0; i < targets.size(); ++i) {
@@ -425,7 +459,8 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
 
   struct VersionCount {
     int count = 0;
-    IndexVote vote;  // a representative quorum member
+    IndexVote vote;    // a representative quorum member
+    IndexVote second;  // a second member, the hedge target (set at count 2)
   };
   std::vector<std::pair<VersionNumber, VersionCount>> tallies;
   int absence_votes = 0;
@@ -496,6 +531,7 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
     VersionCount* vc = quorum_of(vote.entry.version);
     vc->count++;
     if (vc->count == 1) vc->vote = vote;
+    if (vc->count == 2) vc->second = vote;
 
     // Speculative data fetch from the preferred backend (2xR): issued as
     // soon as the first index response lands, before the quorum resolves.
@@ -530,6 +566,39 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
       if (preferred_in_quorum && speculative_started) {
         const sim::Duration rem = deadline_at - sim_.now();
         if (rem <= 0) co_return DeadlineExceededError("data wait");
+        if (config_.hedge_reads && vc->count >= 2) {
+          // Hedged fetch: give the in-flight speculative read `hedge_delay`
+          // to resolve, then race a second fetch against another quorum
+          // member through the same OneShot (first Set wins, the loser's
+          // read completes and is discarded — one-sided ops can't cancel).
+          auto data = co_await speculative_data.WaitFor(
+              std::min(rem, config_.hedge_delay));
+          if (data) co_return *std::move(data);
+          const sim::Duration rem2 = deadline_at - sim_.now();
+          if (rem2 <= 0) co_return DeadlineExceededError("data wait");
+          ++stats_.hedged_reads;
+          const IndexVote& alt = (vc->vote.replica != preferred->replica)
+                                     ? vc->vote
+                                     : vc->second;
+          auto hedge_won = std::make_shared<bool>(false);
+          sim_.Spawn([](Client* self, std::string key, Hash128 hash,
+                        uint32_t shard, IndexEntry entry, trace::SpanId parent,
+                        sim::OneShot<StatusOr<GetResult>> out,
+                        std::shared_ptr<bool> won) -> sim::Task<void> {
+            auto r = co_await self->FetchData(key, hash, shard, entry, parent);
+            // A hedge failure must not poison a primary that may still
+            // land; only a successful hedge competes for the slot.
+            if (r.ok() && !out.ready()) {
+              *won = true;
+              out.Set(std::move(r));
+            }
+          }(this, key, hash, alt.shard, alt.entry, span, speculative_data,
+            hedge_won));
+          auto raced = co_await speculative_data.WaitFor(rem2);
+          if (!raced) co_return DeadlineExceededError("data wait");
+          if (*hedge_won) ++stats_.hedge_wins;
+          co_return *std::move(raced);
+        }
         auto data = co_await speculative_data.WaitFor(rem);
         if (!data) co_return DeadlineExceededError("data wait");
         co_return *std::move(data);
@@ -565,6 +634,7 @@ sim::Task<void> Client::FetchIndex(
     co_return;
   }
   const Conn conn = conns_[shard];  // copy: conns_ may be invalidated
+  const sim::Time fetch_start = sim_.now();
 
   trace::Tracer& tracer = fabric_.tracer();
   // arg at End: replica index on success, -1 on failure.
@@ -633,6 +703,16 @@ sim::Task<void> Client::FetchIndex(
       vote.entry = e;
       break;
     }
+  }
+  // Feed the replica's latency EWMA (outlier ejection input). Successful
+  // fetches only: failures are handled by the backoff machinery.
+  if (shard < conns_.size()) {
+    Conn& live = conns_[shard];
+    const double sample = static_cast<double>(sim_.now() - fetch_start);
+    live.lat_ewma_ns = live.lat_ewma_ns == 0.0
+                           ? sample
+                           : config_.ewma_alpha * sample +
+                                 (1.0 - config_.ewma_alpha) * live.lat_ewma_ns;
   }
   vote.status = OkStatus();
   tracer.End(span, replica);

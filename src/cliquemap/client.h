@@ -70,6 +70,26 @@ struct ClientConfig {
   // Customizable hash (§6.5). Must match the cell's backends.
   HashFn hash_fn = &HashKey;
 
+  // Gray-failure defense (§7.2.3) --------------------------------------
+  // A slow-but-alive replica hurts the tail twice: its index fetch delays
+  // the quorum, and — if it answered first — its data fetch delays the
+  // whole GET. Both defenses key off a per-replica index-fetch latency
+  // EWMA, and both are off by default (determinism-pinned tests run with
+  // the untouched selection/fetch schedule).
+  //
+  // Outlier ejection drops replicas whose EWMA exceeds `slow_eject_factor`
+  // x the fastest live replica from the fan-out — never below quorum size.
+  bool eject_slow_replicas = false;
+  double ewma_alpha = 0.2;
+  double slow_eject_factor = 4.0;
+  // Hedged data fetch: if the speculative data fetch has not resolved
+  // `hedge_delay` after the quorum formed, issue a second fetch against
+  // another quorum member; first result wins, the loser is dropped (the
+  // simulator, like real one-sided RMA, has no cancel — the losing read
+  // completes and is discarded).
+  bool hedge_reads = false;
+  sim::Duration hedge_delay = sim::Microseconds(300);
+
   // Elasticity (resharding) -------------------------------------------
   // Interval for the optional background config watcher (StartConfigWatcher)
   // that keeps the view fresh across reconfiguration generations.
@@ -112,6 +132,10 @@ struct ClientStats {
   // Elasticity (resharding) observability.
   int64_t stale_generation_rejects = 0;  // mutation acks bounced by gen fence
   int64_t prev_window_gets = 0;          // GETs served by previous owners
+  // Gray-failure defense observability.
+  int64_t hedged_reads = 0;     // secondary data fetches issued
+  int64_t hedge_wins = 0;       // GETs resolved by the hedge, not the primary
+  int64_t slow_ejections = 0;   // replicas dropped from a fan-out as outliers
   // Client-library CPU attribution (Figs 6b/7): time charged to the host CPU
   // issuing RMA ops and validating responses.
   int64_t issue_cpu_ns = 0;
@@ -185,6 +209,8 @@ class Client {
     sim::Duration backoff_cur = 0;  // decorrelated-jitter state
     bool ever_failed = false;   // reconnects probe off the serving path
     bool probe_in_flight = false;
+    // Index-fetch latency EWMA (ns); feeds outlier ejection (gray failure).
+    double lat_ewma_ns = 0.0;
   };
 
   // One replica's contribution to a quorum decision.

@@ -1,5 +1,6 @@
 #include "cliquemap/config_service.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace cm::cliquemap {
@@ -94,19 +95,83 @@ StatusOr<CellView> DecodeCellView(ByteSpan data) {
 }
 
 ConfigService::ConfigService(rpc::RpcNetwork& network, net::HostId host)
-    : server_(network, host) {
+    : server_(network, host),
+      sim_(network.fabric().simulator()),
+      exports_(&network.fabric().metrics()) {
   server_.RegisterMethod(
       proto::kMethodGetCellView,
       [this](ByteSpan) -> sim::Task<StatusOr<Bytes>> {
         co_return EncodeCellView(view_);
       });
+  server_.RegisterMethod(proto::kMethodHeartbeat,
+                         [this](ByteSpan req) -> sim::Task<StatusOr<Bytes>> {
+                           return HandleHeartbeat(req);
+                         });
+  exports_.ExportCounter("cm.config.leases_granted", {}, &leases_granted_);
+  exports_.ExportCounter("cm.config.leases_expired", {}, &leases_expired_);
+  exports_.ExportCounter("cm.config.heartbeats_served", {},
+                         &heartbeats_served_);
+  exports_.ExportGauge("cm.config.membership_epoch", {}, [this] {
+    return static_cast<int64_t>(membership_epoch_);
+  });
+  exports_.ExportGauge("cm.config.generation", {}, [this] {
+    return static_cast<int64_t>(view_.generation);
+  });
+}
+
+uint32_t ConfigService::AllocateConfigId(uint32_t shard) {
+  assert(shard < 255 && "config-id namespace holds 255 shards");
+  uint32_t& counter = next_config_id_by_shard_[shard];
+  assert(counter < (1u << 24) && "per-shard config-id counter exhausted");
+  return ((shard + 1u) << 24) | ++counter;
 }
 
 uint32_t ConfigService::UpdateShard(uint32_t shard, net::HostId host) {
   view_.shard_hosts[shard] = host;
-  view_.shard_config_ids[shard] = ++next_config_id_ + 1000 * (shard + 1);
+  view_.shard_config_ids[shard] = AllocateConfigId(shard);
   ++view_.generation;
   return view_.shard_config_ids[shard];
+}
+
+sim::Task<StatusOr<Bytes>> ConfigService::HandleHeartbeat(ByteSpan req) {
+  rpc::WireReader r(req);
+  auto host = r.GetU32(proto::kTagHeartbeatHost);
+  if (!host) co_return InvalidArgumentError("Heartbeat: missing host");
+  ++heartbeats_served_;
+  Lease& lease = leases_[*host];
+  if (!lease.live) {
+    // New member, or a member re-admitted after an expiry: both are
+    // membership changes other participants may need to observe.
+    lease.live = true;
+    ++membership_epoch_;
+    ++leases_granted_;
+  }
+  lease.expires_at = sim_.now() + lease_duration_;
+  rpc::WireWriter w;
+  w.PutU64(proto::kTagLeaseNs, static_cast<uint64_t>(lease_duration_));
+  w.PutU64(proto::kTagMembershipEpoch, membership_epoch_);
+  co_return std::move(w).Take();
+}
+
+bool ConfigService::LeaseLiveAt(net::HostId host, sim::Time now) const {
+  auto it = leases_.find(host);
+  return it != leases_.end() && it->second.live && it->second.expires_at > now;
+}
+
+std::vector<net::HostId> ConfigService::ExpireLeases(sim::Time now) {
+  std::vector<net::HostId> expired;
+  for (auto& [host, lease] : leases_) {
+    if (lease.live && lease.expires_at <= now) {
+      lease.live = false;
+      ++membership_epoch_;
+      ++leases_expired_;
+      expired.push_back(host);
+    }
+  }
+  // unordered_map iteration order is implementation-defined; sort so callers
+  // (and the deterministic replay harness) see a stable expiry order.
+  std::sort(expired.begin(), expired.end());
+  return expired;
 }
 
 void ConfigService::BeginTransition(CellView next) {

@@ -9,11 +9,14 @@
 #ifndef CM_CLIQUEMAP_CONFIG_SERVICE_H_
 #define CM_CLIQUEMAP_CONFIG_SERVICE_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "cliquemap/proto.h"
 #include "cliquemap/types.h"
+#include "common/metrics.h"
 #include "rpc/rpc.h"
+#include "sim/simulator.h"
 
 namespace cm::cliquemap {
 
@@ -58,9 +61,13 @@ class ConfigService {
 
   // Mints a fresh config id for `shard` without installing it anywhere —
   // the resharder stamps new backends / rewritten buckets with these.
-  uint32_t AllocateConfigId(uint32_t shard) {
-    return ++next_config_id_ + 1000 * (shard + 1);
-  }
+  //
+  // Ids are shard-tagged: (shard+1) in the top byte, a per-shard counter in
+  // the low 24 bits. The old scheme (`++global + 1000*(shard+1)`) collided
+  // across shards once any shard minted >1000 ids; the tagged namespace is
+  // collision-free for up to 255 shards x 16M ids, and stays disjoint from
+  // the bootstrap ids (1000*(s+1)) Cell::Start installs.
+  uint32_t AllocateConfigId(uint32_t shard);
 
   // Opens a dual-version window: installs `next` as the live view with
   // transition=true and the current topology preserved in prev_*. Bumps the
@@ -75,10 +82,44 @@ class ConfigService {
   bool in_transition() const { return view_.transition; }
   net::HostId host() const { return server_.host(); }
 
+  // Lease-based membership (§5.4; Aguilera et al.'s lease-gated RMA
+  // permissions). Backends heartbeat over RPC; each successful heartbeat
+  // (re)grants a lease of `lease_duration()` sim time. A lease that is not
+  // renewed expires on the next ExpireLeases() sweep; every membership
+  // change (grant of a new/expired lease, expiry) bumps the membership
+  // epoch. Fencing is enforced at the *backend's* NIC: a backend whose
+  // lease lapses revokes its own RMA windows (Backend::FenceRma), so the
+  // config service only has to account for lease state here.
+  void SetLeaseDuration(sim::Duration d) { lease_duration_ = d; }
+  sim::Duration lease_duration() const { return lease_duration_; }
+  // True iff `host` holds an unexpired lease at `now`.
+  bool LeaseLiveAt(net::HostId host, sim::Time now) const;
+  // Expires overdue leases; returns the hosts whose leases just lapsed.
+  std::vector<net::HostId> ExpireLeases(sim::Time now);
+  uint64_t membership_epoch() const { return membership_epoch_; }
+  int64_t leases_granted() const { return leases_granted_; }
+  int64_t leases_expired() const { return leases_expired_; }
+
  private:
+  struct Lease {
+    sim::Time expires_at = 0;
+    bool live = false;
+  };
+
+  sim::Task<StatusOr<Bytes>> HandleHeartbeat(ByteSpan req);
+
   rpc::RpcServer server_;
+  sim::Simulator& sim_;
   CellView view_;
-  uint32_t next_config_id_ = 1;
+  std::unordered_map<uint32_t, uint32_t> next_config_id_by_shard_;
+  std::unordered_map<net::HostId, Lease> leases_;
+  sim::Duration lease_duration_ = sim::Milliseconds(100);
+  uint64_t membership_epoch_ = 0;
+  int64_t leases_granted_ = 0;
+  int64_t leases_expired_ = 0;
+  int64_t heartbeats_served_ = 0;
+  // Mirrors lease/membership state into the fabric registry (cm.config.*).
+  metrics::ExportGroup exports_;
 };
 
 }  // namespace cm::cliquemap

@@ -1,0 +1,268 @@
+#include "cliquemap/doctor.h"
+
+#include <algorithm>
+
+#include "rpc/rpc.h"
+#include "rpc/wire.h"
+#include "sim/sync.h"
+
+namespace cm::cliquemap {
+
+const char* BackendHealthName(BackendHealth h) {
+  if (h == BackendHealth::kHealthy) return "healthy";
+  if (h == BackendHealth::kSuspect) return "suspect";
+  if (h == BackendHealth::kDead) return "dead";
+  return "slow";
+}
+
+CellDoctor::CellDoctor(Cell& cell, DoctorOptions options)
+    : cell_(cell),
+      sim_(cell.simulator()),
+      options_(options),
+      resharder_(cell, options.resharder),
+      exports_(&cell.metrics()) {
+  exports_.ExportCounter("cm.doctor.probes", {}, &stats_.probes);
+  exports_.ExportCounter("cm.doctor.probe_failures", {}, &stats_.probe_failures);
+  exports_.ExportCounter("cm.doctor.leases_expired", {}, &stats_.leases_expired);
+  exports_.ExportCounter("cm.doctor.suspect_transitions", {},
+                         &stats_.suspect_transitions);
+  exports_.ExportCounter("cm.doctor.dead_transitions", {},
+                         &stats_.dead_transitions);
+  exports_.ExportCounter("cm.doctor.slow_transitions", {},
+                         &stats_.slow_transitions);
+  exports_.ExportCounter("cm.doctor.recoveries_started", {},
+                         &stats_.recoveries_started);
+  exports_.ExportCounter("cm.doctor.recoveries_succeeded", {},
+                         &stats_.recoveries_succeeded);
+  exports_.ExportCounter("cm.doctor.recoveries_failed", {},
+                         &stats_.recoveries_failed);
+  exports_.ExportCounter("cm.doctor.flap_suppressed", {},
+                         &stats_.flap_suppressed);
+  exports_.ExportCounter("cm.doctor.down_replications", {},
+                         &stats_.down_replications);
+  exports_.ExportGauge("cm.doctor.active_recoveries", {}, [this] {
+    return static_cast<int64_t>(active_recoveries_);
+  });
+  exports_.ExportHistogram("cm.doctor.mttr_ns", {}, &mttr_ns_);
+  exports_.ExportHistogram("cm.doctor.detect_ns", {}, &detect_ns_);
+}
+
+CellDoctor::~CellDoctor() { *alive_ = false; }
+
+void CellDoctor::Start() {
+  if (running_) return;
+  running_ = true;
+  started_at_ = sim_.now();
+  cell_.config_service().SetLeaseDuration(options_.lease_duration);
+  shards_.assign(cell_.num_shards(), ShardState{});
+  for (uint32_t s = 0; s < cell_.num_shards(); ++s) {
+    cell_.backend(s).StartHeartbeats(options_.heartbeat_interval);
+  }
+  sim_.Spawn(ControlLoop(alive_));
+}
+
+void CellDoctor::Stop() {
+  if (!running_) return;
+  running_ = false;
+  // Kill every coroutine spawned under the old flag, then mint a fresh one
+  // so Start() can be called again.
+  *alive_ = false;
+  alive_ = std::make_shared<bool>(true);
+  for (uint32_t s = 0; s < cell_.num_shards(); ++s) {
+    cell_.backend(s).StopHeartbeats();
+  }
+  for (const auto& b : cell_.retired()) b->StopHeartbeats();
+}
+
+BackendHealth CellDoctor::health(uint32_t shard) const {
+  if (shard >= shards_.size()) return BackendHealth::kHealthy;
+  return shards_[shard].health;
+}
+
+sim::Task<void> CellDoctor::ControlLoop(std::shared_ptr<bool> alive) {
+  while (true) {
+    co_await sim_.Delay(options_.probe_interval);
+    if (!*alive || !running_) co_return;
+
+    auto lapsed = cell_.config_service().ExpireLeases(sim_.now());
+    stats_.leases_expired += static_cast<int64_t>(lapsed.size());
+
+    // The cell may have grown (elastic resize) since the last tick.
+    if (shards_.size() < cell_.num_shards()) shards_.resize(cell_.num_shards());
+
+    std::vector<sim::Task<void>> probes;
+    probes.reserve(shards_.size());
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      probes.push_back(ProbeShard(s, alive));
+    }
+    co_await sim::JoinAll(sim_, std::move(probes));
+    if (!*alive || !running_) co_return;
+
+    Classify();
+    if (options_.auto_recover) MaybeRecover();
+  }
+}
+
+sim::Task<void> CellDoctor::ProbeShard(uint32_t shard,
+                                       std::shared_ptr<bool> alive) {
+  ++stats_.probes;
+  const sim::Time start = sim_.now();
+  rpc::WireWriter w;
+  w.PutU32(proto::kTagHeartbeatShard, shard);
+  rpc::RpcChannel ch(cell_.rpc_network(), cell_.config_service().host(),
+                     cell_.backend(shard).host());
+  auto resp =
+      co_await ch.Call(proto::kMethodPing, std::move(w).Take(),
+                       options_.probe_timeout);
+  if (!*alive) co_return;
+  ShardState& st = shards_[shard];
+  if (resp.ok()) {
+    st.misses = 0;
+    st.last_ok = sim_.now();
+    const double sample = static_cast<double>(sim_.now() - start);
+    st.ewma_ns = st.ewma_ns == 0.0
+                     ? sample
+                     : options_.ewma_alpha * sample +
+                           (1.0 - options_.ewma_alpha) * st.ewma_ns;
+  } else {
+    ++st.misses;
+    ++stats_.probe_failures;
+  }
+}
+
+void CellDoctor::Classify() {
+  // Cell-median probe EWMA, the baseline for gray-failure (slow) verdicts.
+  std::vector<double> ewmas;
+  for (const ShardState& st : shards_) {
+    if (st.ewma_ns > 0.0) ewmas.push_back(st.ewma_ns);
+  }
+  double median = 0.0;
+  if (ewmas.size() >= 3) {
+    std::sort(ewmas.begin(), ewmas.end());
+    median = ewmas[ewmas.size() / 2];
+  }
+
+  const ConfigService& cfg = cell_.config_service();
+  const sim::Time now = sim_.now();
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    ShardState& st = shards_[s];
+    if (st.recovering) continue;  // verdict frozen while the heal runs
+
+    // A missing lease only counts once heartbeats have had time to establish
+    // one: a full lease duration plus two heartbeat intervals past doctor
+    // start (or past this shard's last recovery, whose fresh backend starts
+    // leaseless too).
+    const sim::Time grace_from =
+        std::max(started_at_, st.last_recovery) + options_.lease_duration +
+        2 * options_.heartbeat_interval;
+    const bool lease_lapsed =
+        now >= grace_from && !cfg.LeaseLiveAt(cell_.backend(s).host(), now);
+
+    BackendHealth next = st.health;
+    if (st.misses >= options_.dead_after_misses && lease_lapsed) {
+      next = BackendHealth::kDead;
+    } else if (st.misses >= options_.suspect_after_misses) {
+      next = BackendHealth::kSuspect;  // unreachable, but lease still live
+    } else if (st.misses == 0) {
+      if (lease_lapsed) {
+        // Reachable but unable to renew: one-way partition between the
+        // backend and the membership service. Never a rebuild trigger.
+        next = BackendHealth::kSuspect;
+      } else if (median > 0.0 && st.ewma_ns > options_.slow_factor * median) {
+        next = BackendHealth::kSlow;
+      } else {
+        next = BackendHealth::kHealthy;
+      }
+    }
+    // 0 < misses < suspect threshold: hold the previous verdict.
+
+    if (next == st.health) continue;
+    if (next == BackendHealth::kSuspect) ++stats_.suspect_transitions;
+    if (next == BackendHealth::kSlow) ++stats_.slow_transitions;
+    if (next == BackendHealth::kDead) {
+      ++stats_.dead_transitions;
+      st.detected_dead_at = now;
+      detect_ns_.Record(now - (st.last_ok ? st.last_ok : started_at_));
+    }
+    if (next == BackendHealth::kHealthy &&
+        st.health == BackendHealth::kDead) {
+      // Came back without our help (e.g. operator restart while replacement
+      // capacity was unavailable).
+      st.detected_dead_at = 0;
+      st.down_replicated = false;
+      st.suppression_counted = false;
+    }
+    st.health = next;
+  }
+}
+
+void CellDoctor::MaybeRecover() {
+  const sim::Time now = sim_.now();
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    ShardState& st = shards_[s];
+    if (st.health != BackendHealth::kDead || st.recovering) continue;
+    if (active_recoveries_ >= options_.max_concurrent_recoveries) return;
+    if (resharder_.in_progress()) return;
+    if (st.ever_recovered && now - st.last_recovery < options_.cooldown) {
+      // Anti-flap: this shard was already rebuilt inside the cooldown
+      // window. Count the episode once and wait it out.
+      if (!st.suppression_counted) {
+        st.suppression_counted = true;
+        ++stats_.flap_suppressed;
+      }
+      continue;
+    }
+    if (!options_.allow_replacement) {
+      // No spare capacity: the surviving cohort keeps serving quorum reads
+      // at reduced redundancy; replacement retries when capacity returns.
+      if (!st.down_replicated) {
+        st.down_replicated = true;
+        ++stats_.down_replications;
+      }
+      continue;
+    }
+    st.recovering = true;
+    st.suppression_counted = false;
+    st.down_replicated = false;
+    st.last_recovery = now;
+    st.ever_recovered = true;
+    ++active_recoveries_;
+    ++stats_.recoveries_started;
+    sim_.Spawn(Recover(s, alive_));
+  }
+}
+
+sim::Task<void> CellDoctor::Recover(uint32_t shard,
+                                    std::shared_ptr<bool> alive) {
+  RecoveryRecord rec;
+  rec.shard = shard;
+  rec.last_ok = shards_[shard].last_ok;
+  rec.detected_at = shards_[shard].detected_dead_at;
+
+  Status s = co_await resharder_.ReplaceBackend(shard);
+  if (!*alive) co_return;
+
+  --active_recoveries_;
+  ShardState& st = shards_[shard];
+  st.recovering = false;
+  if (s.ok()) {
+    ++stats_.recoveries_succeeded;
+    rec.converged_at = sim_.now();
+    rec.ok = true;
+    mttr_ns_.Record(sim_.now() - rec.detected_at);
+    // The replacement backend joins the membership plane.
+    cell_.backend(shard).StartHeartbeats(options_.heartbeat_interval);
+    st.health = BackendHealth::kHealthy;
+    st.misses = 0;
+    st.ewma_ns = 0.0;
+    st.last_ok = sim_.now();
+    st.detected_dead_at = 0;
+    st.down_replicated = false;
+  } else {
+    // Still dead; MaybeRecover retries after the cooldown.
+    ++stats_.recoveries_failed;
+  }
+  recoveries_.push_back(rec);
+}
+
+}  // namespace cm::cliquemap

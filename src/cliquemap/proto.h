@@ -26,9 +26,15 @@ inline constexpr char kMethodRepairPull[] = "CliqueMap.RepairPull";
 inline constexpr char kMethodGetByHash[] = "CliqueMap.GetByHash";
 inline constexpr char kMethodBumpVersion[] = "CliqueMap.BumpVersion";
 inline constexpr char kMethodInstallBulk[] = "CliqueMap.InstallBulk";
+// Failure-detector probe (CellDoctor): answered by any backend whose RPC
+// server is up — including a lease-fenced one, which is how the detector
+// distinguishes "partitioned from the membership service" (suspect) from
+// "actually gone" (dead).
+inline constexpr char kMethodPing[] = "CliqueMap.Ping";
 
 // Config service.
 inline constexpr char kMethodGetCellView[] = "Config.GetCellView";
+inline constexpr char kMethodHeartbeat[] = "Config.Heartbeat";
 
 // Common field tags.
 enum Tag : uint16_t {
@@ -72,6 +78,12 @@ enum Tag : uint16_t {
   kTagPrevNumShards = 47,
   kTagPrevShardHost = 48,      // repeated u32
   kTagPrevShardConfigId = 49,  // repeated u32
+
+  // Lease-based membership (Config.Heartbeat).
+  kTagHeartbeatHost = 50,
+  kTagHeartbeatShard = 51,
+  kTagLeaseNs = 52,            // granted lease duration (response)
+  kTagMembershipEpoch = 53,
 };
 
 inline void PutVersion(rpc::WireWriter& w, const VersionNumber& v,

@@ -14,6 +14,11 @@ void MemoryRegistry::Revoke(RegionId id) {
   if (it != windows_.end()) it->second.revoked = true;
 }
 
+void MemoryRegistry::Restore(RegionId id) {
+  auto it = windows_.find(id);
+  if (it != windows_.end()) it->second.revoked = false;
+}
+
 bool MemoryRegistry::IsLive(RegionId id) const {
   auto it = windows_.find(id);
   return it != windows_.end() && !it->second.revoked;

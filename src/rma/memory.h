@@ -76,6 +76,12 @@ class MemoryRegistry {
   // Revokes a window: subsequent resolves fail. Idempotent.
   void Revoke(RegionId id);
 
+  // Re-admits a previously revoked window under its original id (lease
+  // fencing: permission is dropped while the lease is lapsed and re-granted
+  // on renewal, without invalidating pointers that embed the region id).
+  // Idempotent; unknown ids are ignored.
+  void Restore(RegionId id);
+
   bool IsLive(RegionId id) const;
 
   // Copies out the bytes a remote read of this window observes *now*.

@@ -130,7 +130,11 @@ LoadDriver::LoadDriver(cliquemap::Client& client, WorkloadProfile profile,
       profile_(std::move(profile)),
       options_(std::move(options)),
       rng_(options_.seed),
-      zipf_(profile_.num_keys, profile_.zipf_theta) {}
+      zipf_(profile_.num_keys, profile_.zipf_theta),
+      exports_(&client.fabric().metrics()) {
+  exports_.ExportCounter("cm.workload.shed",
+                         {{"host", std::to_string(client.host())}}, &shed_);
+}
 
 sim::Task<Status> LoadDriver::Preload() {
   Rng rng = rng_.Fork();

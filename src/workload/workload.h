@@ -20,6 +20,7 @@
 
 #include "cliquemap/client.h"
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 
 namespace cm::workload {
@@ -128,6 +129,10 @@ class LoadDriver {
   const std::vector<WindowStats>& windows() const { return windows_; }
   int64_t total_gets() const { return total_gets_; }
   int64_t total_sets() const { return total_sets_; }
+  // Ops dropped by the open-loop shed gate (outstanding > max_outstanding).
+  // A sustained non-zero rate is the canonical overload/availability-dip
+  // signal during fault drills; also exported as cm.workload.shed{host=N}.
+  int64_t shed() const { return shed_; }
 
   // Prints "time  get_rate set_rate p50 p90 p99 p999" rows.
   void PrintSeries(const std::string& label) const;
@@ -148,6 +153,9 @@ class LoadDriver {
   int64_t total_gets_ = 0;
   int64_t total_sets_ = 0;
   int64_t shed_ = 0;
+  // Publishes the shed counter into the client's fabric registry (labeled
+  // by the driver's client host — one driver per client).
+  metrics::ExportGroup exports_;
 };
 
 }  // namespace cm::workload

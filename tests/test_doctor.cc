@@ -1,0 +1,628 @@
+// Self-healing control-plane suite (§5.4, §7.2.3): lease-based membership
+// with RMA self-fencing, the CellDoctor failure detector/orchestrator, and
+// the client-side gray-failure defenses (hedged quorum fetches, slow-replica
+// ejection).
+//
+//   D1. Lease expiry fences RMA: a backend partitioned away from the
+//       ConfigService self-fences before its lease lapses; stale one-sided
+//       readers fail fast (PERMISSION_DENIED -> client window_errors), and
+//       renewal after the partition heals restores service.
+//   D2. One-way partitions never trigger a rebuild: when only the
+//       doctor->backend direction is dark, heartbeats keep the lease live
+//       and the verdict stays SUSPECT — zero recoveries started.
+//   D3. A crashed backend is detected, declared dead (probes miss AND lease
+//       lapsed), and replaced with zero operator calls; data survives via
+//       cohort repair and the membership epoch advances.
+//   D4. A flapping backend is rate-limited: at most one reconfiguration per
+//       cool-down window (flap_suppressed counts the ignored verdicts).
+//   D5. Hedged reads bound the tail: with one erratically-slow replica,
+//       GET p99 stays under 3x the no-fault p99 and hedges actually fire.
+//       With ejection enabled the slow replica drops out of the fan-out.
+//   D6. Chaos soak with auto-recovery on: across 10 seeds with link faults
+//       plus an unrecovered crash (the doctor must replace it), no GET ever
+//       returns a value nobody wrote and no acked state rolls back.
+//
+// Plus the config-id regression: AllocateConfigId must stay globally unique
+// far past the per-shard counts where the old additive scheme collided.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cliquemap/cell.h"
+#include "cliquemap/doctor.h"
+#include "common/histogram.h"
+
+namespace cm::cliquemap {
+namespace {
+
+// Millisecond-scale doctor so the suite converges in a few hundred sim-ms.
+DoctorOptions FastDoctor() {
+  DoctorOptions d;
+  d.probe_interval = sim::Milliseconds(5);
+  d.probe_timeout = sim::Milliseconds(2);
+  d.suspect_after_misses = 2;
+  d.dead_after_misses = 4;
+  d.heartbeat_interval = sim::Milliseconds(5);
+  d.lease_duration = sim::Milliseconds(25);
+  d.cooldown = sim::Milliseconds(300);
+  return d;
+}
+
+// Drives the simulator until `*flag` is set. The doctor/heartbeat loops keep
+// the event queue non-empty forever, so tests cannot use sim.Run() alone.
+void DriveUntil(sim::Simulator& sim, const bool* flag) {
+  while (!*flag && !sim.empty()) sim.RunSteps(256);
+}
+
+// Drives until `cond()` holds or sim time passes `limit` (watchdog against a
+// doctor that never converges — the EXPECTs after the loop then diagnose).
+template <typename Cond>
+void DriveUntilCond(sim::Simulator& sim, sim::Time limit, Cond cond) {
+  while (!cond() && sim.now() < limit && !sim.empty()) sim.RunSteps(256);
+}
+
+// ---------------------------------------------------------------------------
+// Config-id regression: the pre-lease scheme (`++global + 1000 * (shard+1)`)
+// collided across shards once any shard minted past 1000 ids. The namespaced
+// scheme must stay globally unique well beyond that point.
+// ---------------------------------------------------------------------------
+
+TEST(ConfigIdTest, UniqueAcrossShardsPastOldCollisionPoint) {
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 3;
+  Cell cell(sim, std::move(o));
+  cell.Start();
+
+  ConfigService& cfg = cell.config_service();
+  std::set<uint32_t> ids;
+  for (uint32_t s = 0; s < 3; ++s) {
+    for (int i = 0; i < 1200; ++i) {
+      const uint32_t id = cfg.AllocateConfigId(s);
+      EXPECT_TRUE(ids.insert(id).second)
+          << "config id " << id << " minted twice (shard " << s << ")";
+    }
+  }
+  // The old scheme also reused the bootstrap ids 1000*(s+1); the namespaced
+  // ids must be disjoint from that legacy range.
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(ids.count(1000 * (s + 1)), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D1: lease lapse self-fences the RMA windows; renewal restores them.
+// ---------------------------------------------------------------------------
+
+TEST(LeaseTest, LapseFencesRmaAndRenewalRestores) {
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 1;
+  o.mode = ReplicationMode::kR1;  // single replica: fencing must fail the GET
+  o.backend.initial_buckets = 64;
+  Cell cell(sim, std::move(o));
+  cell.Start();
+
+  cell.config_service().SetLeaseDuration(sim::Milliseconds(20));
+  cell.backend(0).StartHeartbeats(sim::Milliseconds(5));
+
+  // Blocks heartbeat *requests* (backend -> config): the lease lapses on both
+  // clocks and the backend must self-fence on its own.
+  auto plan = std::make_shared<net::FaultPlan>(1);
+  plan->AddPartition(cell.backend(0).host(), cell.config_service().host(),
+                     sim::Milliseconds(50), sim::Milliseconds(150));
+  cell.fabric().InstallFaults(plan);
+
+  Client* client = cell.AddClient();
+  auto done = std::make_shared<bool>(false);
+  sim.Spawn([](sim::Simulator& sim, Cell* cell, Client* client,
+               std::shared_ptr<bool> done) -> sim::Task<void> {
+    (void)co_await client->Connect();
+    Status s = co_await client->Set("fence-key", Bytes(256, std::byte{0x42}));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    // Warm-up GET before the partition: establishes the RMA window
+    // handshake, so the fenced read below fails *at the revoked window*
+    // (the stale-one-sided-reader case) rather than at a fresh handshake.
+    auto warm = co_await client->Get("fence-key");
+    EXPECT_TRUE(warm.ok()) << warm.status().ToString();
+
+    // Mid-partition: lease lapsed ~70ms (last renewal before 50ms + 20ms).
+    co_await sim.WaitUntil(sim::Milliseconds(100));
+    EXPECT_TRUE(cell->backend(0).fenced());
+    EXPECT_GE(cell->backend(0).stats().self_fences, 1);
+    EXPECT_FALSE(
+        cell->config_service().LeaseLiveAt(cell->backend(0).host(), sim.now()));
+    auto r = co_await client->Get("fence-key");
+    EXPECT_FALSE(r.ok()) << "stale reader must not be served by a fenced window";
+    EXPECT_GE(client->stats().window_errors, 1);
+
+    // After heal + renewal + client replica-backoff: service restored.
+    co_await sim.WaitUntil(sim::Milliseconds(700));
+    EXPECT_FALSE(cell->backend(0).fenced());
+    EXPECT_GE(cell->backend(0).stats().unfences, 1);
+    EXPECT_TRUE(
+        cell->config_service().LeaseLiveAt(cell->backend(0).host(), sim.now()));
+    auto r2 = co_await client->Get("fence-key");
+    EXPECT_TRUE(r2.ok()) << r2.status().ToString();
+    if (r2.ok()) {
+      EXPECT_EQ(r2->value.size(), 256u);
+      EXPECT_EQ(r2->value[0], std::byte{0x42});
+    }
+    *done = true;
+  }(sim, &cell, client, done));
+
+  DriveUntil(sim, done.get());
+  EXPECT_TRUE(*done);
+  cell.backend(0).StopHeartbeats();
+  sim.Run();
+}
+
+// ---------------------------------------------------------------------------
+// D2: one-way partition (doctor -> backend dark, backend -> config clear)
+// yields SUSPECT, never DEAD — heartbeats keep the lease live, so the
+// rebuild trigger (probes miss AND lease lapsed) cannot fire.
+// ---------------------------------------------------------------------------
+
+TEST(DoctorTest, OneWayPartitionIsSuspectNotDead) {
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 3;
+  o.mode = ReplicationMode::kR32;
+  o.backend.initial_buckets = 64;
+  Cell cell(sim, std::move(o));
+  cell.Start();
+
+  CellDoctor doctor(cell, FastDoctor());
+  doctor.Start();
+
+  // config -> backend(0) dark: probe requests vanish (misses accumulate)
+  // and heartbeat *responses* vanish (the backend, unable to confirm
+  // renewal, conservatively self-fences) — but the requests still arrive,
+  // so the ConfigService keeps the lease live.
+  auto plan = std::make_shared<net::FaultPlan>(2);
+  plan->AddPartition(cell.config_service().host(), cell.backend(0).host(),
+                     sim::Milliseconds(100), sim::Milliseconds(300));
+  cell.fabric().InstallFaults(plan);
+
+  auto done = std::make_shared<bool>(false);
+  sim.Spawn([](sim::Simulator& sim, Cell* cell, CellDoctor* doctor,
+               std::shared_ptr<bool> done) -> sim::Task<void> {
+    co_await sim.WaitUntil(sim::Milliseconds(250));
+    EXPECT_EQ(doctor->health(0), BackendHealth::kSuspect);
+    EXPECT_GE(doctor->stats().suspect_transitions, 1);
+    EXPECT_EQ(doctor->stats().dead_transitions, 0);
+    EXPECT_EQ(doctor->stats().recoveries_started, 0);
+    EXPECT_TRUE(
+        cell->config_service().LeaseLiveAt(cell->backend(0).host(), sim.now()));
+    EXPECT_TRUE(cell->backend(0).fenced());  // conservative self-fence
+
+    co_await sim.WaitUntil(sim::Milliseconds(600));
+    EXPECT_EQ(doctor->health(0), BackendHealth::kHealthy);
+    EXPECT_FALSE(cell->backend(0).fenced());
+    EXPECT_EQ(doctor->stats().dead_transitions, 0);
+    EXPECT_EQ(doctor->stats().recoveries_started, 0);
+    *done = true;
+  }(sim, &cell, &doctor, done));
+
+  DriveUntil(sim, done.get());
+  EXPECT_TRUE(*done);
+  doctor.Stop();
+  sim.Run();
+}
+
+// ---------------------------------------------------------------------------
+// D3: crash -> detect -> fence -> replace, zero operator calls.
+// ---------------------------------------------------------------------------
+
+TEST(DoctorTest, ReplacesCrashedBackendAutomatically) {
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 3;
+  o.mode = ReplicationMode::kR32;
+  o.backend.initial_buckets = 64;
+  Cell cell(sim, std::move(o));
+  cell.Start();
+
+  CellDoctor doctor(cell, FastDoctor());
+  doctor.Start();
+
+  constexpr int kKeys = 20;
+  Client* client = cell.AddClient();
+  auto loaded = std::make_shared<bool>(false);
+  sim.Spawn([](Client* client, std::shared_ptr<bool> loaded) -> sim::Task<void> {
+    (void)co_await client->Connect();
+    for (int k = 0; k < kKeys; ++k) {
+      Status s = co_await client->Set("doc-" + std::to_string(k),
+                                      Bytes(512, std::byte{uint8_t(k + 1)}));
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    }
+    *loaded = true;
+  }(client, loaded));
+  DriveUntil(sim, loaded.get());
+  ASSERT_TRUE(*loaded);
+
+  const uint64_t epoch_before = cell.config_service().membership_epoch();
+  const sim::Time crash_at = sim.now();
+  cell.CrashShard(0);
+
+  DriveUntilCond(sim, crash_at + sim::Seconds(5), [&] {
+    return doctor.stats().recoveries_succeeded >= 1;
+  });
+
+  ASSERT_EQ(doctor.stats().recoveries_succeeded, 1)
+      << "doctor failed to replace the crashed backend";
+  EXPECT_EQ(doctor.stats().dead_transitions, 1);
+  EXPECT_EQ(doctor.health(0), BackendHealth::kHealthy);
+  EXPECT_GT(cell.config_service().membership_epoch(), epoch_before);
+
+  ASSERT_EQ(doctor.recoveries().size(), 1u);
+  const RecoveryRecord& rec = doctor.recoveries()[0];
+  EXPECT_TRUE(rec.ok);
+  EXPECT_EQ(rec.shard, 0u);
+  EXPECT_GT(rec.detected_at, rec.last_ok);
+  EXPECT_GT(rec.converged_at, rec.detected_at);
+  EXPECT_EQ(doctor.detect_ns().count(), 1);
+  EXPECT_EQ(doctor.mttr_ns().count(), 1);
+
+  // Every preloaded key survived the unassisted replacement (cohort repair
+  // seeded the fresh backend; clients chase the new config on mismatch).
+  auto verified = std::make_shared<bool>(false);
+  sim.Spawn([](Client* client, std::shared_ptr<bool> verified) -> sim::Task<void> {
+    for (int k = 0; k < kKeys; ++k) {
+      auto r = co_await client->Get("doc-" + std::to_string(k));
+      EXPECT_TRUE(r.ok()) << "key " << k << ": " << r.status().ToString();
+      if (r.ok()) {
+        EXPECT_EQ(r->value.size(), 512u);
+        EXPECT_EQ(r->value[0], std::byte{uint8_t(k + 1)});
+      }
+    }
+    *verified = true;
+  }(client, verified));
+  DriveUntil(sim, verified.get());
+  EXPECT_TRUE(*verified);
+
+  doctor.Stop();
+  sim.Run();
+}
+
+// ---------------------------------------------------------------------------
+// D4: flapping is bounded — at most one reconfiguration per cool-down.
+// ---------------------------------------------------------------------------
+
+TEST(DoctorTest, FlappingBoundedByCooldown) {
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 3;
+  o.mode = ReplicationMode::kR32;
+  o.backend.initial_buckets = 64;
+  Cell cell(sim, std::move(o));
+  cell.Start();
+
+  CellDoctor doctor(cell, FastDoctor());  // cooldown = 300ms
+  doctor.Start();
+
+  // First failure: recovered normally.
+  DriveUntilCond(sim, sim::Milliseconds(100), [] { return false; });  // settle
+  cell.CrashShard(0);
+  DriveUntilCond(sim, sim.now() + sim::Seconds(5), [&] {
+    return doctor.stats().recoveries_succeeded >= 1;
+  });
+  ASSERT_EQ(doctor.stats().recoveries_succeeded, 1);
+
+  // The replacement immediately dies too (flap). Inside the cool-down the
+  // doctor must *suppress* the rebuild, not storm.
+  cell.CrashShard(0);
+  DriveUntilCond(sim, sim.now() + sim::Seconds(2), [&] {
+    return doctor.stats().flap_suppressed >= 1;
+  });
+  EXPECT_GE(doctor.stats().flap_suppressed, 1);
+  EXPECT_EQ(doctor.stats().recoveries_started, 1)
+      << "a second rebuild started inside the cool-down window";
+
+  // Once the cool-down elapses the still-dead shard is finally rebuilt.
+  DriveUntilCond(sim, sim.now() + sim::Seconds(10), [&] {
+    return doctor.stats().recoveries_succeeded >= 2;
+  });
+  EXPECT_EQ(doctor.stats().recoveries_succeeded, 2);
+  EXPECT_EQ(doctor.stats().recoveries_started, 2);
+
+  doctor.Stop();
+  sim.Run();
+}
+
+// ---------------------------------------------------------------------------
+// D5: hedged quorum fetches bound the tail under gray failure.
+// ---------------------------------------------------------------------------
+
+struct HedgeOutcome {
+  int64_t p99_ns = 0;
+  int errors = 0;
+  ClientStats stats;
+};
+
+// One erratically-slow backend host (50% of its messages delayed ~2ms): its
+// index vote sometimes races ahead (undelayed) and wins preferred, then the
+// data fetch against it stalls — exactly the gray failure hedging defends.
+HedgeOutcome RunHedgeWorkload(bool slow_host, bool hedge, bool eject,
+                              sim::Duration hedge_delay) {
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 3;
+  o.mode = ReplicationMode::kR32;
+  o.seed = 7;
+  o.backend.initial_buckets = 128;
+  Cell cell(sim, std::move(o));
+  cell.Start();
+
+  ClientConfig cc;
+  cc.strategy = LookupStrategy::kTwoR;
+  cc.hedge_reads = hedge;
+  cc.eject_slow_replicas = eject;
+  cc.hedge_delay = hedge_delay;
+  Client* client = cell.AddClient(cc);
+
+  constexpr int kHedgeKeys = 32;
+  constexpr int kHedgeOps = 400;
+  auto hist = std::make_shared<Histogram>();
+  auto errors = std::make_shared<int>(0);
+  auto done = std::make_shared<bool>(false);
+  sim.Spawn([](sim::Simulator& sim, Cell* cell, Client* client, bool slow,
+               std::shared_ptr<Histogram> hist, std::shared_ptr<int> errors,
+               std::shared_ptr<bool> done) -> sim::Task<void> {
+    (void)co_await client->Connect();
+    for (int k = 0; k < kHedgeKeys; ++k) {
+      Status s = co_await client->Set("hedge-" + std::to_string(k),
+                                      Bytes(1024, std::byte{0x5A}));
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    }
+    if (slow) {  // faults start only after the clean preload
+      auto plan = std::make_shared<net::FaultPlan>(99);
+      net::LinkFaultRates rates;
+      rates.delay = 0.5;
+      rates.delay_mean = sim::Milliseconds(2);
+      plan->SetHostRates(cell->backend(0).host(), rates);
+      cell->fabric().InstallFaults(plan);
+    }
+    Rng rng(17);
+    for (int op = 0; op < kHedgeOps; ++op) {
+      co_await sim.Delay(sim::Microseconds(50));
+      const sim::Time t0 = sim.now();
+      auto r = co_await client->Get(
+          "hedge-" + std::to_string(rng.NextBounded(kHedgeKeys)));
+      if (!r.ok()) {
+        ++*errors;
+        continue;
+      }
+      hist->Record(static_cast<int64_t>(sim.now() - t0));
+    }
+    *done = true;
+  }(sim, &cell, client, slow_host, hist, errors, done));
+
+  DriveUntil(sim, done.get());
+  sim.Run();
+  HedgeOutcome out;
+  out.p99_ns = static_cast<int64_t>(hist->Percentile(0.99));
+  out.errors = *errors;
+  out.stats = client->stats();
+  return out;
+}
+
+TEST(HedgeTest, HedgedReadsBoundTailUnderGrayFailure) {
+  const HedgeOutcome base =
+      RunHedgeWorkload(false, false, false, sim::Microseconds(300));
+  ASSERT_GT(base.p99_ns, 0);
+  EXPECT_EQ(base.errors, 0);
+  EXPECT_EQ(base.stats.hedged_reads, 0);
+
+  // Hedge after half the no-fault p99: a stalled preferred fetch costs
+  // ~1.5x baseline instead of the injected ~2ms.
+  const auto hedge_delay =
+      sim::Duration(std::max<int64_t>(base.p99_ns / 2, 1000));
+  const HedgeOutcome hedged = RunHedgeWorkload(true, true, false, hedge_delay);
+  EXPECT_GT(hedged.stats.hedged_reads, 0);
+  EXPECT_LT(hedged.p99_ns, 3 * base.p99_ns)
+      << "hedged p99 " << hedged.p99_ns << "ns vs no-fault p99 " << base.p99_ns
+      << "ns (hedges=" << hedged.stats.hedged_reads
+      << " wins=" << hedged.stats.hedge_wins << ")";
+  EXPECT_LE(hedged.errors, 8);  // availability under per-message delays
+
+  // With ejection the slow replica drops out of the fan-out entirely.
+  const HedgeOutcome ejected = RunHedgeWorkload(true, true, true, hedge_delay);
+  EXPECT_GT(ejected.stats.slow_ejections, 0);
+  EXPECT_LT(ejected.p99_ns, 3 * base.p99_ns)
+      << "ejected p99 " << ejected.p99_ns << "ns vs no-fault p99 "
+      << base.p99_ns << "ns";
+  EXPECT_LE(ejected.errors, 8);
+}
+
+// ---------------------------------------------------------------------------
+// D6: chaos soak with the doctor in charge. Each seed injects link faults
+// and one *unrecovered* crash; only the doctor may bring the cell back.
+// ---------------------------------------------------------------------------
+
+struct SoakOutcome {
+  int wrong_values = 0;     // GET returned a value nobody wrote
+  int rollbacks = 0;        // final version older than an observed version
+  int unreadable = 0;       // acked key unreadable after recovery + repair
+  int64_t recoveries = 0;
+  bool recovered = false;   // doctor replaced the crashed backend
+};
+
+SoakOutcome RunDoctorSoak(uint64_t seed) {
+  constexpr int kKeys = 16;
+  constexpr int kClients = 2;
+  constexpr int kOps = 60;
+  constexpr size_t kValueBytes = 512;
+
+  sim::Simulator sim;
+  CellOptions o;
+  o.num_shards = 4;
+  o.mode = ReplicationMode::kR32;
+  o.seed = seed;
+  o.backend.initial_buckets = 128;
+  Cell cell(sim, std::move(o));
+  cell.Start();
+
+  CellDoctor doctor(cell, FastDoctor());
+  doctor.Start();
+
+  Rng prng(seed * 0x9E3779B97F4A7C15ull + 0xD0C);
+  auto plan = std::make_shared<net::FaultPlan>(seed);
+  net::LinkFaultRates rates;
+  rates.drop = 0.002 + prng.NextDouble() * 0.008;
+  rates.corrupt = prng.NextDouble() * 0.004;
+  rates.delay = prng.NextDouble() * 0.03;
+  rates.delay_mean = sim::Microseconds(int64_t(20 + prng.NextBounded(60)));
+  plan->SetDefaultRates(rates);
+  plan->SetActiveWindow(sim::Milliseconds(20), sim::Milliseconds(200));
+  cell.fabric().InstallFaults(plan);
+
+  // The crash the doctor must heal: no restart is ever scheduled.
+  const uint32_t victim = uint32_t(prng.NextBounded(cell.num_shards()));
+  sim.Spawn([](sim::Simulator& sim, Cell* cell,
+               uint32_t victim) -> sim::Task<void> {
+    co_await sim.WaitUntil(sim::Milliseconds(60));
+    cell->CrashShard(victim);
+  }(sim, &cell, victim));
+
+  std::vector<Client*> clients;
+  for (int c = 0; c < kClients; ++c) {
+    ClientConfig cc;
+    cc.client_id = uint32_t(c + 1);
+    clients.push_back(cell.AddClient(cc));
+  }
+
+  auto written = std::make_shared<std::vector<std::set<uint8_t>>>(kKeys);
+  auto max_seen = std::make_shared<std::vector<VersionNumber>>(kKeys);
+  auto next_fill = std::make_shared<uint8_t>(1);
+  auto wrong = std::make_shared<int>(0);
+
+  auto loaded = std::make_shared<bool>(false);
+  sim.Spawn([](Client* client, decltype(written) written,
+               std::shared_ptr<bool> loaded) -> sim::Task<void> {
+    (void)co_await client->Connect();
+    for (int k = 0; k < kKeys; ++k) {
+      (*written)[size_t(k)].insert(1);
+      Status s = co_await client->Set("soak-" + std::to_string(k),
+                                      Bytes(kValueBytes, std::byte{1}));
+      EXPECT_TRUE(s.ok()) << "preload " << k << ": " << s.ToString();
+    }
+    *loaded = true;
+  }(clients[0], written, loaded));
+
+  auto done = std::make_shared<int>(0);
+  for (int c = 0; c < kClients; ++c) {
+    sim.Spawn([](sim::Simulator& sim, Client* client, uint64_t seed,
+                 decltype(written) written, decltype(max_seen) max_seen,
+                 decltype(next_fill) next_fill, std::shared_ptr<int> wrong,
+                 std::shared_ptr<bool> loaded,
+                 std::shared_ptr<int> done) -> sim::Task<void> {
+      (void)co_await client->Connect();
+      while (!*loaded) co_await sim.Delay(sim::Milliseconds(1));
+      Rng rng(seed);
+      for (int op = 0; op < kOps; ++op) {
+        co_await sim.Delay(sim::Microseconds(int64_t(rng.NextBounded(2000))));
+        const int k = int(rng.NextBounded(kKeys));
+        if (rng.NextBool(0.6)) {
+          auto got = co_await client->Get("soak-" + std::to_string(k));
+          if (!got.ok()) continue;  // availability, not integrity
+          bool valid = got->value.size() == kValueBytes;
+          if (valid) {
+            const auto fill = static_cast<uint8_t>(got->value[0]);
+            for (std::byte bb : got->value) valid &= (bb == std::byte{fill});
+            valid &= (*written)[size_t(k)].count(fill) != 0;
+          }
+          if (!valid) ++*wrong;
+          if ((*max_seen)[size_t(k)] < got->version) {
+            (*max_seen)[size_t(k)] = got->version;
+          }
+        } else {
+          uint8_t fill = (*next_fill)++;
+          if (fill == 0) fill = (*next_fill)++;
+          (*written)[size_t(k)].insert(fill);
+          (void)co_await client->Set("soak-" + std::to_string(k),
+                                     Bytes(kValueBytes, std::byte{fill}));
+        }
+      }
+      ++*done;
+    }(sim, clients[size_t(c)], seed * 131 + uint64_t(c) + 1, written, max_seen,
+      next_fill, wrong, loaded, done));
+  }
+
+  while (*done < kClients && !sim.empty()) sim.RunSteps(256);
+
+  // Let the doctor finish healing, then run the usual repair rounds.
+  DriveUntilCond(sim, sim.now() + sim::Seconds(5), [&] {
+    return doctor.stats().recoveries_succeeded >= 1 &&
+           doctor.health(victim) == BackendHealth::kHealthy;
+  });
+  for (int round = 0; round < 2; ++round) {
+    for (uint32_t s = 0; s < cell.num_shards(); ++s) {
+      auto scanned = std::make_shared<bool>(false);
+      sim.Spawn([](Backend* b, std::shared_ptr<bool> scanned) -> sim::Task<void> {
+        co_await b->RepairScanOnce(/*all_shards=*/true);
+        *scanned = true;
+      }(&cell.backend(s), scanned));
+      DriveUntil(sim, scanned.get());
+    }
+  }
+
+  SoakOutcome out;
+  out.recoveries = doctor.stats().recoveries_succeeded;
+  out.recovered = doctor.stats().recoveries_succeeded >= 1 &&
+                  doctor.health(victim) == BackendHealth::kHealthy;
+
+  auto verified = std::make_shared<bool>(false);
+  auto rollbacks = std::make_shared<int>(0);
+  auto unreadable = std::make_shared<int>(0);
+  sim.Spawn([](Client* client, decltype(written) written,
+               decltype(max_seen) max_seen, std::shared_ptr<int> wrong,
+               std::shared_ptr<int> rollbacks, std::shared_ptr<int> unreadable,
+               std::shared_ptr<bool> verified) -> sim::Task<void> {
+    for (int k = 0; k < kKeys; ++k) {
+      auto got = co_await client->Get("soak-" + std::to_string(k));
+      if (!got.ok()) {
+        ++*unreadable;  // every key had at least the acked preload SET
+        continue;
+      }
+      bool valid = got->value.size() == kValueBytes;
+      if (valid) {
+        const auto fill = static_cast<uint8_t>(got->value[0]);
+        for (std::byte bb : got->value) valid &= (bb == std::byte{fill});
+        valid &= (*written)[size_t(k)].count(fill) != 0;
+      }
+      if (!valid) ++*wrong;
+      if (got->version < (*max_seen)[size_t(k)]) ++*rollbacks;
+    }
+    *verified = true;
+  }(clients[0], written, max_seen, wrong, rollbacks, unreadable, verified));
+  DriveUntil(sim, verified.get());
+  EXPECT_TRUE(*verified);
+
+  out.wrong_values = *wrong;
+  out.rollbacks = *rollbacks;
+  out.unreadable = *unreadable;
+  doctor.Stop();
+  sim.Run();
+  return out;
+}
+
+TEST(DoctorTest, ChaosSoakWithAutoRecovery) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const SoakOutcome out = RunDoctorSoak(seed);
+    EXPECT_TRUE(out.recovered)
+        << "doctor never healed the crashed backend (recoveries="
+        << out.recoveries << ")";
+    EXPECT_EQ(out.wrong_values, 0);
+    EXPECT_EQ(out.rollbacks, 0);
+    EXPECT_EQ(out.unreadable, 0);
+  }
+}
+
+}  // namespace
+}  // namespace cm::cliquemap
