@@ -21,6 +21,9 @@ echo "== tier-1: full ctest =="
 echo "== observability: metrics/trace suite =="
 (cd build && ctest --output-on-failure -L metrics)
 
+echo "== multi-tenant QoS: tenancy suite =="
+(cd build && ctest --output-on-failure -L tenancy)
+
 echo "== observability: bench --json emits valid cm.bench.v1 =="
 JQ=/usr/bin/jq
 for bench in bench_micro bench_fig07_cpu_per_op; do
@@ -43,6 +46,12 @@ echo "== perf gate: simulator-core + self-healing scalars vs baselines =="
 # its throughput figures are workload-shaped and too noisy to gate.
 scripts/perf_gate.sh simcore 'fig14_unplanned_maint:^(doctor|hedge)\.'
 
+echo "== perf gate: tenant isolation scalars vs baseline =="
+# Gates only the dimensionless QoS outcomes: the victim's isolated-p99
+# degradation ratio and the (floored) WFQ share error. Raw latencies are
+# cost-model shaped and drift with unrelated tuning.
+scripts/perf_gate.sh 'tenant_isolation:^(victim\.p99_degradation_ratio|fairness\.share_err_floor)$'
+
 if [[ "$FAST" == "1" ]]; then
   echo "== done (fast mode: sanitizer stage skipped) =="
   exit 0
@@ -52,7 +61,7 @@ echo "== sanitizer (ASan/UBSan): build =="
 cmake -B build-asan -S . -DCM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j
 
-echo "== sanitizer: chaos + resharding + health labels =="
-(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L 'chaos|resharding|health')
+echo "== sanitizer: chaos + resharding + health + tenancy labels =="
+(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L 'chaos|resharding|health|tenancy')
 
 echo "== all checks passed =="

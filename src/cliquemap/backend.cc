@@ -159,6 +159,9 @@ Backend::Backend(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
                          &stats_.heartbeat_failures);
   exports_.ExportCounter("cm.backend.self_fences", l, &stats_.self_fences);
   exports_.ExportCounter("cm.backend.unfences", l, &stats_.unfences);
+  exports_.ExportCounter("cm.backend.tenant_sheds", l, &stats_.tenant_sheds);
+  exports_.ExportCounter("cm.backend.evictions_tenant", l,
+                         &stats_.evictions_tenant);
   exports_.ExportGauge("cm.backend.live_entries", l, [this] {
     return static_cast<int64_t>(live_entries_);
   });
@@ -174,6 +177,18 @@ Backend::~Backend() {
   repair_loop_running_ = false;
   *alive_ = false;
   if (serving_) Stop();
+}
+
+void Backend::EnableTenancy(const TenantRegistry& reg,
+                            AdmissionQueue::Options admission) {
+  if (!admission_) {
+    admission_ = std::make_unique<AdmissionQueue>(
+        sim_, &fabric_.metrics(),
+        metrics::Labels{{"host", std::to_string(host_)}}, admission);
+  }
+  admission_->Configure(reg);
+  if (!ledger_) ledger_ = std::make_unique<TenantMemoryLedger>();
+  ledger_->Configure(reg);
 }
 
 void Backend::Start(uint32_t config_id) {
@@ -205,6 +220,7 @@ void Backend::Start(uint32_t config_id) {
   overflow_.clear();
   overflow_count_.clear();
   live_entries_ = 0;
+  if (ledger_) ledger_->Clear();  // restart dropped every resident entry
 
   // RMA attach + SCAR co-design install.
   rma_network_.Attach(host_, &registry_);
@@ -220,7 +236,8 @@ void Backend::Start(uint32_t config_id) {
   // closures) may outlive an incarnation, so neither the server nor its
   // method table may be destroyed while the simulation is running.
   if (!rpc_server_) {
-    rpc_server_ = std::make_unique<rpc::RpcServer>(rpc_network_, host_);
+    rpc_server_ =
+        std::make_unique<rpc::RpcServer>(rpc_network_, host_, config_.rpc_costs);
     auto bind = [this](auto method) {
       return [this, method](ByteSpan req) -> sim::Task<StatusOr<Bytes>> {
         return (this->*method)(req);
@@ -430,6 +447,7 @@ bool Backend::EvictKey(const Hash128& hash) {
   locations_.erase(it);
   --live_entries_;
   eviction_->OnRemove(hash);
+  if (ledger_) ledger_->Release(hash);
   return true;
 }
 
@@ -633,7 +651,8 @@ sim::Task<void> Backend::GrowData() {
 sim::Task<StatusOr<bool>> Backend::ApplySet(std::string_view key,
                                             ByteSpan value,
                                             const VersionNumber& version,
-                                            bool charge_write_time) {
+                                            bool charge_write_time,
+                                            TenantId tenant) {
   co_await AwaitMutationsAllowed();
   if (!serving_) co_return UnavailableError("backend stopped");
 
@@ -663,6 +682,29 @@ sim::Task<StatusOr<bool>> Backend::ApplySet(std::string_view key,
 
   const auto entry_bytes =
       static_cast<uint32_t>(DataEntryBytes(key.size(), value.size()));
+
+  // Memory-plane containment: a tenant past its byte quota evicts its OWN
+  // least-recently-used keys to make room — neighbors' entries are never
+  // squeezed by this path. Overwrites net out the bytes the key already
+  // holds.
+  if (ledger_) {
+    const TenantId owner =
+        tenant != kDefaultTenant ? tenant : ledger_->OwnerOf(hash);
+    const uint64_t resident = ledger_->ResidentBytes(hash);
+    const uint64_t incoming =
+        entry_bytes > resident ? entry_bytes - resident : 0;
+    if (resident > 0) ledger_->Touch(hash);  // never victimize the key itself
+    while (ledger_->OverQuota(owner, incoming)) {
+      auto victim = ledger_->LruVictim(owner);
+      if (!victim || *victim == hash) break;
+      if (!EvictKey(*victim)) {
+        ledger_->Release(*victim);  // stale ledger entry; drop and retry
+        continue;
+      }
+      ++stats_.evictions_tenant;
+    }
+  }
+
   auto offset = co_await AllocateWithEviction(entry_bytes);
   if (!offset.ok()) co_return offset.status();
   const Pointer new_ptr{data_regions_.back(), entry_bytes, *offset};
@@ -703,6 +745,7 @@ sim::Task<StatusOr<bool>> Backend::ApplySet(std::string_view key,
     WriteEntry(bucket, *way, IndexEntry{hash, version, new_ptr});
     FreeData(old.pointer);  // reclaim the old DataEntry as free space
     locations_[hash] = Location{bucket, *way};
+    if (ledger_) ledger_->Charge(tenant, hash, entry_bytes);
   } else {
     auto free_way = FindFreeWay(bucket);
     if (!free_way) {
@@ -735,6 +778,7 @@ sim::Task<StatusOr<bool>> Backend::ApplySet(std::string_view key,
     WriteEntry(bucket, *free_way, IndexEntry{hash, version, new_ptr});
     locations_[hash] = Location{bucket, *free_way};
     ++live_entries_;
+    if (ledger_) ledger_->Charge(tenant, hash, entry_bytes);
   }
 
   tombstones_.Clear(hash);
@@ -760,6 +804,7 @@ sim::Task<StatusOr<bool>> Backend::ApplyErase(std::string_view key,
     locations_.erase(hash);
     --live_entries_;
     eviction_->OnRemove(hash);
+    if (ledger_) ledger_->Release(hash);
     tombstones_.Record(hash, version, key);
     ++stats_.erases_applied;
     co_return true;
@@ -795,6 +840,20 @@ Bytes AppliedResponse(bool applied) {
   return std::move(w).Take();
 }
 
+// Pairs every successful Admit with exactly one Release across all of a
+// handler's co_return paths (the guard lives in the coroutine frame, so it
+// runs once at frame destruction — safe under gcc 12, unlike awaiter
+// temporaries; see sim/sync.h).
+struct AdmitGuard {
+  AdmissionQueue* q = nullptr;
+  AdmitGuard() = default;
+  AdmitGuard(const AdmitGuard&) = delete;
+  AdmitGuard& operator=(const AdmitGuard&) = delete;
+  ~AdmitGuard() {
+    if (q) q->Release();
+  }
+};
+
 }  // namespace
 
 // Mutations stamped with a cell generation are fenced against the live
@@ -817,6 +876,21 @@ Status Backend::CheckMutationAdmissible(const rpc::WireReader& r) {
 }
 
 sim::Task<StatusOr<Bytes>> Backend::HandleSet(ByteSpan req) {
+  // Tenant admission runs before the handler CPU charge: shedding must
+  // protect the CPU the flood would otherwise burn. With tenancy off
+  // (admission_ null) this block is skipped entirely and the event
+  // sequence matches the pre-tenancy handler exactly.
+  AdmitGuard admit;
+  TenantId tenant = kDefaultTenant;
+  if (admission_) {
+    rpc::WireReader pre(req);
+    tenant = pre.GetU32(proto::kTagTenant).value_or(kDefaultTenant);
+    if (Status s = co_await admission_->Admit(tenant, req.size()); !s.ok()) {
+      ++stats_.tenant_sheds;
+      co_return s;
+    }
+    admit.q = admission_.get();
+  }
   co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
   rpc::WireReader r(req);
   auto key = r.GetBytes(proto::kTagKey);
@@ -827,12 +901,23 @@ sim::Task<StatusOr<Bytes>> Backend::HandleSet(ByteSpan req) {
   }
   if (Status s = CheckMutationAdmissible(r); !s.ok()) co_return s;
   auto applied = co_await ApplySet(ToString(*key), *value, *version,
-                                   /*charge_write_time=*/true);
+                                   /*charge_write_time=*/true, tenant);
   if (!applied.ok()) co_return applied.status();
   co_return AppliedResponse(*applied);
 }
 
 sim::Task<StatusOr<Bytes>> Backend::HandleErase(ByteSpan req) {
+  AdmitGuard admit;
+  if (admission_) {
+    rpc::WireReader pre(req);
+    const TenantId tenant =
+        pre.GetU32(proto::kTagTenant).value_or(kDefaultTenant);
+    if (Status s = co_await admission_->Admit(tenant, req.size()); !s.ok()) {
+      ++stats_.tenant_sheds;
+      co_return s;
+    }
+    admit.q = admission_.get();
+  }
   co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
   rpc::WireReader r(req);
   auto key = r.GetBytes(proto::kTagKey);
@@ -845,6 +930,17 @@ sim::Task<StatusOr<Bytes>> Backend::HandleErase(ByteSpan req) {
 }
 
 sim::Task<StatusOr<Bytes>> Backend::HandleCas(ByteSpan req) {
+  AdmitGuard admit;
+  TenantId tenant = kDefaultTenant;
+  if (admission_) {
+    rpc::WireReader pre(req);
+    tenant = pre.GetU32(proto::kTagTenant).value_or(kDefaultTenant);
+    if (Status s = co_await admission_->Admit(tenant, req.size()); !s.ok()) {
+      ++stats_.tenant_sheds;
+      co_return s;
+    }
+    admit.q = admission_.get();
+  }
   co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
   rpc::WireReader r(req);
   auto key = r.GetBytes(proto::kTagKey);
@@ -865,7 +961,8 @@ sim::Task<StatusOr<Bytes>> Backend::HandleCas(ByteSpan req) {
     ++stats_.cas_failed;
     co_return AppliedResponse(false);
   }
-  auto applied = co_await ApplySet(ToString(*key), *value, *version, true);
+  auto applied =
+      co_await ApplySet(ToString(*key), *value, *version, true, tenant);
   if (!applied.ok()) co_return applied.status();
   if (*applied) {
     ++stats_.cas_applied;
@@ -876,6 +973,19 @@ sim::Task<StatusOr<Bytes>> Backend::HandleCas(ByteSpan req) {
 }
 
 sim::Task<StatusOr<Bytes>> Backend::HandleGet(ByteSpan req) {
+  // Unlike one-sided RMA GETs, this fallback read burns backend CPU, so it
+  // goes through admission and per-tenant byte accounting like any RPC.
+  AdmitGuard admit;
+  TenantId tenant = kDefaultTenant;
+  if (admission_) {
+    rpc::WireReader pre(req);
+    tenant = pre.GetU32(proto::kTagTenant).value_or(kDefaultTenant);
+    if (Status s = co_await admission_->Admit(tenant, req.size()); !s.ok()) {
+      ++stats_.tenant_sheds;
+      co_return s;
+    }
+    admit.q = admission_.get();
+  }
   co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
   ++stats_.rpc_gets;
   rpc::WireReader r(req);
@@ -890,6 +1000,9 @@ sim::Task<StatusOr<Bytes>> Backend::HandleGet(ByteSpan req) {
     Bytes data = ReadData(e.pointer);
     auto view = DecodeDataEntry(data);
     if (view.ok() && view->key == key_str) {
+      if (admission_) {
+        admission_->AccountReadBytes(tenant, kIndexEntrySize, data.size());
+      }
       rpc::WireWriter w;
       w.PutBytes(proto::kTagValue, view->value);
       proto::PutVersion(w, view->version);
@@ -900,6 +1013,10 @@ sim::Task<StatusOr<Bytes>> Backend::HandleGet(ByteSpan req) {
     co_return AbortedError("entry mutated during RPC get");
   }
   if (auto it = overflow_.find(key_str); it != overflow_.end()) {
+    if (admission_) {
+      admission_->AccountReadBytes(tenant, kIndexEntrySize,
+                                   it->second.first.size());
+    }
     rpc::WireWriter w;
     w.PutBytes(proto::kTagValue, it->second.first);
     proto::PutVersion(w, it->second.second);
@@ -915,6 +1032,10 @@ sim::Task<StatusOr<Bytes>> Backend::HandleTouch(ByteSpan req) {
   if (!blob) co_return InvalidArgumentError("Touch: missing records");
   for (const Hash128& h : proto::ParseTouchRecords(*blob)) {
     eviction_->OnTouch(h);
+    // Touches drive the per-tenant LRU too: a tenant at its memory quota
+    // evicts its own *least recently used* keys, and RMA GET recency only
+    // reaches the backend through these batched reports.
+    if (ledger_) ledger_->Touch(h);
     ++stats_.touches_ingested;
   }
   co_return Bytes{};

@@ -22,6 +22,7 @@
 #include "cliquemap/layout.h"
 #include "cliquemap/proto.h"
 #include "cliquemap/slab.h"
+#include "cliquemap/tenancy.h"
 #include "cliquemap/tombstone.h"
 #include "cliquemap/types.h"
 #include "rma/transport.h"
@@ -57,6 +58,10 @@ struct BackendConfig {
   // Cost model.
   sim::Duration memory_registration_cost = sim::Microseconds(40);
   sim::Duration handler_base_cpu = sim::Microseconds(2);
+  // Framework cost model for this backend's RpcServer. Defaults match the
+  // paper's measured stack (§2.1); benches exploring CPU-contention regimes
+  // where the dispatch cost must not dominate can cheapen it.
+  rpc::RpcCostModel rpc_costs;
   // Server memcpy bandwidth; DataEntry writes take size/bw and are split
   // into two steps, opening the torn-read window RMA readers can observe.
   double write_bytes_per_ns = 10.0;
@@ -105,6 +110,11 @@ struct BackendStats {
   int64_t heartbeat_failures = 0;
   int64_t self_fences = 0;
   int64_t unfences = 0;
+  // Multi-tenant QoS: mutations shed by the admission queue (quota or
+  // overload), and evictions forced by a tenant hitting its own memory
+  // quota (contained — the victim belongs to the same tenant).
+  int64_t tenant_sheds = 0;
+  int64_t evictions_tenant = 0;
 };
 
 class Backend {
@@ -209,6 +219,17 @@ class Backend {
     return lifetime_rpc_bytes_ + (rpc_server_ ? rpc_server_->total_bytes() : 0);
   }
 
+  // Multi-tenant QoS -----------------------------------------------------
+  // Turns on RPC-plane admission (weighted-fair queue + per-tenant token
+  // buckets) and memory-plane accounting (per-tenant LRU containment).
+  // Off by default: without it the handlers take the exact pre-tenancy
+  // path, so byte streams and event orders stay bit-identical (pinned by
+  // test_determinism).
+  void EnableTenancy(const TenantRegistry& reg,
+                     AdmissionQueue::Options admission = {});
+  AdmissionQueue* admission() { return admission_.get(); }
+  TenantMemoryLedger* tenant_ledger() { return ledger_.get(); }
+
   // Direct (test-only) lookup of the stored version for a key.
   std::optional<VersionNumber> LookupVersion(std::string_view key) const;
 
@@ -238,9 +259,13 @@ class Backend {
   // Core mutation paths --------------------------------------------------
   // Returns kOk and the applied flag; enforces version monotonicity against
   // index, tombstones, and the tombstone summary (§5.2).
+  // `tenant` attributes the write for memory-plane accounting; the default
+  // (repair/bulk/loader paths, which carry no tenant tag) preserves the
+  // key's existing owner.
   sim::Task<StatusOr<bool>> ApplySet(std::string_view key, ByteSpan value,
                                      const VersionNumber& version,
-                                     bool charge_write_time);
+                                     bool charge_write_time,
+                                     TenantId tenant = kDefaultTenant);
   sim::Task<StatusOr<bool>> ApplyErase(std::string_view key,
                                        const VersionNumber& version);
 
@@ -325,6 +350,10 @@ class Backend {
 
   // Heap-side state.
   std::unique_ptr<EvictionPolicy> eviction_;
+  // Multi-tenant QoS (null when tenancy is off — the handlers then take
+  // the exact pre-tenancy path).
+  std::unique_ptr<AdmissionQueue> admission_;
+  std::unique_ptr<TenantMemoryLedger> ledger_;
   TombstoneCache tombstones_;
   // keyhash -> location, for O(1) eviction & repair snapshots.
   struct Location {

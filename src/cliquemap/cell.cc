@@ -1,6 +1,7 @@
 #include "cliquemap/cell.h"
 
 #include <cassert>
+#include <cstdio>
 
 namespace cm::cliquemap {
 
@@ -63,6 +64,12 @@ void Cell::Start() {
     view.shard_config_ids[s] = 1000 * (s + 1);
   }
   config_service_->SetInitialView(view);
+  if (!options_.tenants.empty()) {
+    config_service_->SetTenantRegistry(options_.tenants);
+    for (auto& b : backends_) {
+      b->EnableTenancy(options_.tenants, options_.admission);
+    }
+  }
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     backends_[s]->Start(view.shard_config_ids[s]);
   }
@@ -75,6 +82,11 @@ void Cell::Start() {
     spares_.push_back(std::make_unique<Backend>(
         *fabric_, *rpc_network_, *rma_network_, *truetime_, host,
         config_service_.get(), /*shard=*/0, cfg));
+    if (!options_.tenants.empty()) {
+      // A spare temporarily hosts a shard during maintenance; it must
+      // enforce the same per-tenant quotas as the primary it stands in for.
+      spares_.back()->EnableTenancy(options_.tenants, options_.admission);
+    }
     spares_.back()->Start(/*config_id=*/1);  // warm and idle
     spare_busy_.push_back(false);
   }
@@ -87,8 +99,19 @@ Client* Cell::AddClient(ClientConfig config) {
 
 Client* Cell::AddClientOnHost(net::HostId host, ClientConfig config) {
   if (config.client_id == 1 && !clients_.empty()) {
-    config.client_id = static_cast<uint32_t>(clients_.size()) + 1;
+    // Auto-assign: next id after the existing clients, skipping any that an
+    // explicit-id client already claimed.
+    uint32_t candidate = static_cast<uint32_t>(clients_.size()) + 1;
+    while (used_client_ids_.count(candidate)) ++candidate;
+    config.client_id = candidate;
+  } else if (used_client_ids_.count(config.client_id)) {
+    std::fprintf(stderr,
+                 "Cell::AddClient: duplicate client_id %u (explicit ids must "
+                 "be unique; id 1 auto-assigns)\n",
+                 config.client_id);
+    return nullptr;
   }
+  used_client_ids_.insert(config.client_id);
   if (config.hash_fn == &HashKey) config.hash_fn = options_.hash_fn;
   clients_.push_back(std::make_unique<Client>(
       *fabric_, *rpc_network_, transport_.get(), *truetime_, host,
@@ -106,6 +129,9 @@ Backend* Cell::AddBackendForShard(uint32_t shard, uint32_t config_id,
   auto fresh = std::make_unique<Backend>(*fabric_, *rpc_network_,
                                          *rma_network_, *truetime_, host,
                                          config_service_.get(), shard, cfg);
+  if (!options_.tenants.empty()) {
+    fresh->EnableTenancy(options_.tenants, options_.admission);
+  }
   fresh->Start(config_id);
   Backend* raw = fresh.get();
   if (shard < backends_.size()) {
@@ -267,6 +293,8 @@ BackendStats Cell::AggregateBackendStats() const {
     agg.stale_generation_rejects += s.stale_generation_rejects;
     agg.draining_rejects += s.draining_rejects;
     agg.entries_dropped += s.entries_dropped;
+    agg.tenant_sheds += s.tenant_sheds;
+    agg.evictions_tenant += s.evictions_tenant;
   };
   for (const auto& b : backends_) add(b->stats());
   for (const auto& s : spares_) add(s->stats());

@@ -7,6 +7,7 @@
 #define CM_CLIQUEMAP_CELL_H_
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "cliquemap/backend.h"
@@ -40,6 +41,12 @@ struct CellOptions {
   // How long a backend binary restart takes during maintenance.
   sim::Duration restart_duration = sim::Seconds(30);
   uint64_t seed = 42;
+  // Multi-tenant QoS (§ DESIGN.md 12). An empty registry keeps the cell
+  // untenanted: backends skip admission entirely and the config service
+  // serves byte-identical view responses, so deterministic fingerprints
+  // recorded before tenancy existed still hold.
+  TenantRegistry tenants;
+  AdmissionQueue::Options admission;
 };
 
 class Cell {
@@ -54,6 +61,10 @@ class Cell {
   void Start();
 
   // Adds a client on its own freshly-created host.
+  // Client ids must be unique within the cell (they feed version-number
+  // tie-breaking and metric labels). id 1 is the "auto" default: when taken,
+  // the next unused id is assigned. An explicit id that collides with an
+  // existing client returns nullptr — loudly, never a silent collision.
   Client* AddClient(ClientConfig config = {});
   // Adds a client co-located on an existing host (e.g. a backend host, the
   // co-tenant setup of Fig 15).
@@ -143,6 +154,7 @@ class Cell {
   std::vector<bool> spare_busy_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<Client*> client_ptrs_;
+  std::unordered_set<uint32_t> used_client_ids_;
 };
 
 }  // namespace cm::cliquemap

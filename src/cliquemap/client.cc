@@ -57,6 +57,13 @@ Client::Client(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
   exports_.ExportCounter("cm.client.hedge_wins", l, &stats_.hedge_wins);
   exports_.ExportCounter("cm.client.slow_ejections", l,
                          &stats_.slow_ejections);
+  if (config_.tenant != kDefaultTenant) {
+    metrics::Labels tl = l;
+    tl.emplace_back("tenant", std::to_string(config_.tenant));
+    exports_.ExportCounter("cm.tenant.shed", tl, &stats_.tenant_shed);
+    exports_.ExportCounter("cm.tenant.rma_bytes", tl,
+                           &stats_.tenant_rma_bytes);
+  }
   exports_.ExportCounter("cm.client.issue_cpu_ns", l, &stats_.issue_cpu_ns);
   exports_.ExportCounter("cm.client.validate_cpu_ns", l,
                          &stats_.validate_cpu_ns);
@@ -83,6 +90,38 @@ sim::Task<Status> Client::RefreshConfig() {
   if (!resp.ok()) co_return resp.status();
   auto view = DecodeCellView(*resp);
   if (!view.ok()) co_return view.status();
+
+  // RMA-plane policing: provision this tenant's buckets from the registry
+  // riding alongside the view. Untenanted clients skip the lookup entirely.
+  if (config_.tenant != kDefaultTenant) {
+    rpc::WireReader r(*resp);
+    if (auto blob = r.GetBytes(proto::kTagTenantRegistry)) {
+      // Re-provisioning resets bucket balances, so only do it when the
+      // registry actually changed — a routine view refresh must not hand a
+      // flooding tenant a fresh burst.
+      if (auto reg = DecodeTenantRegistry(*blob);
+          reg.ok() && (!tenant_provisioned_ ||
+                       reg->version() != tenant_registry_version_)) {
+        tenant_provisioned_ = true;
+        tenant_registry_version_ = reg->version();
+        if (const TenantSpec* spec = reg->Find(config_.tenant)) {
+          tenant_reads_bucket_ =
+              spec->rma_reads_per_sec > 0
+                  ? TokenBucket(spec->rma_reads_per_sec,
+                                std::max(4.0, spec->rma_reads_per_sec * 0.25))
+                  : TokenBucket();
+          tenant_bytes_bucket_ =
+              spec->rma_bytes_per_sec > 0
+                  ? TokenBucket(spec->rma_bytes_per_sec,
+                                std::max(4096.0,
+                                         spec->rma_bytes_per_sec * 0.25))
+                  : TokenBucket();
+          tenant_limited_ = !tenant_reads_bucket_.unlimited() ||
+                            !tenant_bytes_bucket_.unlimited();
+        }
+      }
+    }
+  }
 
   CellView fresh = *std::move(view);
   conns_.resize(fresh.num_shards());
@@ -192,6 +231,19 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
   const sim::Time start = sim_.now();
   const sim::Time deadline_at = start + config_.op_deadline;
   ++stats_.gets;
+  // RMA-plane policing: one-sided reads bypass the backend CPU, so the
+  // quota is enforced here, before any fabric traffic. The bytes bucket is
+  // post-paid (the value size is unknown until the read lands), so a
+  // tenant in byte-debt sheds until the bucket refills. Never silent:
+  // RESOURCE_EXHAUSTED + cm.tenant.shed.
+  if (tenant_limited_) {
+    const sim::Time now = sim_.now();
+    if (!tenant_reads_bucket_.TryAcquire(now, 1.0) ||
+        tenant_bytes_bucket_.available(now) < 0) {
+      ++stats_.tenant_shed;
+      co_return ResourceExhaustedError("tenant rma quota exceeded");
+    }
+  }
   const Hash128 hash = config_.hash_fn(key);
   trace::Tracer& tracer = fabric_.tracer();
   const trace::SpanId span = tracer.BeginRoot("get", host_);
@@ -299,6 +351,12 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
   if (!result.ok() && result.status().code() == StatusCode::kAborted &&
       result.status().message() == "inquorate") {
     result = NotFoundError("inquorate (degraded dirty quorum; miss)");
+  }
+
+  if (tenant_limited_ && result.ok()) {
+    const int64_t bytes = int64_t(result->value.size());
+    stats_.tenant_rma_bytes += bytes;
+    tenant_bytes_bucket_.Debit(sim_.now(), double(bytes));
   }
 
   stats_.get_latency_ns.Record(sim_.now() - start);
@@ -783,6 +841,10 @@ sim::Task<StatusOr<GetResult>> Client::GetViaRpc(const std::string& key,
   if (remaining <= 0) co_return DeadlineExceededError("rpc get");
   rpc::WireWriter w;
   w.PutString(proto::kTagKey, key);
+  if (config_.tenant != kDefaultTenant) {
+    // The RPC fallback read touches backend CPU: attribute it.
+    w.PutU32(proto::kTagTenant, config_.tenant);
+  }
   rpc::RpcChannel ch(rpc_network_, host_, view_.shard_hosts[shard]);
   auto resp = co_await ch.Call(proto::kMethodGet, std::move(w).Take(),
                                remaining, span);
@@ -864,6 +926,12 @@ sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
   {
     rpc::WireWriter gw;
     gw.PutU32(proto::kTagGeneration, view_.generation);
+    // Tenanted clients also stamp their tenant id so the backend's
+    // admission queue can attribute the op; untenanted requests stay
+    // byte-identical.
+    if (config_.tenant != kDefaultTenant) {
+      gw.PutU32(proto::kTagTenant, config_.tenant);
+    }
     const Bytes gen = std::move(gw).Take();
     request.insert(request.end(), gen.begin(), gen.end());
   }

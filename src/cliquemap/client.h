@@ -24,6 +24,7 @@
 #include "cliquemap/config_service.h"
 #include "cliquemap/layout.h"
 #include "cliquemap/proto.h"
+#include "cliquemap/tenancy.h"
 #include "cliquemap/types.h"
 #include "rma/transport.h"
 #include "rpc/rpc.h"
@@ -97,6 +98,15 @@ struct ClientConfig {
   // During a dual-version window, a GET that misses under the new topology
   // falls back to the previous owners (records may not have streamed yet).
   bool prev_fallback = true;
+
+  // Multi-tenant QoS ---------------------------------------------------
+  // Tenant this client's ops belong to. 0 (the untenanted default) stamps
+  // no tags and consults no buckets — byte streams stay identical to a
+  // tenancy-free build. A non-zero tenant stamps kTagTenant on mutations
+  // and RPC GET fallbacks (policed backend-side) and polices its own
+  // one-sided reads with token buckets provisioned from the TenantRegistry
+  // fetched alongside the cell view (backends cannot see RMA reads).
+  uint32_t tenant = 0;
 };
 
 struct GetResult {
@@ -136,6 +146,9 @@ struct ClientStats {
   int64_t hedged_reads = 0;     // secondary data fetches issued
   int64_t hedge_wins = 0;       // GETs resolved by the hedge, not the primary
   int64_t slow_ejections = 0;   // replicas dropped from a fan-out as outliers
+  // Multi-tenant QoS observability (RMA plane, client-side policing).
+  int64_t tenant_shed = 0;       // GETs shed by the client's own buckets
+  int64_t tenant_rma_bytes = 0;  // value bytes debited against the quota
   // Client-library CPU attribution (Figs 6b/7): time charged to the host CPU
   // issuing RMA ops and validating responses.
   int64_t issue_cpu_ns = 0;
@@ -192,6 +205,7 @@ class Client {
   // snapshot (or this accessor) to observe, never to poke.
   const ClientStats& stats() const { return stats_; }
   net::HostId host() const { return host_; }
+  const ClientConfig& config() const { return config_; }
   const CellView& view() const { return view_; }
   sim::Simulator& simulator() { return sim_; }
   net::Fabric& fabric() { return fabric_; }
@@ -283,6 +297,14 @@ class Client {
   CellView view_;
   bool view_valid_ = false;
   bool refresh_in_flight_ = false;
+  // RMA-plane policing (provisioned from the distributed TenantRegistry on
+  // RefreshConfig; only consulted when config_.tenant != 0 and the registry
+  // quotas this tenant).
+  TokenBucket tenant_reads_bucket_;
+  TokenBucket tenant_bytes_bucket_;
+  bool tenant_limited_ = false;
+  bool tenant_provisioned_ = false;
+  uint32_t tenant_registry_version_ = 0;
   std::vector<Conn> conns_;
   uint32_t seq_ = 0;
 

@@ -101,7 +101,18 @@ ConfigService::ConfigService(rpc::RpcNetwork& network, net::HostId host)
   server_.RegisterMethod(
       proto::kMethodGetCellView,
       [this](ByteSpan) -> sim::Task<StatusOr<Bytes>> {
-        co_return EncodeCellView(view_);
+        Bytes out = EncodeCellView(view_);
+        if (!tenants_.empty()) {
+          // Readers skip unknown tags, so the registry can ride along
+          // without breaking older decoders; untenanted cells append
+          // nothing and keep byte-identical responses.
+          rpc::WireWriter w;
+          const Bytes reg = EncodeTenantRegistry(tenants_);
+          w.PutBytes(proto::kTagTenantRegistry, reg);
+          const Bytes tail = std::move(w).Take();
+          out.insert(out.end(), tail.begin(), tail.end());
+        }
+        co_return out;
       });
   server_.RegisterMethod(proto::kMethodHeartbeat,
                          [this](ByteSpan req) -> sim::Task<StatusOr<Bytes>> {

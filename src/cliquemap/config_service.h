@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cliquemap/proto.h"
+#include "cliquemap/tenancy.h"
 #include "cliquemap/types.h"
 #include "common/metrics.h"
 #include "rpc/rpc.h"
@@ -77,6 +78,13 @@ class ConfigService {
   // prev_* fields cleared; bumps the generation again.
   void CommitTransition(CellView committed);
 
+  // Multi-tenant QoS: the registry is distributed to clients and backends
+  // alongside the cell view (it rides in the GetCellView response under
+  // kTagTenantRegistry — only when non-empty, so untenanted cells keep
+  // byte-identical responses).
+  void SetTenantRegistry(TenantRegistry reg) { tenants_ = std::move(reg); }
+  const TenantRegistry& tenants() const { return tenants_; }
+
   const CellView& view() const { return view_; }
   uint32_t generation() const { return view_.generation; }
   bool in_transition() const { return view_.transition; }
@@ -111,6 +119,7 @@ class ConfigService {
   rpc::RpcServer server_;
   sim::Simulator& sim_;
   CellView view_;
+  TenantRegistry tenants_;
   std::unordered_map<uint32_t, uint32_t> next_config_id_by_shard_;
   std::unordered_map<net::HostId, Lease> leases_;
   sim::Duration lease_duration_ = sim::Milliseconds(100);

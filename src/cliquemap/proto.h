@@ -84,6 +84,13 @@ enum Tag : uint16_t {
   kTagHeartbeatShard = 51,
   kTagLeaseNs = 52,            // granted lease duration (response)
   kTagMembershipEpoch = 53,
+
+  // Multi-tenant QoS. Dataplane ops carry kTagTenant only when the issuing
+  // client belongs to a non-default tenant, so untenanted byte streams are
+  // unchanged. The encoded TenantRegistry rides in the GetCellView response
+  // when the cell has tenants configured.
+  kTagTenant = 60,          // u32 tenant id (absent / 0 = untenanted)
+  kTagTenantRegistry = 61,  // bytes: EncodeTenantRegistry blob
 };
 
 inline void PutVersion(rpc::WireWriter& w, const VersionNumber& v,

@@ -24,6 +24,19 @@ std::optional<Kind> KindFromName(const std::string& s) {
   return std::nullopt;
 }
 
+// Label values are free-form (e.g. tenant display names) and may contain
+// the rendering's own structural characters. Backslash-escape them so the
+// rendered name parses unambiguously and distinct label sets can never
+// collide on one rendered string.
+void AppendEscapedLabelValue(std::string& out, std::string_view value) {
+  for (char c : value) {
+    if (c == '\\' || c == '=' || c == ',' || c == '{' || c == '}') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+}
+
 }  // namespace
 
 std::string RenderName(std::string_view base, const Labels& labels) {
@@ -36,7 +49,7 @@ std::string RenderName(std::string_view base, const Labels& labels) {
     if (i) out.push_back(',');
     out += sorted[i].first;
     out.push_back('=');
-    out += sorted[i].second;
+    AppendEscapedLabelValue(out, sorted[i].second);
   }
   out.push_back('}');
   return out;

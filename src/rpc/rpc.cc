@@ -88,14 +88,18 @@ sim::Task<StatusOr<Bytes>> RpcChannel::Call(std::string method, Bytes request,
   server->total_bytes_ += req_fate.duplicate ? 2 * req_bytes : req_bytes;
 
   // Server framework: dispatch, auth verification, unmarshal + marshal.
-  co_await fabric.host(server_host_).cpu().Run(costs_.server_framework_cpu);
+  // Charged from the server's own cost model — the serving process decides
+  // how expensive its dispatch path is, not the caller's stub.
+  co_await fabric.host(server_host_).cpu().Run(
+      server->costs().server_framework_cpu);
   StatusOr<Bytes> response =
       co_await server->Dispatch(client_host_, method, request);
   if (req_fate.duplicate) {
     // At-least-once delivery: the duplicated request is dispatched too and
     // its result discarded. Version-gated mutations make the second apply a
     // no-op; the server still pays the CPU.
-    co_await fabric.host(server_host_).cpu().Run(costs_.server_framework_cpu);
+    co_await fabric.host(server_host_).cpu().Run(
+        server->costs().server_framework_cpu);
     StatusOr<Bytes> dup = co_await server->Dispatch(client_host_, method,
                                                     request);
     (void)dup;

@@ -98,6 +98,11 @@ class RpcServer {
 
   net::HostId host() const { return host_; }
 
+  // The server's own cost model. Channels charge the server-side framework
+  // cost from here — the serving process, not the caller's stub, decides
+  // how expensive its dispatch path is.
+  const RpcCostModel& costs() const { return costs_; }
+
   // A "down" server silently drops requests (crash semantics); clients see
   // connect timeouts. Used by the unplanned-maintenance experiments.
   void SetDown(bool down) { down_ = down; }

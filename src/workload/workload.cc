@@ -120,6 +120,71 @@ WorkloadProfile WorkloadProfile::Uniform(uint64_t keys, uint32_t value_bytes,
   return p;
 }
 
+WorkloadProfile WorkloadProfile::Aggressor(uint32_t tenant) {
+  WorkloadProfile p;
+  p.name = "aggr" + std::to_string(tenant);
+  p.num_keys = 4000;
+  p.zipf_theta = 0.5;
+  p.sizes = SizeDistribution::Fixed(1024);
+  p.batches = BatchDistribution::Single();
+  p.get_fraction = 0.10;  // SET flood: every op lands on the RPC plane
+  p.tenant = tenant;
+  return p;
+}
+
+WorkloadProfile WorkloadProfile::DiurnalVictim(uint32_t tenant) {
+  WorkloadProfile p;
+  p.name = "victim" + std::to_string(tenant);
+  p.num_keys = 8000;
+  p.zipf_theta = 0.99;
+  p.sizes = SizeDistribution::Fixed(256);
+  p.batches = BatchDistribution::Single();
+  p.get_fraction = 0.95;  // latency-sensitive read path
+  p.tenant = tenant;
+  p.diurnal_peak_to_trough = 3.0;  // Geo-like daily swing (Fig 9)
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Op-stream generation
+// ---------------------------------------------------------------------------
+
+std::vector<OpRecord> GenerateOpStream(const std::vector<TenantMix>& mix,
+                                       sim::Duration duration, uint64_t seed) {
+  std::vector<OpRecord> stream;
+  for (size_t i = 0; i < mix.size(); ++i) {
+    const WorkloadProfile& p = mix[i].profile;
+    // Per-entry forked RNG: adding a tenant to the mix never perturbs the
+    // streams of the tenants already there.
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (i + 1)));
+    ZipfSampler zipf(p.num_keys, p.zipf_theta);
+    DiurnalRate diurnal(std::max(1.0, p.diurnal_peak_to_trough));
+    sim::Time t = 0;
+    while (true) {
+      const double mult =
+          p.diurnal_peak_to_trough > 1.0 ? diurnal.MultiplierAt(t) : 1.0;
+      const double rate = std::max(mix[i].qps * mult, 1e-6);
+      t += std::max<sim::Duration>(
+          static_cast<sim::Duration>(rng.NextExp(1e9 / rate)), 1);
+      if (t >= duration) break;
+      OpRecord op;
+      op.at = t;
+      op.tenant = p.tenant;
+      op.key_idx = zipf.Sample(rng);
+      op.is_get = rng.NextBool(p.get_fraction);
+      if (!op.is_get) op.value_bytes = p.sizes.Sample(rng);
+      stream.push_back(op);
+    }
+  }
+  // Stable merge: ties resolve by mix order, so the result is reproducible
+  // across platforms regardless of sort implementation.
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const OpRecord& a, const OpRecord& b) {
+                     return a.at < b.at;
+                   });
+  return stream;
+}
+
 // ---------------------------------------------------------------------------
 // LoadDriver
 // ---------------------------------------------------------------------------

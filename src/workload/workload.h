@@ -84,16 +84,46 @@ struct WorkloadProfile {
   SizeDistribution sizes = SizeDistribution::Fixed(64);
   BatchDistribution batches = BatchDistribution::Single();
   double get_fraction = 0.95;
+  // Tenant id stamped on every op this profile generates (0 = untenanted).
+  // Keys are prefixed by name, so distinct tenant profiles never share keys.
+  uint32_t tenant = 0;
+  // Peak-to-trough ratio for profiles that breathe over the day (0 = flat).
+  double diurnal_peak_to_trough = 0;
 
   static WorkloadProfile Ads();
   static WorkloadProfile Geo();
   static WorkloadProfile Uniform(uint64_t keys, uint32_t value_bytes,
                                  double get_fraction);
+  // Multi-tenant QoS experiment roles (DESIGN.md §12): a SET-heavy bully
+  // that floods well past any sane quota, and a GET-heavy in-quota victim
+  // whose daily swing follows DiurnalRate.
+  static WorkloadProfile Aggressor(uint32_t tenant);
+  static WorkloadProfile DiurnalVictim(uint32_t tenant);
 
   std::string KeyName(uint64_t idx) const {
     return name + "/" + std::to_string(idx);
   }
 };
+
+// One pre-materialized op of a tenant mix (open-loop arrival process).
+struct OpRecord {
+  sim::Time at = 0;
+  uint32_t tenant = 0;
+  bool is_get = true;
+  uint64_t key_idx = 0;
+  uint32_t value_bytes = 0;  // SETs only
+};
+
+struct TenantMix {
+  WorkloadProfile profile;
+  double qps = 1000;
+};
+
+// Deterministically materializes the merged arrival stream of a tenant mix:
+// per-entry Poisson arrivals (modulated by the profile's diurnal swing, if
+// any), merged in time order. Same (mix, duration, seed) -> same stream.
+std::vector<OpRecord> GenerateOpStream(const std::vector<TenantMix>& mix,
+                                       sim::Duration duration, uint64_t seed);
 
 // Per-window aggregates emitted by the driver.
 struct WindowStats {

@@ -156,6 +156,38 @@ INSTANTIATE_TEST_SUITE_P(
 // Mode-specific behaviours
 // ---------------------------------------------------------------------------
 
+TEST(CellClients, ExplicitIdsNeverSilentlyCollide) {
+  sim::Simulator sim;
+  Cell cell(sim, SmallCell(ReplicationMode::kR32, TransportKind::kSoftNic));
+  cell.Start();
+
+  ClientConfig explicit3;
+  explicit3.client_id = 3;
+  ASSERT_NE(cell.AddClient(explicit3), nullptr);
+
+  // Auto-assigned clients (default id 1) skip the claimed id.
+  Client* a = cell.AddClient();  // auto: next after the one existing client
+  Client* b = cell.AddClient();  // would be 3 (claimed); must skip to 4
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->config().client_id, 2u);
+  EXPECT_EQ(b->config().client_id, 4u);
+
+  // An explicit duplicate fails loudly instead of silently sharing the id
+  // (shared ids corrupt version-number tie-breaking and metric labels).
+  ClientConfig dup;
+  dup.client_id = 3;
+  EXPECT_EQ(cell.AddClient(dup), nullptr);
+  ClientConfig dup_auto;
+  dup_auto.client_id = 4;
+  EXPECT_EQ(cell.AddClient(dup_auto), nullptr);
+
+  // Ids freed never: the next auto id continues past every claimed one.
+  Client* c = cell.AddClient();
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->config().client_id, 5u);
+}
+
 TEST(CellCas, CasAppliesOnlyOnVersionMatch) {
   sim::Simulator sim;
   Cell cell(sim, SmallCell(ReplicationMode::kR32, TransportKind::kSoftNic));

@@ -19,6 +19,41 @@ TEST(RenderName, LabelsSortByKeyAndRenderStably) {
   EXPECT_EQ(RenderName("cm.x", {{"b", "2"}, {"a", "1"}}), "cm.x{a=1,b=2}");
 }
 
+TEST(RenderName, StructuralCharactersInLabelValuesEscape) {
+  // Free-form label values (e.g. tenant display names) must not corrupt the
+  // rendered cm.x{k=v} grammar.
+  EXPECT_EQ(RenderName("cm.x", {{"tenant", "a=b"}}), "cm.x{tenant=a\\=b}");
+  EXPECT_EQ(RenderName("cm.x", {{"tenant", "a,b"}}), "cm.x{tenant=a\\,b}");
+  EXPECT_EQ(RenderName("cm.x", {{"tenant", "a}b"}}), "cm.x{tenant=a\\}b}");
+  EXPECT_EQ(RenderName("cm.x", {{"tenant", "a\\b"}}), "cm.x{tenant=a\\\\b}");
+}
+
+TEST(RenderName, MaliciousValuesNeverCollide) {
+  // Pre-escaping, {"a", "1,b=2"} rendered identically to {{"a","1"},{"b","2"}}.
+  EXPECT_NE(RenderName("cm.x", {{"a", "1,b=2"}}),
+            RenderName("cm.x", {{"a", "1"}, {"b", "2"}}));
+  EXPECT_NE(RenderName("cm.x", {{"a", "1}"}}), RenderName("cm.x", {{"a", "1"}}));
+}
+
+TEST(Snapshot, JsonRoundTripsEscapedNames) {
+  Registry r;
+  Counter* shed = r.AddCounter("cm.tenant.shed", {{"tenant", "acme=prod,eu"}});
+  shed->Add(11);
+  Snapshot s = r.TakeSnapshot();
+  const std::string rendered = RenderName("cm.tenant.shed",
+                                          {{"tenant", "acme=prod,eu"}});
+  ASSERT_TRUE(s.Has(rendered));
+  EXPECT_EQ(s.value(rendered), 11);
+
+  const std::string json = s.ToJson();
+  auto back = Snapshot::FromJson(json);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back->Has(rendered));
+  EXPECT_EQ(back->value(rendered), 11);
+  // Byte-stable: re-serializing the decoded snapshot changes nothing.
+  EXPECT_EQ(back->ToJson(), json);
+}
+
 TEST(Registry, HandleReuseReturnsSameInstrument) {
   Registry r;
   Counter* c1 = r.AddCounter("cm.t.ops");

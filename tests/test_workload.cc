@@ -77,6 +77,79 @@ TEST(Profiles, AdsAndGeoAreGetHeavy) {
   EXPECT_GT(WorkloadProfile::Ads().batches.Sample(rng), 0u);
 }
 
+TEST(TenantMix, OpStreamCarriesTenantIdsAndRateShares) {
+  std::vector<TenantMix> mix;
+  mix.push_back({WorkloadProfile::Aggressor(7), 3000});
+  mix.push_back({WorkloadProfile::DiurnalVictim(9), 1000});
+  auto stream = GenerateOpStream(mix, sim::Seconds(20), 0xFEED);
+  ASSERT_FALSE(stream.empty());
+
+  int64_t aggr = 0, victim = 0, aggr_sets = 0, victim_gets = 0;
+  sim::Time prev = 0;
+  for (const auto& op : stream) {
+    EXPECT_GE(op.at, prev);  // time-sorted merge
+    prev = op.at;
+    EXPECT_LT(op.at, sim::Seconds(20));
+    if (op.tenant == 7) {
+      ++aggr;
+      if (!op.is_get) {
+        ++aggr_sets;
+        EXPECT_EQ(op.value_bytes, 1024u);
+      }
+      EXPECT_LT(op.key_idx, WorkloadProfile::Aggressor(7).num_keys);
+    } else {
+      EXPECT_EQ(op.tenant, 9u);
+      ++victim;
+      if (op.is_get) ++victim_gets;
+      EXPECT_LT(op.key_idx, WorkloadProfile::DiurnalVictim(9).num_keys);
+    }
+  }
+  // Rate shares track the configured qps split (3:1), the aggressor is
+  // SET-dominated, and the victim GET-dominated.
+  EXPECT_NEAR(double(aggr) / double(aggr + victim), 0.75, 0.03);
+  EXPECT_GT(double(aggr_sets) / double(aggr), 0.8);
+  EXPECT_GT(double(victim_gets) / double(victim), 0.9);
+}
+
+TEST(TenantMix, OpStreamIsDeterministicAndStablePerEntry) {
+  std::vector<TenantMix> mix;
+  mix.push_back({WorkloadProfile::Aggressor(1), 500});
+  auto a = GenerateOpStream(mix, sim::Seconds(5), 42);
+  auto b = GenerateOpStream(mix, sim::Seconds(5), 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].key_idx, b[i].key_idx);
+    EXPECT_EQ(a[i].is_get, b[i].is_get);
+  }
+  // Appending a second tenant must not perturb the first tenant's stream.
+  mix.push_back({WorkloadProfile::DiurnalVictim(2), 500});
+  auto c = GenerateOpStream(mix, sim::Seconds(5), 42);
+  std::vector<OpRecord> only_t1;
+  for (const auto& op : c) {
+    if (op.tenant == 1) only_t1.push_back(op);
+  }
+  ASSERT_EQ(only_t1.size(), a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(only_t1[i].at, a[i].at);
+    EXPECT_EQ(only_t1[i].key_idx, a[i].key_idx);
+  }
+}
+
+TEST(TenantMix, DiurnalVictimBreathesOverTheDay) {
+  std::vector<TenantMix> mix;
+  mix.push_back({WorkloadProfile::DiurnalVictim(3), 2});
+  // One simulated day: the sine peaks at 6h and troughs at 18h, so compare
+  // the 6h windows centered on each.
+  auto stream = GenerateOpStream(mix, sim::kHour * 24, 7);
+  int64_t peak_window = 0, trough_window = 0;
+  for (const auto& op : stream) {
+    if (op.at >= sim::kHour * 3 && op.at < sim::kHour * 9) ++peak_window;
+    if (op.at >= sim::kHour * 15 && op.at < sim::kHour * 21) ++trough_window;
+  }
+  EXPECT_GT(peak_window, 2 * trough_window);
+}
+
 TEST(LoadDriver, DrivesTrafficAndRecordsWindows) {
   sim::Simulator sim;
   cliquemap::CellOptions o;
