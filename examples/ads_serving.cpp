@@ -71,10 +71,10 @@ int main() {
       keys.push_back("topic/" + std::to_string(zipf.Sample(rng)));
     }
     const sim::Time start = sim.now();
-    auto results = Run(sim, client->MultiGet(std::move(keys)));
+    auto batch_result = Run(sim, client->MultiGet(std::move(keys)));
     const sim::Duration took = sim.now() - start;
     batch_latency.Record(took);
-    for (const auto& r : results) {
+    for (const auto& r : batch_result.results) {
       if (r.ok()) ++fetched;
     }
     (took <= kAuctionDeadline ? on_time : late)++;

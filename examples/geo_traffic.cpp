@@ -83,9 +83,9 @@ int main() {
         keys.push_back("segment/" + std::to_string(zipf.Sample(rng)));
       }
       const sim::Time start = sim.now();
-      auto results = co_await reader->MultiGet(std::move(keys));
+      auto batch_result = co_await reader->MultiGet(std::move(keys));
       latency->Record(sim.now() - start);
-      for (const auto& r : results) {
+      for (const auto& r : batch_result.results) {
         ++lookups;
         if (r.ok()) ++hits;
       }

@@ -24,6 +24,9 @@ echo "== observability: metrics/trace suite =="
 echo "== multi-tenant QoS: tenancy suite =="
 (cd build && ctest --output-on-failure -L tenancy)
 
+echo "== batched MultiGet: batch suite =="
+(cd build && ctest --output-on-failure -L batch)
+
 echo "== observability: bench --json emits valid cm.bench.v1 =="
 JQ=/usr/bin/jq
 for bench in bench_micro bench_fig07_cpu_per_op; do
@@ -52,6 +55,13 @@ echo "== perf gate: tenant isolation scalars vs baseline =="
 # cost-model shaped and drift with unrelated tuning.
 scripts/perf_gate.sh 'tenant_isolation:^(victim\.p99_degradation_ratio|fairness\.share_err_floor)$'
 
+echo "== perf gate: batched MultiGet scalars vs baseline =="
+# Gates the two batching outcomes (both lower-is-better): the batched/naive
+# p99 ratio (must stay well under 1) and RMA ops per requested key (the
+# coalescing win). The bench's workload-shaped w*.p99 figures are too noisy
+# to gate; the entries-per-op coalesce ratio is informational only.
+scripts/perf_gate.sh 'fig08_ads:^batchcmp\.(batched_over_naive_p99|rma_ops_per_key_batched)$'
+
 if [[ "$FAST" == "1" ]]; then
   echo "== done (fast mode: sanitizer stage skipped) =="
   exit 0
@@ -61,7 +71,7 @@ echo "== sanitizer (ASan/UBSan): build =="
 cmake -B build-asan -S . -DCM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j
 
-echo "== sanitizer: chaos + resharding + health + tenancy labels =="
-(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L 'chaos|resharding|health|tenancy')
+echo "== sanitizer: chaos + resharding + health + tenancy + batch labels =="
+(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L 'chaos|resharding|health|tenancy|batch')
 
 echo "== all checks passed =="

@@ -80,6 +80,9 @@ struct BackendStats {
   int64_t cas_applied = 0;
   int64_t cas_failed = 0;
   int64_t rpc_gets = 0;
+  // Batched RPC fallback (MultiGet): calls served and keys they carried.
+  int64_t rpc_multigets = 0;
+  int64_t rpc_multiget_keys = 0;
   int64_t touches_ingested = 0;
   int64_t evictions_capacity = 0;
   int64_t evictions_assoc = 0;
@@ -243,7 +246,17 @@ class Backend {
   sim::Task<StatusOr<Bytes>> HandleErase(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleCas(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleGet(ByteSpan req);
+  sim::Task<StatusOr<Bytes>> HandleMultiGet(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleTouch(ByteSpan req);
+
+  // Shared core of the RPC read paths: index lookup, data decode, overflow
+  // fallback. Pure local computation — callers charge CPU and do admission.
+  struct LocalLookup {
+    Status status = OkStatus();  // NotFound / Aborted on the usual races
+    Bytes value;
+    VersionNumber version;
+  };
+  LocalLookup LookupLocal(const std::string& key);
   sim::Task<StatusOr<Bytes>> HandleInfo(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandlePing(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleRepairPull(ByteSpan req);

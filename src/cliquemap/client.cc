@@ -1,6 +1,7 @@
 #include "cliquemap/client.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "cliquemap/compress.h"
 
@@ -64,6 +65,25 @@ Client::Client(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
     exports_.ExportCounter("cm.tenant.rma_bytes", tl,
                            &stats_.tenant_rma_bytes);
   }
+  exports_.ExportCounter("cm.client.multigets", l, &stats_.multigets);
+  exports_.ExportCounter("cm.client.batch.keys", l, &stats_.batch_keys);
+  exports_.ExportCounter("cm.client.batch.vector_ops", l,
+                         &stats_.batch_vector_ops);
+  exports_.ExportCounter("cm.client.batch.vector_entries", l,
+                         &stats_.batch_vector_entries);
+  exports_.ExportCounter("cm.client.batch.rpc_fallbacks", l,
+                         &stats_.batch_rpc_fallbacks);
+  exports_.ExportCounter("cm.client.batch.slowpath_keys", l,
+                         &stats_.batch_slowpath_keys);
+  exports_.ExportCounter("cm.client.batch.inflight_waits", l,
+                         &stats_.batch_inflight_waits);
+  // Keys served per vectored RMA op — the amortization factor. ≥2 means the
+  // batched pipeline issues at least 2x fewer ops than a naive fan-out.
+  exports_.ExportGauge("cm.client.batch.coalesce_ratio", l, [this] {
+    return stats_.batch_vector_ops > 0
+               ? stats_.batch_vector_entries / stats_.batch_vector_ops
+               : 0;
+  });
   exports_.ExportCounter("cm.client.issue_cpu_ns", l, &stats_.issue_cpu_ns);
   exports_.ExportCounter("cm.client.validate_cpu_ns", l,
                          &stats_.validate_cpu_ns);
@@ -227,16 +247,29 @@ void Client::NoteReplicaFailure(uint32_t shard) {
 // GET
 // ---------------------------------------------------------------------------
 
-sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
+Client::OpContext Client::MakeContext(const GetOptions& opts,
+                                      trace::SpanId span) const {
+  OpContext ctx;
+  ctx.op_deadline = opts.deadline > 0 ? opts.deadline : config_.op_deadline;
+  ctx.deadline_at = sim_.now() + ctx.op_deadline;
+  ctx.span = span;
+  ctx.strategy = opts.strategy.value_or(config_.strategy);
+  ctx.hedge = opts.hedge_reads.value_or(config_.hedge_reads);
+  ctx.tenant = opts.tenant != 0 ? opts.tenant : config_.tenant;
+  return ctx;
+}
+
+sim::Task<StatusOr<GetResult>> Client::Get(std::string key, GetOptions opts) {
   const sim::Time start = sim_.now();
-  const sim::Time deadline_at = start + config_.op_deadline;
+  OpContext ctx = MakeContext(opts, trace::kNoSpan);
   ++stats_.gets;
   // RMA-plane policing: one-sided reads bypass the backend CPU, so the
   // quota is enforced here, before any fabric traffic. The bytes bucket is
   // post-paid (the value size is unknown until the read lands), so a
   // tenant in byte-debt sheds until the bucket refills. Never silent:
-  // RESOURCE_EXHAUSTED + cm.tenant.shed.
-  if (tenant_limited_) {
+  // RESOURCE_EXHAUSTED + cm.tenant.shed. The client's buckets police its
+  // own tenant only; an override tenant is attributed backend-side.
+  if (tenant_limited_ && ctx.tenant == config_.tenant) {
     const sim::Time now = sim_.now();
     if (!tenant_reads_bucket_.TryAcquire(now, 1.0) ||
         tenant_bytes_bucket_.available(now) < 0) {
@@ -244,9 +277,9 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
       co_return ResourceExhaustedError("tenant rma quota exceeded");
     }
   }
-  const Hash128 hash = config_.hash_fn(key);
+  ctx.hash = config_.hash_fn(key);
   trace::Tracer& tracer = fabric_.tracer();
-  const trace::SpanId span = tracer.BeginRoot("get", host_);
+  ctx.span = tracer.BeginRoot("get", host_);
 
   StatusOr<GetResult> result = DeadlineExceededError("retries exhausted");
   int attempt = 0;
@@ -260,14 +293,14 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
       }
     }
     const uint32_t gen_at_attempt = view_.generation;
-    result = co_await GetOnce(key, hash, deadline_at, span);
+    result = co_await GetOnce(key, ctx);
     if (result.ok()) break;
     if (result.status().code() == StatusCode::kNotFound) {
       // Dual-version window: a miss under the new topology may just be a
       // record that hasn't streamed over from its previous owner yet —
       // both generations answer reads while the window is open.
       if (config_.prev_fallback && view_valid_ && view_.transition) {
-        auto prev = co_await PrevWindowGet(key, hash, deadline_at, span);
+        auto prev = co_await PrevWindowGet(key, ctx);
         if (prev.ok()) {
           ++stats_.prev_window_gets;
           result = std::move(prev);
@@ -279,12 +312,12 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
       // longer hold the key. Re-read under the fresh view instead of
       // reporting a miss.
       if (view_valid_ && view_.generation != gen_at_attempt &&
-          sim_.now() < deadline_at) {
+          sim_.now() < ctx.deadline_at) {
         continue;
       }
       break;
     }
-    if (sim_.now() >= deadline_at) {
+    if (sim_.now() >= ctx.deadline_at) {
       result = DeadlineExceededError("get deadline exceeded");
       break;
     }
@@ -305,7 +338,7 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
         config_.retry_backoff_base << std::min(attempt, 10));
     sim::Duration sleep = static_cast<sim::Duration>(
         rng_.NextDouble() * double(cap));
-    sleep = std::min<sim::Duration>(sleep, deadline_at - sim_.now());
+    sleep = std::min<sim::Duration>(sleep, ctx.deadline_at - sim_.now());
     if (sleep > 0) {
       ++stats_.backoff_events;
       stats_.backoff_ns.Record(sleep);
@@ -327,7 +360,7 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
   // all mean the same thing — the new owners cannot answer yet.
   if (!result.ok() && config_.prev_fallback && view_valid_ &&
       view_.transition) {
-    auto prev = co_await PrevWindowGet(key, hash, deadline_at, span);
+    auto prev = co_await PrevWindowGet(key, ctx);
     if (prev.ok()) {
       ++stats_.prev_window_gets;
       result = std::move(prev);
@@ -353,18 +386,18 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
     result = NotFoundError("inquorate (degraded dirty quorum; miss)");
   }
 
-  if (tenant_limited_ && result.ok()) {
+  if (tenant_limited_ && ctx.tenant == config_.tenant && result.ok()) {
     const int64_t bytes = int64_t(result->value.size());
     stats_.tenant_rma_bytes += bytes;
     tenant_bytes_bucket_.Debit(sim_.now(), double(bytes));
   }
 
   stats_.get_latency_ns.Record(sim_.now() - start);
-  tracer.End(span, result.ok() ? 1 : 0);
+  tracer.End(ctx.span, result.ok() ? 1 : 0);
   if (result.ok()) {
     ++stats_.hits;
-    const uint32_t primary = PrimaryShard(hash, view_.num_shards());
-    RecordTouch(hash, primary);
+    const uint32_t primary = PrimaryShard(ctx.hash, view_.num_shards());
+    RecordTouch(ctx.hash, primary);
   } else if (result.status().code() == StatusCode::kNotFound) {
     ++stats_.misses;
   } else {
@@ -373,45 +406,656 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key) {
   co_return result;
 }
 
-sim::Task<std::vector<StatusOr<GetResult>>> Client::MultiGet(
-    std::vector<std::string> keys) {
-  auto results = std::make_shared<std::vector<StatusOr<GetResult>>>();
-  results->reserve(keys.size());
+sim::Task<MultiGetResult> Client::MultiGet(std::vector<std::string> keys,
+                                           GetOptions opts) {
+  MultiGetResult out;
+  if (keys.empty()) co_return out;  // no ops, no traffic, no counters
+  ++stats_.multigets;
+  out.results.reserve(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
-    results->emplace_back(InternalError("unresolved"));
+    out.results.emplace_back(InternalError("unresolved"));
   }
+
+  if (!view_valid_) (void)co_await RefreshConfig();
+
+  // The coalesced pipeline needs a stable RMA view of the cell; anything
+  // else (RPC strategy, no transport, resharding window, single key) takes
+  // the naive concurrent fan-out, which is also the correctness baseline.
+  const bool want_batch = opts.batch.value_or(config_.batch_multiget);
+  const LookupStrategy strategy = opts.strategy.value_or(config_.strategy);
+  const bool can_batch = want_batch && keys.size() > 1 &&
+                         transport_ != nullptr &&
+                         strategy != LookupStrategy::kRpc && view_valid_ &&
+                         !view_.transition && view_.num_shards() > 0;
+
+  if (can_batch) {
+    // Duplicate keys map onto their first occurrence: every slot gets its
+    // own result, but each distinct key is looked up exactly once.
+    std::vector<size_t> unique(keys.size());
+    {
+      std::unordered_map<std::string_view, size_t> first;
+      first.reserve(keys.size());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        auto [it, inserted] = first.emplace(keys[i], i);
+        unique[i] = it->second;
+      }
+    }
+    trace::Tracer& tracer = fabric_.tracer();
+    const trace::SpanId span = tracer.BeginRoot("multiget", host_);
+    OpContext ctx = MakeContext(opts, span);
+    co_await MultiGetBatched(keys, unique, opts, ctx, &out);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (unique[i] != i) out.results[i] = out.results[unique[i]];
+    }
+    tracer.End(span, static_cast<int64_t>(keys.size()));
+    co_return out;
+  }
+
+  // Naive fan-out: one independent Get per slot (duplicates included, as a
+  // loop of Gets would behave).
   std::vector<sim::Task<void>> tasks;
   tasks.reserve(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
-    tasks.push_back([](Client* self, std::string key, size_t slot,
-                       std::shared_ptr<std::vector<StatusOr<GetResult>>>
-                           out) -> sim::Task<void> {
-      (*out)[slot] = co_await self->Get(std::move(key));
-    }(this, keys[i], i, results));
+    tasks.push_back([](Client* self, std::string key, GetOptions opts,
+                       StatusOr<GetResult>* slot) -> sim::Task<void> {
+      *slot = co_await self->Get(std::move(key), opts);
+    }(this, keys[i], opts, &out.results[i]));
   }
   co_await sim::JoinAll(sim_, std::move(tasks));
-  co_return *std::move(results);
+  co_return out;
+}
+
+sim::Task<void> Client::MultiGetBatched(const std::vector<std::string>& keys,
+                                        const std::vector<size_t>& unique,
+                                        GetOptions opts, OpContext ctx,
+                                        MultiGetResult* out) {
+  const sim::Time start = sim_.now();
+  out->stats.batched = true;
+
+  std::vector<size_t> slots;  // unique result slots, in input order
+  slots.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (unique[i] == i) slots.push_back(i);
+  }
+  stats_.batch_keys += static_cast<int64_t>(slots.size());
+
+  // RMA-plane policing: one read-token acquire for the whole batch. Bytes
+  // are post-paid once, below; keys that bounce to the single-key slowpath
+  // pay that path's own toll (their retry really is another read).
+  if (tenant_limited_ && ctx.tenant == config_.tenant) {
+    const sim::Time now = sim_.now();
+    if (!tenant_reads_bucket_.TryAcquire(now, double(slots.size())) ||
+        tenant_bytes_bucket_.available(now) < 0) {
+      stats_.tenant_shed += static_cast<int64_t>(slots.size());
+      for (size_t slot : slots) {
+        out->results[slot] = ResourceExhaustedError("tenant rma quota exceeded");
+      }
+      co_return;
+    }
+  }
+
+  const uint32_t n = view_.num_shards();
+  const int replicas = ReplicaCount(view_.mode);
+  const int quorum = QuorumSize(view_.mode);
+  bool use_scar;
+  if (ctx.strategy == LookupStrategy::kScar) {
+    use_scar = true;
+  } else if (ctx.strategy == LookupStrategy::kTwoR) {
+    use_scar = false;
+  } else {
+    use_scar = transport_->SupportsScar();
+  }
+
+  // Per-key pipeline state. A key leaves the pipeline as kDone (batch
+  // resolved it) or kSlow (bounced to the single-key retry path, which owns
+  // every hard case: torn reads, inquorate votes, deadline, prev-window).
+  enum class Phase { kIndex, kData, kRpc, kSlow, kDone };
+  struct VersionTally {
+    VersionNumber version;
+    int count = 0;
+    IndexVote vote;  // first vote carrying this version
+  };
+  struct KeyState {
+    size_t slot = 0;
+    Hash128 hash{};
+    std::vector<uint32_t> targets;
+    std::vector<VersionTally> tallies;
+    int absence = 0;
+    bool overflow = false;
+    int failures = 0;
+    Phase phase = Phase::kIndex;
+    IndexVote chosen;  // quorumed vote (data pointer / SCAR payload)
+  };
+  std::vector<KeyState> ks;
+  ks.reserve(slots.size());
+
+  // Replica selection per key: GetOnce's policy (skip backed-off replicas;
+  // immutable R=2 consults one), minus outlier ejection — a shared vector
+  // op cannot eject per-key.
+  for (size_t slot : slots) {
+    KeyState k;
+    k.slot = slot;
+    k.hash = config_.hash_fn(keys[slot]);
+    const uint32_t primary = PrimaryShard(k.hash, n);
+    for (int r = 0; r < replicas; ++r) {
+      const uint32_t shard = ReplicaShard(primary, r, n);
+      if (conns_.size() <= shard) conns_.resize(n);
+      if (conns_[shard].dead_until > sim_.now()) continue;
+      k.targets.push_back(shard);
+    }
+    if (view_.mode == ReplicationMode::kR2Immutable && k.targets.size() > 1) {
+      std::vector<uint32_t> healthy;
+      for (uint32_t shard : k.targets) {
+        const Conn& conn = conns_[shard];
+        if (conn.connected || !conn.ever_failed) healthy.push_back(shard);
+      }
+      if (!healthy.empty()) k.targets = std::move(healthy);
+      k.targets = {k.targets[config_.client_id % k.targets.size()]};
+    }
+    if (static_cast<int>(k.targets.size()) < quorum) k.phase = Phase::kSlow;
+    ks.push_back(std::move(k));
+  }
+
+  // Connect pass: one Info handshake per distinct unconnected shard
+  // (GetOnce's policy — first-time connects inline, reconnects to
+  // ever-failed replicas probed off the serving path).
+  {
+    std::map<uint32_t, bool> shard_ok;  // ordered → deterministic handshakes
+    for (const KeyState& k : ks) {
+      if (k.phase != Phase::kIndex) continue;
+      for (uint32_t shard : k.targets) shard_ok.emplace(shard, false);
+    }
+    for (auto& [shard, ok] : shard_ok) {
+      if (shard >= conns_.size()) continue;  // cell shrank across an await
+      const Conn& conn = conns_[shard];
+      if (conn.connected && conn.config_id == view_.shard_config_ids[shard] &&
+          conn.host == view_.shard_hosts[shard]) {
+        ok = true;
+        continue;
+      }
+      if (conn.ever_failed) {
+        if (!conn.probe_in_flight) {
+          conns_[shard].probe_in_flight = true;
+          sim_.Spawn([](Client* self, uint32_t shard,
+                        std::shared_ptr<bool> alive) -> sim::Task<void> {
+            (void)co_await self->EnsureConnected(shard);
+            if (*alive && shard < self->conns_.size()) {
+              self->conns_[shard].probe_in_flight = false;
+            }
+          }(this, shard, alive_));
+        }
+        continue;
+      }
+      ok = (co_await EnsureConnected(shard)).ok();
+    }
+    for (KeyState& k : ks) {
+      if (k.phase != Phase::kIndex) continue;
+      std::vector<uint32_t> connected;
+      for (uint32_t shard : k.targets) {
+        if (shard_ok[shard]) connected.push_back(shard);
+      }
+      k.targets = std::move(connected);
+      if (static_cast<int>(k.targets.size()) < quorum) k.phase = Phase::kSlow;
+    }
+  }
+
+  // --- Index phase: one vectored op per backend shard, covering every
+  // (key, replica) routed there, issued through the incast gate. ---
+  struct ShardBatch {
+    uint32_t shard = 0;
+    uint32_t ways = 0;
+    Status status;  // whole-vector outcome (lost command/completion)
+    std::vector<StatusOr<BufferView>> buckets;     // 2xR
+    std::vector<StatusOr<rma::ScarResult>> scars;  // SCAR
+  };
+  // (key index in ks, replica ordinal) per shard, in key order.
+  std::map<uint32_t, std::vector<std::pair<size_t, int>>> by_shard;
+  for (size_t i = 0; i < ks.size(); ++i) {
+    if (ks[i].phase != Phase::kIndex) continue;
+    for (size_t r = 0; r < ks[i].targets.size(); ++r) {
+      by_shard[ks[i].targets[r]].push_back({i, static_cast<int>(r)});
+    }
+  }
+  auto index_results = std::make_shared<sim::Channel<ShardBatch>>(sim_);
+  int index_ops = 0;
+  for (const auto& [shard, items] : by_shard) {
+    const Conn conn = conns_[shard];  // copy: conns_ may be invalidated
+    std::vector<rma::ReadVEntry> rentries;
+    std::vector<rma::ScarVEntry> sentries;
+    for (const auto& [ki, replica] : items) {
+      const uint64_t bucket = BucketIndex(ks[ki].hash, conn.num_buckets);
+      const uint64_t offset = bucket * BucketBytes(conn.ways);
+      const auto length = static_cast<uint32_t>(BucketBytes(conn.ways));
+      if (use_scar) {
+        sentries.push_back({conn.index_region, offset, length,
+                            ks[ki].hash.hi, ks[ki].hash.lo});
+      } else {
+        rentries.push_back({conn.index_region, offset, length});
+      }
+    }
+    sim_.Spawn([](Client* self, uint32_t shard, uint32_t ways,
+                  net::HostId target, std::vector<rma::ReadVEntry> rentries,
+                  std::vector<rma::ScarVEntry> sentries, bool use_scar,
+                  trace::SpanId span,
+                  std::shared_ptr<sim::Channel<ShardBatch>> results)
+                   -> sim::Task<void> {
+      co_await self->AcquireIssueSlot(shard);
+      self->stats_.issue_cpu_ns += self->config_.issue_cpu;
+      co_await self->fabric_.host(self->host_).cpu().Run(
+          self->config_.issue_cpu);
+      ShardBatch b;
+      b.shard = shard;
+      b.ways = ways;
+      ++self->stats_.batch_vector_ops;
+      if (use_scar) {
+        self->stats_.batch_vector_entries +=
+            static_cast<int64_t>(sentries.size());
+        auto r = co_await self->transport_->ScanAndReadV(
+            self->host_, target, std::move(sentries), span);
+        if (r.ok()) {
+          b.scars = *std::move(r);
+        } else {
+          b.status = r.status();
+        }
+      } else {
+        self->stats_.batch_vector_entries +=
+            static_cast<int64_t>(rentries.size());
+        auto r = co_await self->transport_->ReadV(
+            self->host_, target, std::move(rentries), span);
+        if (r.ok()) {
+          b.buckets = *std::move(r);
+        } else {
+          b.status = r.status();
+        }
+      }
+      self->ReleaseIssueSlot(shard);
+      results->Send(std::move(b));
+    }(this, shard, conn.ways, conn.host, std::move(rentries),
+      std::move(sentries), use_scar, ctx.span, index_results));
+    ++index_ops;
+  }
+  out->stats.backends_contacted = static_cast<int>(by_shard.size());
+  out->stats.coalesced_reads += index_ops;
+
+  // Apply one replica's vote to its key's quorum state — the same decision
+  // table GetOnce runs, except every dead end routes to kSlow/kRpc instead
+  // of failing an op.
+  auto apply_vote = [&](KeyState& k, IndexVote vote) {
+    if (k.phase != Phase::kIndex) return;
+    if (!vote.status.ok()) {
+      ++k.failures;
+      const StatusCode code = vote.status.code();
+      if (code == StatusCode::kPermissionDenied) {
+        ++stats_.window_errors;
+        if (vote.shard < conns_.size()) {
+          conns_[vote.shard].connected = false;  // re-handshake next attempt
+        }
+      } else if (code == StatusCode::kUnavailable ||
+                 code == StatusCode::kUnimplemented) {
+        NoteReplicaFailure(vote.shard);
+      } else if (code == StatusCode::kDeadlineExceeded) {
+        ++stats_.op_timeouts;
+      }
+      if (static_cast<int>(k.targets.size()) - k.failures < quorum) {
+        k.phase = Phase::kSlow;  // quorum impossible this round
+      }
+      return;
+    }
+    if (!vote.has_entry) {
+      ++k.absence;
+      k.overflow |= vote.overflow;
+      if (k.absence >= quorum) {
+        if (k.overflow && config_.follow_overflow_fallback) {
+          k.phase = Phase::kRpc;  // bucket overflow: RPC-servable (§4.2)
+        } else {
+          out->results[k.slot] = NotFoundError("absence quorum");
+          k.phase = Phase::kDone;
+        }
+      }
+      return;
+    }
+    VersionTally* vt = nullptr;
+    for (auto& t : k.tallies) {
+      if (t.version == vote.entry.version) {
+        vt = &t;
+        break;
+      }
+    }
+    if (vt == nullptr) {
+      k.tallies.push_back(VersionTally{vote.entry.version, 0, vote});
+      vt = &k.tallies.back();
+    }
+    ++vt->count;
+    if (vt->count >= quorum) {
+      k.chosen = std::move(vt->vote);
+      k.phase = Phase::kData;
+    }
+  };
+
+  int pending = index_ops;
+  while (pending > 0) {
+    const sim::Duration remaining = ctx.deadline_at - sim_.now();
+    if (remaining <= 0) break;
+    auto b = co_await index_results->RecvFor(remaining);
+    if (!b) break;
+    --pending;
+    // Validation CPU is charged once per vector, not once per key — the
+    // second half of the batching amortization.
+    stats_.validate_cpu_ns += config_.validate_cpu;
+    co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
+    const auto& items = by_shard[b->shard];
+    for (size_t j = 0; j < items.size(); ++j) {
+      KeyState& k = ks[items[j].first];
+      IndexVote vote;
+      vote.replica = items[j].second;
+      vote.shard = b->shard;
+      if (!b->status.ok()) {
+        vote.status = b->status;
+      } else if (use_scar) {
+        if (j >= b->scars.size()) {
+          vote.status = InternalError("short scar vector");
+        } else if (!b->scars[j].ok()) {
+          vote.status = b->scars[j].status();
+        } else {
+          vote.status = DecodeBucketVote(b->scars[j]->bucket, b->shard,
+                                         k.hash, b->ways, &vote);
+          if (vote.status.ok()) vote.scar_data = std::move(b->scars[j]->data);
+        }
+      } else {
+        if (j >= b->buckets.size()) {
+          vote.status = InternalError("short read vector");
+        } else if (!b->buckets[j].ok()) {
+          vote.status = b->buckets[j].status();
+        } else {
+          vote.status = DecodeBucketVote(*b->buckets[j], b->shard, k.hash,
+                                         b->ways, &vote);
+        }
+      }
+      apply_vote(k, std::move(vote));
+    }
+  }
+  for (KeyState& k : ks) {
+    // Deadline, lost vector, or all votes in with no quorum (mixed versions
+    // under churn): the single-key path owns the retry/backoff dance.
+    if (k.phase == Phase::kIndex) k.phase = Phase::kSlow;
+  }
+
+  // --- Data phase. SCAR piggybacked the DataEntry bytes; validate in
+  // place. 2xR issues one more vectored read per backend holding quorumed
+  // pointers. ---
+  if (use_scar) {
+    for (KeyState& k : ks) {
+      if (k.phase != Phase::kData) continue;
+      if (k.chosen.scar_data.empty()) {
+        ++stats_.torn_reads;  // pointer raced an eviction/mutation
+        k.phase = Phase::kSlow;
+        continue;
+      }
+      auto r = ValidateData(k.chosen.scar_data, keys[k.slot], k.hash,
+                            k.chosen.entry.version);
+      if (r.ok() || r.status().code() == StatusCode::kNotFound) {
+        out->results[k.slot] = std::move(r);
+        k.phase = Phase::kDone;
+      } else {
+        k.phase = Phase::kSlow;  // torn read: retry cleanly
+      }
+    }
+  } else {
+    std::map<uint32_t, std::vector<size_t>> data_by_shard;
+    for (size_t i = 0; i < ks.size(); ++i) {
+      if (ks[i].phase == Phase::kData) {
+        data_by_shard[ks[i].chosen.shard].push_back(i);
+      }
+    }
+    auto data_results = std::make_shared<sim::Channel<ShardBatch>>(sim_);
+    int data_ops = 0;
+    for (const auto& [shard, items] : data_by_shard) {
+      if (shard >= conns_.size() || !conns_[shard].connected) {
+        for (size_t i : items) ks[i].phase = Phase::kSlow;
+        continue;
+      }
+      const Conn conn = conns_[shard];
+      std::vector<rma::ReadVEntry> entries;
+      entries.reserve(items.size());
+      for (size_t i : items) {
+        const IndexEntry& e = ks[i].chosen.entry;
+        entries.push_back({e.pointer.region, e.pointer.offset, e.pointer.size});
+      }
+      sim_.Spawn([](Client* self, uint32_t shard, net::HostId target,
+                    std::vector<rma::ReadVEntry> entries, trace::SpanId span,
+                    std::shared_ptr<sim::Channel<ShardBatch>> results)
+                     -> sim::Task<void> {
+        co_await self->AcquireIssueSlot(shard);
+        self->stats_.issue_cpu_ns += self->config_.issue_cpu;
+        co_await self->fabric_.host(self->host_).cpu().Run(
+            self->config_.issue_cpu);
+        ShardBatch b;
+        b.shard = shard;
+        ++self->stats_.batch_vector_ops;
+        self->stats_.batch_vector_entries +=
+            static_cast<int64_t>(entries.size());
+        auto r = co_await self->transport_->ReadV(self->host_, target,
+                                                  std::move(entries), span);
+        if (r.ok()) {
+          b.buckets = *std::move(r);
+        } else {
+          b.status = r.status();
+        }
+        self->ReleaseIssueSlot(shard);
+        results->Send(std::move(b));
+      }(this, shard, conn.host, std::move(entries), ctx.span, data_results));
+      ++data_ops;
+    }
+    out->stats.coalesced_reads += data_ops;
+    int data_pending = data_ops;
+    while (data_pending > 0) {
+      const sim::Duration remaining = ctx.deadline_at - sim_.now();
+      if (remaining <= 0) break;
+      auto b = co_await data_results->RecvFor(remaining);
+      if (!b) break;
+      --data_pending;
+      stats_.validate_cpu_ns += config_.validate_cpu;
+      co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
+      const auto& items = data_by_shard[b->shard];
+      for (size_t j = 0; j < items.size(); ++j) {
+        KeyState& k = ks[items[j]];
+        if (k.phase != Phase::kData) continue;
+        Status slot_status = b->status;
+        if (slot_status.ok()) {
+          if (j >= b->buckets.size()) {
+            slot_status = InternalError("short read vector");
+          } else if (!b->buckets[j].ok()) {
+            slot_status = b->buckets[j].status();
+          }
+        }
+        if (!slot_status.ok()) {
+          if (slot_status.code() == StatusCode::kPermissionDenied) {
+            ++stats_.window_errors;
+            if (b->shard < conns_.size()) {
+              conns_[b->shard].connected = false;
+            }
+          } else if (slot_status.code() == StatusCode::kDeadlineExceeded) {
+            ++stats_.op_timeouts;
+          }
+          k.phase = Phase::kSlow;
+          continue;
+        }
+        auto r = ValidateData(*b->buckets[j], keys[k.slot], k.hash,
+                              k.chosen.entry.version);
+        if (r.ok() || r.status().code() == StatusCode::kNotFound) {
+          out->results[k.slot] = std::move(r);
+          k.phase = Phase::kDone;
+        } else {
+          k.phase = Phase::kSlow;
+        }
+      }
+    }
+    for (KeyState& k : ks) {
+      if (k.phase == Phase::kData) k.phase = Phase::kSlow;
+    }
+  }
+
+  // --- Batched RPC fallback: one MultiGet RPC per backend for keys whose
+  // absence quorum carried the bucket-overflow bit. ---
+  std::map<uint32_t, std::vector<size_t>> rpc_by_shard;
+  for (size_t i = 0; i < ks.size(); ++i) {
+    if (ks[i].phase == Phase::kRpc && !ks[i].targets.empty()) {
+      rpc_by_shard[ks[i].targets[0]].push_back(i);
+    } else if (ks[i].phase == Phase::kRpc) {
+      ks[i].phase = Phase::kSlow;
+    }
+  }
+  for (const auto& [shard, items] : rpc_by_shard) {
+    const sim::Duration remaining = ctx.deadline_at - sim_.now();
+    if (shard >= view_.num_shards() || remaining <= 0) {
+      for (size_t i : items) ks[i].phase = Phase::kSlow;
+      continue;
+    }
+    rpc::WireWriter w;
+    for (size_t i : items) w.PutString(proto::kTagKey, keys[ks[i].slot]);
+    if (ctx.tenant != kDefaultTenant) {
+      w.PutU32(proto::kTagTenant, ctx.tenant);
+    }
+    ++stats_.batch_rpc_fallbacks;
+    ++out->stats.rpc_fallbacks;
+    stats_.rpc_fallback_gets += static_cast<int64_t>(items.size());
+    rpc::RpcChannel ch(rpc_network_, host_, view_.shard_hosts[shard]);
+    auto resp = co_await ch.Call(proto::kMethodMultiGet, std::move(w).Take(),
+                                 remaining, ctx.span);
+    if (!resp.ok()) {
+      for (size_t i : items) ks[i].phase = Phase::kSlow;
+      continue;
+    }
+    rpc::WireReader r(*resp);
+    const size_t m = r.CountBytes(proto::kTagResult);
+    for (size_t j = 0; j < items.size(); ++j) {
+      KeyState& k = ks[items[j]];
+      std::optional<ByteSpan> frame;
+      if (j < m) frame = r.GetBytesAt(proto::kTagResult, j);
+      if (!frame) {
+        k.phase = Phase::kSlow;
+        continue;
+      }
+      rpc::WireReader sub(*frame);
+      const auto code = sub.GetU32(proto::kTagStatusCode)
+                            .value_or(uint32_t(StatusCode::kInternal));
+      if (code == uint32_t(StatusCode::kOk)) {
+        auto value = sub.GetBytes(proto::kTagValue);
+        auto version = proto::GetVersion(sub);
+        if (value && version) {
+          out->results[k.slot] =
+              GetResult{Bytes(value->begin(), value->end()), *version};
+          k.phase = Phase::kDone;
+        } else {
+          k.phase = Phase::kSlow;
+        }
+      } else if (code == uint32_t(StatusCode::kNotFound)) {
+        out->results[k.slot] = NotFoundError("no such key");
+        k.phase = Phase::kDone;
+      } else {
+        k.phase = Phase::kSlow;
+      }
+    }
+  }
+
+  // --- Finalize batch-resolved keys: per-key accounting identical to what
+  // Get() would have recorded, plus one post-paid byte debit. ---
+  int64_t debit_bytes = 0;
+  for (KeyState& k : ks) {
+    if (k.phase != Phase::kDone) continue;
+    ++stats_.gets;
+    StatusOr<GetResult>& r = out->results[k.slot];
+    if (r.ok() && config_.compress_values) {
+      auto raw = DecompressValue(r->value);
+      if (raw.ok()) {
+        r->value = std::move(raw).value();
+      } else {
+        r = raw.status();
+      }
+    }
+    if (r.ok()) {
+      ++stats_.hits;
+      debit_bytes += static_cast<int64_t>(r->value.size());
+      RecordTouch(k.hash, PrimaryShard(k.hash, n));
+    } else if (r.status().code() == StatusCode::kNotFound) {
+      ++stats_.misses;
+    } else {
+      ++stats_.get_errors;
+    }
+    stats_.get_latency_ns.Record(sim_.now() - start);
+  }
+  if (tenant_limited_ && ctx.tenant == config_.tenant && debit_bytes > 0) {
+    stats_.tenant_rma_bytes += debit_bytes;
+    tenant_bytes_bucket_.Debit(sim_.now(), double(debit_bytes));
+  }
+
+  // --- Slowpath: anything the batch could not cleanly resolve retries as
+  // an ordinary single-key Get (same options), concurrently. This is what
+  // guarantees batching never changes observable values/versions: the fast
+  // path only ever answers from quorumed, validated state, and every
+  // ambiguous case replays the reference protocol. ---
+  std::vector<sim::Task<void>> slow_tasks;
+  for (const KeyState& k : ks) {
+    if (k.phase == Phase::kDone) continue;
+    ++stats_.batch_slowpath_keys;
+    ++out->stats.slowpath_keys;
+    slow_tasks.push_back([](Client* self, std::string key, GetOptions opts,
+                            StatusOr<GetResult>* slot) -> sim::Task<void> {
+      *slot = co_await self->Get(std::move(key), opts);
+    }(this, keys[k.slot], opts, &out->results[k.slot]));
+  }
+  if (!slow_tasks.empty()) {
+    co_await sim::JoinAll(sim_, std::move(slow_tasks));
+  }
+}
+
+sim::Task<void> Client::AcquireIssueSlot(uint32_t shard) {
+  IssueGate& gate = issue_gates_[shard];
+  if (!gate.slots) {
+    gate.slots = std::make_shared<sim::Channel<bool>>(sim_);
+    const int cap = std::max(1, config_.batch_max_inflight_per_backend);
+    for (int i = 0; i < cap; ++i) gate.slots->Send(true);
+  }
+  auto slots = gate.slots;  // keep alive across the await
+  if (slots->empty()) ++stats_.batch_inflight_waits;
+  (void)co_await slots->Recv();
+  // Pace consecutive issues toward the same backend: each issue reserves
+  // the next batch_issue_gap-wide slot on the shard's pacing clock.
+  IssueGate& g = issue_gates_[shard];
+  const sim::Time now = sim_.now();
+  if (g.next_issue_at > now) {
+    const sim::Duration wait = g.next_issue_at - now;
+    g.next_issue_at += config_.batch_issue_gap;
+    co_await sim_.Delay(wait);
+  } else {
+    g.next_issue_at = now + config_.batch_issue_gap;
+  }
+}
+
+void Client::ReleaseIssueSlot(uint32_t shard) {
+  auto it = issue_gates_.find(shard);
+  if (it != issue_gates_.end() && it->second.slots) {
+    it->second.slots->Send(true);
+  }
 }
 
 sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
-                                               const Hash128& hash,
-                                               sim::Time deadline_at,
-                                               trace::SpanId span) {
+                                               const OpContext& ctx) {
   const uint32_t n = view_.num_shards();
   if (n == 0) co_return UnavailableError("empty cell");
   const int replicas = ReplicaCount(view_.mode);
   const int quorum = QuorumSize(view_.mode);
-  const uint32_t primary = PrimaryShard(hash, n);
+  const uint32_t primary = PrimaryShard(ctx.hash, n);
 
   // (if/else rather than switch: gcc 12 miscompiles co_await in case
   // blocks; see sim/sync.h.)
-  if (config_.strategy == LookupStrategy::kRpc || transport_ == nullptr) {
-    co_return co_await GetViaRpc(key, primary, deadline_at, span);
+  if (ctx.strategy == LookupStrategy::kRpc || transport_ == nullptr) {
+    co_return co_await GetViaRpc(key, primary, ctx);
   }
   bool use_scar;
-  if (config_.strategy == LookupStrategy::kScar) {
+  if (ctx.strategy == LookupStrategy::kScar) {
     use_scar = true;
-  } else if (config_.strategy == LookupStrategy::kTwoR) {
+  } else if (ctx.strategy == LookupStrategy::kTwoR) {
     use_scar = false;
   } else {
     use_scar = transport_->SupportsScar();
@@ -511,8 +1155,8 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
   // Fan out index fetches; votes arrive in responder order (Fig 4).
   auto votes = std::make_shared<sim::Channel<IndexVote>>(sim_);
   for (size_t i = 0; i < targets.size(); ++i) {
-    sim_.Spawn(FetchIndex(votes, static_cast<int>(i), targets[i], hash,
-                          use_scar, span));
+    sim_.Spawn(FetchIndex(votes, static_cast<int>(i), targets[i], use_scar,
+                          ctx));
   }
 
   struct VersionCount {
@@ -539,7 +1183,7 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
   };
 
   while (received < static_cast<int>(targets.size())) {
-    const sim::Duration remaining = deadline_at - sim_.now();
+    const sim::Duration remaining = ctx.deadline_at - sim_.now();
     if (remaining <= 0) co_return DeadlineExceededError("quorum wait");
     auto maybe_vote = co_await votes->RecvFor(remaining);
     if (!maybe_vote) co_return DeadlineExceededError("quorum wait");
@@ -579,7 +1223,7 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
       if (absence_votes >= quorum) {
         // Miss quorum. The overflow bit may still route us to RPC (§4.2).
         if (absence_overflow && config_.follow_overflow_fallback) {
-          co_return co_await GetViaRpc(key, vote.shard, deadline_at, span);
+          co_return co_await GetViaRpc(key, vote.shard, ctx);
         }
         co_return NotFoundError("absence quorum");
       }
@@ -596,11 +1240,11 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
     if (!use_scar && !speculative_started && preferred->has_entry &&
         vote.replica == preferred->replica) {
       speculative_started = true;
-      sim_.Spawn([](Client* self, std::string key, Hash128 hash,
-                    uint32_t shard, IndexEntry entry, trace::SpanId parent,
+      sim_.Spawn([](Client* self, std::string key, uint32_t shard,
+                    IndexEntry entry, OpContext ctx,
                     sim::OneShot<StatusOr<GetResult>> out) -> sim::Task<void> {
-        out.Set(co_await self->FetchData(key, hash, shard, entry, parent));
-      }(this, key, hash, vote.shard, vote.entry, span, speculative_data));
+        out.Set(co_await self->FetchData(key, shard, entry, ctx));
+      }(this, key, vote.shard, vote.entry, ctx, speculative_data));
     }
 
     if (vc->count >= quorum) {
@@ -618,13 +1262,14 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
         const sim::Time v_start = sim_.now();
         stats_.validate_cpu_ns += config_.validate_cpu;
         co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
-        fabric_.tracer().AddSpan("validate", span, v_start, sim_.now(), host_);
-        co_return ValidateData(source.scar_data, key, hash, v);
+        fabric_.tracer().AddSpan("validate", ctx.span, v_start, sim_.now(),
+                                 host_);
+        co_return ValidateData(source.scar_data, key, ctx.hash, v);
       }
       if (preferred_in_quorum && speculative_started) {
-        const sim::Duration rem = deadline_at - sim_.now();
+        const sim::Duration rem = ctx.deadline_at - sim_.now();
         if (rem <= 0) co_return DeadlineExceededError("data wait");
-        if (config_.hedge_reads && vc->count >= 2) {
+        if (ctx.hedge && vc->count >= 2) {
           // Hedged fetch: give the in-flight speculative read `hedge_delay`
           // to resolve, then race a second fetch against another quorum
           // member through the same OneShot (first Set wins, the loser's
@@ -632,25 +1277,25 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
           auto data = co_await speculative_data.WaitFor(
               std::min(rem, config_.hedge_delay));
           if (data) co_return *std::move(data);
-          const sim::Duration rem2 = deadline_at - sim_.now();
+          const sim::Duration rem2 = ctx.deadline_at - sim_.now();
           if (rem2 <= 0) co_return DeadlineExceededError("data wait");
           ++stats_.hedged_reads;
           const IndexVote& alt = (vc->vote.replica != preferred->replica)
                                      ? vc->vote
                                      : vc->second;
           auto hedge_won = std::make_shared<bool>(false);
-          sim_.Spawn([](Client* self, std::string key, Hash128 hash,
-                        uint32_t shard, IndexEntry entry, trace::SpanId parent,
+          sim_.Spawn([](Client* self, std::string key, uint32_t shard,
+                        IndexEntry entry, OpContext ctx,
                         sim::OneShot<StatusOr<GetResult>> out,
                         std::shared_ptr<bool> won) -> sim::Task<void> {
-            auto r = co_await self->FetchData(key, hash, shard, entry, parent);
+            auto r = co_await self->FetchData(key, shard, entry, ctx);
             // A hedge failure must not poison a primary that may still
             // land; only a successful hedge competes for the slot.
             if (r.ok() && !out.ready()) {
               *won = true;
               out.Set(std::move(r));
             }
-          }(this, key, hash, alt.shard, alt.entry, span, speculative_data,
+          }(this, key, alt.shard, alt.entry, ctx, speculative_data,
             hedge_won));
           auto raced = co_await speculative_data.WaitFor(rem2);
           if (!raced) co_return DeadlineExceededError("data wait");
@@ -663,8 +1308,7 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
       }
       // Preferred not in quorum: fetch from a quorum member instead.
       ++stats_.preferred_mismatch;
-      co_return co_await FetchData(key, hash, vc->vote.shard, vc->vote.entry,
-                                   span);
+      co_return co_await FetchData(key, vc->vote.shard, vc->vote.entry, ctx);
     }
   }
 
@@ -674,15 +1318,45 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
   // If an absence vote carried the bucket-overflow bit, the key may be
   // RPC-servable there even though no RMA quorum formed (§4.2).
   if (absence_overflow && config_.follow_overflow_fallback) {
-    auto via_rpc = co_await GetViaRpc(key, targets[0], deadline_at, span);
+    auto via_rpc = co_await GetViaRpc(key, targets[0], ctx);
     if (via_rpc.ok()) co_return via_rpc;
   }
   co_return AbortedError("inquorate");
 }
 
+// Decodes one bucket read into a vote: short-read guard, config-id fence,
+// overflow bit, and the way scan. Shared by the single-key FetchIndex and
+// the batched index phase (which validates whole vectors of these).
+Status Client::DecodeBucketVote(const BufferView& bucket_bytes, uint32_t shard,
+                                const Hash128& hash, uint32_t ways,
+                                IndexVote* vote) const {
+  if (bucket_bytes.size() < BucketBytes(ways)) {
+    return AbortedError("short bucket read");
+  }
+  const BucketHeader header = DecodeBucketHeader(bucket_bytes);
+  if (shard >= view_.num_shards()) {  // view refreshed across the await
+    return FailedPreconditionError("bucket config id mismatch");
+  }
+  if (header.config_id != view_.shard_config_ids[shard]) {
+    // The serving task changed underneath us (migration/spare, §6.1).
+    return FailedPreconditionError("bucket config id mismatch");
+  }
+  vote->overflow = header.overflow;
+  for (uint32_t w = 0; w < ways; ++w) {
+    IndexEntry e = DecodeIndexEntry(bucket_bytes.span().subspan(
+        kBucketHeaderSize + size_t(w) * kIndexEntrySize));
+    if (e.keyhash == hash && !e.pointer.is_null()) {
+      vote->has_entry = true;
+      vote->entry = e;
+      break;
+    }
+  }
+  return OkStatus();
+}
+
 sim::Task<void> Client::FetchIndex(
     std::shared_ptr<sim::Channel<IndexVote>> votes, int replica,
-    uint32_t shard, Hash128 hash, bool use_scar, trace::SpanId parent) {
+    uint32_t shard, bool use_scar, OpContext ctx) {
   IndexVote vote;
   vote.replica = replica;
   vote.shard = shard;
@@ -696,18 +1370,18 @@ sim::Task<void> Client::FetchIndex(
 
   trace::Tracer& tracer = fabric_.tracer();
   // arg at End: replica index on success, -1 on failure.
-  const trace::SpanId span = tracer.Begin("quorum_fetch", parent, host_);
+  const trace::SpanId span = tracer.Begin("quorum_fetch", ctx.span, host_);
   stats_.issue_cpu_ns += config_.issue_cpu;
   co_await fabric_.host(host_).cpu().Run(config_.issue_cpu);
-  const uint64_t bucket = BucketIndex(hash, conn.num_buckets);
+  const uint64_t bucket = BucketIndex(ctx.hash, conn.num_buckets);
   const uint64_t offset = bucket * BucketBytes(conn.ways);
   const auto length = static_cast<uint32_t>(BucketBytes(conn.ways));
 
   BufferView bucket_bytes;
   if (use_scar) {
-    auto r = co_await transport_->ScanAndRead(host_, conn.host,
-                                              conn.index_region, offset,
-                                              length, hash.hi, hash.lo, span);
+    auto r = co_await transport_->ScanAndRead(
+        host_, conn.host, conn.index_region, offset, length, ctx.hash.hi,
+        ctx.hash.lo, span);
     if (!r.ok()) {
       vote.status = r.status();
       tracer.End(span, -1);
@@ -732,35 +1406,13 @@ sim::Task<void> Client::FetchIndex(
   stats_.validate_cpu_ns += config_.validate_cpu;
   co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
   tracer.AddSpan("validate", span, v_start, sim_.now(), host_);
-  if (bucket_bytes.size() < BucketBytes(conn.ways)) {
-    vote.status = AbortedError("short bucket read");
+  if (Status s =
+          DecodeBucketVote(bucket_bytes, shard, ctx.hash, conn.ways, &vote);
+      !s.ok()) {
+    vote.status = std::move(s);
     tracer.End(span, -1);
     votes->Send(std::move(vote));
     co_return;
-  }
-  const BucketHeader header = DecodeBucketHeader(bucket_bytes);
-  if (shard >= view_.num_shards()) {  // view refreshed across the await
-    vote.status = FailedPreconditionError("bucket config id mismatch");
-    tracer.End(span, -1);
-    votes->Send(std::move(vote));
-    co_return;
-  }
-  if (header.config_id != view_.shard_config_ids[shard]) {
-    // The serving task changed underneath us (migration/spare, §6.1).
-    vote.status = FailedPreconditionError("bucket config id mismatch");
-    tracer.End(span, -1);
-    votes->Send(std::move(vote));
-    co_return;
-  }
-  vote.overflow = header.overflow;
-  for (uint32_t w = 0; w < conn.ways; ++w) {
-    IndexEntry e = DecodeIndexEntry(bucket_bytes.span().subspan(
-        kBucketHeaderSize + size_t(w) * kIndexEntrySize));
-    if (e.keyhash == hash && !e.pointer.is_null()) {
-      vote.has_entry = true;
-      vote.entry = e;
-      break;
-    }
   }
   // Feed the replica's latency EWMA (outlier ejection input). Successful
   // fetches only: failures are handled by the backoff machinery.
@@ -778,13 +1430,13 @@ sim::Task<void> Client::FetchIndex(
 }
 
 sim::Task<StatusOr<GetResult>> Client::FetchData(const std::string& key,
-                                                 Hash128 hash, uint32_t shard,
+                                                 uint32_t shard,
                                                  IndexEntry entry,
-                                                 trace::SpanId parent) {
+                                                 OpContext ctx) {
   if (shard >= conns_.size()) co_return UnavailableError("cell shrank");
   const Conn conn = conns_[shard];
   trace::Tracer& tracer = fabric_.tracer();
-  const trace::SpanId span = tracer.Begin("data_fetch", parent, host_);
+  const trace::SpanId span = tracer.Begin("data_fetch", ctx.span, host_);
   stats_.issue_cpu_ns += config_.issue_cpu;
   co_await fabric_.host(host_).cpu().Run(config_.issue_cpu);
   auto r = co_await transport_->Read(host_, conn.host, entry.pointer.region,
@@ -805,7 +1457,7 @@ sim::Task<StatusOr<GetResult>> Client::FetchData(const std::string& key,
   co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
   tracer.AddSpan("validate", span, v_start, sim_.now(), host_);
   tracer.End(span, static_cast<int64_t>(r->size()));
-  co_return ValidateData(*r, key, hash, entry.version);
+  co_return ValidateData(*r, key, ctx.hash, entry.version);
 }
 
 StatusOr<GetResult> Client::ValidateData(const BufferView& blob,
@@ -833,21 +1485,20 @@ StatusOr<GetResult> Client::ValidateData(const BufferView& blob,
 
 sim::Task<StatusOr<GetResult>> Client::GetViaRpc(const std::string& key,
                                                  uint32_t shard,
-                                                 sim::Time deadline_at,
-                                                 trace::SpanId span) {
+                                                 const OpContext& ctx) {
   ++stats_.rpc_fallback_gets;
   if (shard >= view_.num_shards()) co_return UnavailableError("cell shrank");
-  const sim::Duration remaining = deadline_at - sim_.now();
+  const sim::Duration remaining = ctx.deadline_at - sim_.now();
   if (remaining <= 0) co_return DeadlineExceededError("rpc get");
   rpc::WireWriter w;
   w.PutString(proto::kTagKey, key);
-  if (config_.tenant != kDefaultTenant) {
+  if (ctx.tenant != kDefaultTenant) {
     // The RPC fallback read touches backend CPU: attribute it.
-    w.PutU32(proto::kTagTenant, config_.tenant);
+    w.PutU32(proto::kTagTenant, ctx.tenant);
   }
   rpc::RpcChannel ch(rpc_network_, host_, view_.shard_hosts[shard]);
   auto resp = co_await ch.Call(proto::kMethodGet, std::move(w).Take(),
-                               remaining, span);
+                               remaining, ctx.span);
   if (!resp.ok()) co_return resp.status();
   rpc::WireReader r(*resp);
   auto value = r.GetBytes(proto::kTagValue);
@@ -857,9 +1508,7 @@ sim::Task<StatusOr<GetResult>> Client::GetViaRpc(const std::string& key,
 }
 
 sim::Task<StatusOr<GetResult>> Client::PrevWindowGet(const std::string& key,
-                                                     const Hash128& hash,
-                                                     sim::Time deadline_at,
-                                                     trace::SpanId span) {
+                                                     const OpContext& ctx) {
   // Snapshot the view: it may refresh (and drop the prev topology) while we
   // are suspended in an RPC below.
   const CellView view = view_;
@@ -868,7 +1517,7 @@ sim::Task<StatusOr<GetResult>> Client::PrevWindowGet(const std::string& key,
   }
   const uint32_t n = view.prev_num_shards();
   const int replicas = ReplicaCount(view.prev_mode);
-  const uint32_t primary = PrimaryShard(hash, n);
+  const uint32_t primary = PrimaryShard(ctx.hash, n);
 
   rpc::WireWriter w;
   w.PutString(proto::kTagKey, key);
@@ -881,9 +1530,10 @@ sim::Task<StatusOr<GetResult>> Client::PrevWindowGet(const std::string& key,
     // The main attempt may already have spent the op deadline; grant a
     // small grace budget — the fallback is a single cheap RPC per replica.
     const sim::Duration remaining = std::max<sim::Duration>(
-        deadline_at - sim_.now(), sim::Microseconds(500));
+        ctx.deadline_at - sim_.now(), sim::Microseconds(500));
     rpc::RpcChannel ch(rpc_network_, host_, target);
-    auto resp = co_await ch.Call(proto::kMethodGet, request, remaining, span);
+    auto resp =
+        co_await ch.Call(proto::kMethodGet, request, remaining, ctx.span);
     if (!resp.ok()) {
       if (resp.status().code() != StatusCode::kNotFound) last = resp.status();
       continue;
@@ -909,7 +1559,7 @@ VersionNumber Client::NextVersion() {
 
 sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
                                     Bytes request, int* applied_out,
-                                    trace::SpanId span) {
+                                    const OpContext& ctx) {
   if (!view_valid_) {
     Status s = co_await RefreshConfig();
     if (!s.ok()) co_return s;
@@ -929,8 +1579,8 @@ sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
     // Tenanted clients also stamp their tenant id so the backend's
     // admission queue can attribute the op; untenanted requests stay
     // byte-identical.
-    if (config_.tenant != kDefaultTenant) {
-      gw.PutU32(proto::kTagTenant, config_.tenant);
+    if (ctx.tenant != kDefaultTenant) {
+      gw.PutU32(proto::kTagTenant, ctx.tenant);
     }
     const Bytes gen = std::move(gw).Take();
     request.insert(request.end(), gen.begin(), gen.end());
@@ -944,11 +1594,11 @@ sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
   for (int r = 0; r < replicas; ++r) {
     const uint32_t shard = ReplicaShard(primary, r, n);
     sim_.Spawn([](Client* self, const char* method, Bytes req,
-                  net::HostId target, trace::SpanId parent,
+                  net::HostId target, sim::Duration deadline,
+                  trace::SpanId parent,
                   std::shared_ptr<sim::Channel<Ack>> acks) -> sim::Task<void> {
       rpc::RpcChannel ch(self->rpc_network_, self->host_, target);
-      auto resp = co_await ch.Call(method, std::move(req),
-                                   self->config_.op_deadline, parent);
+      auto resp = co_await ch.Call(method, std::move(req), deadline, parent);
       Ack ack;
       ack.status = resp.status();
       if (resp.ok()) {
@@ -956,13 +1606,14 @@ sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
         ack.applied = rr.GetU32(proto::kTagApplied).value_or(0) != 0;
       }
       acks->Send(ack);
-    }(this, method, request, view_.shard_hosts[shard], span, acks));
+    }(this, method, request, view_.shard_hosts[shard], ctx.op_deadline,
+      ctx.span, acks));
   }
 
   int ok = 0, applied = 0, received = 0;
   Status last_error = OkStatus();
   while (received < replicas) {
-    auto ack = co_await acks->RecvFor(config_.op_deadline);
+    auto ack = co_await acks->RecvFor(ctx.op_deadline);
     if (!ack) break;
     ++received;
     if (ack->status.ok()) {
@@ -981,11 +1632,12 @@ sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
                             : last_error;
 }
 
-sim::Task<Status> Client::Set(std::string key, Bytes value) {
+sim::Task<Status> Client::Set(std::string key, Bytes value, GetOptions opts) {
   const sim::Time start = sim_.now();
   ++stats_.sets;
   trace::Tracer& tracer = fabric_.tracer();
-  const trace::SpanId span = tracer.BeginRoot("set", host_);
+  OpContext ctx = MakeContext(opts, tracer.BeginRoot("set", host_));
+  ctx.hash = config_.hash_fn(key);
   if (config_.compress_values) {
     stats_.compress_bytes_in += static_cast<int64_t>(value.size());
     value = CompressValue(value);
@@ -1000,23 +1652,24 @@ sim::Task<Status> Client::Set(std::string key, Bytes value) {
     w.PutBytes(proto::kTagValue, value);
     proto::PutVersion(w, NextVersion());
     result = co_await MutateAll(proto::kMethodSet, key, std::move(w).Take(),
-                                nullptr, span);
+                                nullptr, ctx);
     if (result.ok()) break;
-    if (sim_.now() - start >= config_.op_deadline) break;
+    if (sim_.now() - start >= ctx.op_deadline) break;
     ++stats_.retries;
     (void)co_await RefreshConfig();
   }
   stats_.set_latency_ns.Record(sim_.now() - start);
-  tracer.End(span, result.ok() ? 1 : 0);
+  tracer.End(ctx.span, result.ok() ? 1 : 0);
   if (!result.ok()) ++stats_.set_errors;
   co_return result;
 }
 
-sim::Task<Status> Client::Erase(std::string key) {
+sim::Task<Status> Client::Erase(std::string key, GetOptions opts) {
   const sim::Time start = sim_.now();
   ++stats_.erases;
   trace::Tracer& tracer = fabric_.tracer();
-  const trace::SpanId span = tracer.BeginRoot("erase", host_);
+  OpContext ctx = MakeContext(opts, tracer.BeginRoot("erase", host_));
+  ctx.hash = config_.hash_fn(key);
   Status result = InternalError("unset");
   // Retried like Set: a stale-generation bounce (resharding window) must
   // re-route to the new owners, with a fresh higher version each attempt.
@@ -1025,21 +1678,23 @@ sim::Task<Status> Client::Erase(std::string key) {
     w.PutString(proto::kTagKey, key);
     proto::PutVersion(w, NextVersion());
     result = co_await MutateAll(proto::kMethodErase, key, std::move(w).Take(),
-                                nullptr, span);
+                                nullptr, ctx);
     if (result.ok()) break;
-    if (sim_.now() - start >= config_.op_deadline) break;
+    if (sim_.now() - start >= ctx.op_deadline) break;
     ++stats_.retries;
     (void)co_await RefreshConfig();
   }
-  tracer.End(span, result.ok() ? 1 : 0);
+  tracer.End(ctx.span, result.ok() ? 1 : 0);
   co_return result;
 }
 
 sim::Task<StatusOr<bool>> Client::Cas(std::string key, Bytes value,
-                                      VersionNumber expected) {
+                                      VersionNumber expected,
+                                      GetOptions opts) {
   ++stats_.cas_ops;
   trace::Tracer& tracer = fabric_.tracer();
-  const trace::SpanId span = tracer.BeginRoot("cas", host_);
+  OpContext ctx = MakeContext(opts, tracer.BeginRoot("cas", host_));
+  ctx.hash = config_.hash_fn(key);
   if (config_.compress_values) {
     stats_.compress_bytes_in += static_cast<int64_t>(value.size());
     value = CompressValue(value);
@@ -1052,12 +1707,12 @@ sim::Task<StatusOr<bool>> Client::Cas(std::string key, Bytes value,
   proto::PutVersion(w, expected, proto::kTagExpectedTt);
   int applied = 0;
   Status s = co_await MutateAll(proto::kMethodCas, key, std::move(w).Take(),
-                                &applied, span);
+                                &applied, ctx);
   if (!s.ok()) {
-    tracer.End(span, -1);
+    tracer.End(ctx.span, -1);
     co_return s;
   }
-  tracer.End(span, applied);
+  tracer.End(ctx.span, applied);
   co_return applied >= QuorumSize(view_.mode);
 }
 

@@ -15,8 +15,11 @@
 #ifndef CM_CLIQUEMAP_CLIENT_H_
 #define CM_CLIQUEMAP_CLIENT_H_
 
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
@@ -99,6 +102,18 @@ struct ClientConfig {
   // falls back to the previous owners (records may not have streamed yet).
   bool prev_fallback = true;
 
+  // Batched MultiGet (incast-aware pipeline) ---------------------------
+  // Coalesce a batch's index and data reads into one vectored RMA op per
+  // backend instead of fanning out independent Gets. Off (or unavailable:
+  // RPC strategy, no transport, resharding window) falls back to the naive
+  // concurrent fan-out.
+  bool batch_multiget = true;
+  // Incast guard: at most this many in-flight vectored ops per backend...
+  int batch_max_inflight_per_backend = 2;
+  // ...and consecutive issues toward the same backend are paced at least
+  // this far apart, so a large batch does not burst-solicit one host.
+  sim::Duration batch_issue_gap = sim::Microseconds(2);
+
   // Multi-tenant QoS ---------------------------------------------------
   // Tenant this client's ops belong to. 0 (the untenanted default) stamps
   // no tags and consults no buckets — byte streams stay identical to a
@@ -114,6 +129,34 @@ struct GetResult {
   // adopted RPC-response vector); exposes a Bytes-like read surface.
   BufferView value;
   VersionNumber version;
+};
+
+// Per-op overrides threaded through Get/MultiGet/Set/Erase/Cas: the options
+// struct that replaced the growing positional-parameter internals. A zero /
+// nullopt field defers to ClientConfig, so `{}` is exactly the old behavior.
+struct GetOptions {
+  sim::Duration deadline = 0;              // 0 → ClientConfig::op_deadline
+  uint32_t tenant = 0;                     // 0 → ClientConfig::tenant
+  std::optional<LookupStrategy> strategy;  // GET index-fetch strategy
+  std::optional<bool> hedge_reads;         // hedged data fetch (GET)
+  std::optional<bool> batch;               // MultiGet: batched pipeline
+};
+using OpOptions = GetOptions;
+
+// Batch-level outcome of one MultiGet.
+struct MultiGetStats {
+  bool batched = false;         // took the coalesced vectored pipeline
+  int backends_contacted = 0;   // distinct backends sent a vector op / RPC
+  int coalesced_reads = 0;      // vectored RMA ops issued (index + data)
+  int rpc_fallbacks = 0;        // batched fallback RPCs issued
+  int slowpath_keys = 0;        // keys bounced to the single-key retry path
+};
+
+// MultiGet's first-class result: one entry per input key, in input order
+// (duplicates each get their own slot), plus batch-level stats.
+struct MultiGetResult {
+  std::vector<StatusOr<GetResult>> results;
+  MultiGetStats stats;
 };
 
 struct ClientStats {
@@ -149,6 +192,14 @@ struct ClientStats {
   // Multi-tenant QoS observability (RMA plane, client-side policing).
   int64_t tenant_shed = 0;       // GETs shed by the client's own buckets
   int64_t tenant_rma_bytes = 0;  // value bytes debited against the quota
+  // Batched MultiGet observability (cm.client.batch.*).
+  int64_t multigets = 0;             // MultiGet calls
+  int64_t batch_keys = 0;            // unique keys entering the batched path
+  int64_t batch_vector_ops = 0;      // vectored RMA ops issued
+  int64_t batch_vector_entries = 0;  // entries those ops carried
+  int64_t batch_rpc_fallbacks = 0;   // batched fallback RPCs issued
+  int64_t batch_slowpath_keys = 0;   // keys bounced to the single-key path
+  int64_t batch_inflight_waits = 0;  // issues blocked by the incast gate
   // Client-library CPU attribution (Figs 6b/7): time charged to the host CPU
   // issuing RMA ops and validating responses.
   int64_t issue_cpu_ns = 0;
@@ -173,18 +224,22 @@ class Client {
   // Fetches the cell view; per-backend RMA handshakes happen lazily.
   sim::Task<Status> Connect();
 
-  sim::Task<StatusOr<GetResult>> Get(std::string key);
-  // Issues all lookups concurrently; batch latency is the max (the incast
-  // pattern of the Ads/Geo workloads, §7.1).
-  sim::Task<std::vector<StatusOr<GetResult>>> MultiGet(
-      std::vector<std::string> keys);
+  sim::Task<StatusOr<GetResult>> Get(std::string key, GetOptions opts = {});
+  // Batched lookup. With batching enabled (default) the keys are grouped by
+  // owning shard/replica set and each backend receives one vectored index
+  // read and one vectored data read (plus one batched RPC fallback), paced
+  // by the incast gate; keys the fast path cannot cleanly resolve retry
+  // through the single-key path, so observable values/versions are
+  // identical to the naive fan-out.
+  sim::Task<MultiGetResult> MultiGet(std::vector<std::string> keys,
+                                     GetOptions opts = {});
 
-  sim::Task<Status> Set(std::string key, Bytes value);
-  sim::Task<Status> Erase(std::string key);
+  sim::Task<Status> Set(std::string key, Bytes value, GetOptions opts = {});
+  sim::Task<Status> Erase(std::string key, GetOptions opts = {});
   // Installs `value` only if the stored version equals `expected`; returns
   // whether the swap applied (§5.2).
   sim::Task<StatusOr<bool>> Cas(std::string key, Bytes value,
-                                VersionNumber expected);
+                                VersionNumber expected, GetOptions opts = {});
 
   // Background batched access recording.
   void StartTouchFlusher();
@@ -238,47 +293,72 @@ class Client {
     BufferView scar_data;       // SCAR only: piggybacked DataEntry bytes
   };
 
+  // Internal per-op context: everything the GET/mutation internals used to
+  // take as positional parameters, resolved once at the public entry point
+  // from ClientConfig overlaid with GetOptions.
+  struct OpContext {
+    Hash128 hash{};                 // of the op's key (GET paths)
+    sim::Time deadline_at = 0;      // absolute deadline (GET paths)
+    sim::Duration op_deadline = 0;  // per-attempt budget (mutation RPCs)
+    trace::SpanId span = trace::kNoSpan;  // op root span
+    LookupStrategy strategy = LookupStrategy::kAuto;
+    bool hedge = false;
+    uint32_t tenant = 0;
+  };
+  OpContext MakeContext(const GetOptions& opts, trace::SpanId span) const;
+
   sim::Task<Status> RefreshConfig();
   sim::Task<Status> EnsureConnected(uint32_t shard);
   void NoteReplicaFailure(uint32_t shard);
 
-  // One GET attempt; kAborted-class results are retried by Get(). `span` is
-  // the op's root trace span (kNoSpan when tracing is off/unsampled).
+  // One GET attempt; kAborted-class results are retried by Get().
   sim::Task<StatusOr<GetResult>> GetOnce(const std::string& key,
-                                         const Hash128& hash,
-                                         sim::Time deadline_at,
-                                         trace::SpanId span);
+                                         const OpContext& ctx);
   sim::Task<StatusOr<GetResult>> GetViaRpc(const std::string& key,
                                            uint32_t shard,
-                                           sim::Time deadline_at,
-                                           trace::SpanId span);
+                                           const OpContext& ctx);
   // Dual-version window fallback: RPC GETs against the previous owners of
-  // `hash` (the record may not have streamed to the new owners yet).
+  // the key (the record may not have streamed to the new owners yet).
   sim::Task<StatusOr<GetResult>> PrevWindowGet(const std::string& key,
-                                               const Hash128& hash,
-                                               sim::Time deadline_at,
-                                               trace::SpanId span);
+                                               const OpContext& ctx);
 
   // Issues an index (bucket or SCAR) fetch against one replica, delivering
-  // the vote into `votes`. Emits a quorum_fetch child span under `parent`.
+  // the vote into `votes`. Emits a quorum_fetch child span under ctx.span.
   sim::Task<void> FetchIndex(std::shared_ptr<sim::Channel<IndexVote>> votes,
-                             int replica, uint32_t shard, Hash128 hash,
-                             bool use_scar, trace::SpanId parent);
+                             int replica, uint32_t shard, bool use_scar,
+                             OpContext ctx);
   // Fetches and validates the DataEntry behind `entry` from `shard`.
   sim::Task<StatusOr<GetResult>> FetchData(const std::string& key,
-                                           Hash128 hash, uint32_t shard,
-                                           IndexEntry entry,
-                                           trace::SpanId parent);
+                                           uint32_t shard, IndexEntry entry,
+                                           OpContext ctx);
   // Validates a DataEntry blob against the four hit conditions. On a hit
   // the returned value is a slice of `blob` (shared storage, no copy).
   StatusOr<GetResult> ValidateData(const BufferView& blob,
                                    const std::string& key, const Hash128& hash,
                                    const VersionNumber& quorum_version);
 
+  // Batched MultiGet pipeline ------------------------------------------
+  // Decodes one bucket read into a vote (config-id check + way scan);
+  // shared by the single-key FetchIndex and the batched index phase.
+  Status DecodeBucketVote(const BufferView& bucket_bytes, uint32_t shard,
+                          const Hash128& hash, uint32_t ways,
+                          IndexVote* vote) const;
+  // The coalesced pipeline behind MultiGet; `unique` maps result slots to
+  // first-occurrence slots for duplicate keys.
+  sim::Task<void> MultiGetBatched(const std::vector<std::string>& keys,
+                                  const std::vector<size_t>& unique,
+                                  GetOptions opts, OpContext ctx,
+                                  MultiGetResult* out);
+  // Incast-aware issue scheduler: a counting semaphore bounds in-flight
+  // vectored ops per backend shard and a pacing clock spaces consecutive
+  // issues toward the same shard.
+  sim::Task<void> AcquireIssueSlot(uint32_t shard);
+  void ReleaseIssueSlot(uint32_t shard);
+
   VersionNumber NextVersion();
   sim::Task<Status> MutateAll(const char* method, const std::string& key,
                               Bytes request, int* applied_out,
-                              trace::SpanId span);
+                              const OpContext& ctx);
   void RecordTouch(const Hash128& hash, uint32_t primary_shard);
 
   sim::Simulator& sim_;
@@ -307,6 +387,16 @@ class Client {
   uint32_t tenant_registry_version_ = 0;
   std::vector<Conn> conns_;
   uint32_t seq_ = 0;
+
+  // Incast gate state, lazily created per backend shard. The Channel is a
+  // counting semaphore (pre-loaded with batch_max_inflight_per_backend
+  // tokens; Recv = acquire, Send = release) — FIFO, so waiters drain
+  // deterministically.
+  struct IssueGate {
+    std::shared_ptr<sim::Channel<bool>> slots;
+    sim::Time next_issue_at = 0;
+  };
+  std::unordered_map<uint32_t, IssueGate> issue_gates_;
 
   // Touch buffers per backend host.
   std::unordered_map<net::HostId, Bytes> touch_buffers_;

@@ -20,6 +20,7 @@ inline constexpr char kMethodSet[] = "CliqueMap.Set";
 inline constexpr char kMethodErase[] = "CliqueMap.Erase";
 inline constexpr char kMethodCas[] = "CliqueMap.Cas";
 inline constexpr char kMethodGet[] = "CliqueMap.Get";          // RPC fallback
+inline constexpr char kMethodMultiGet[] = "CliqueMap.MultiGet";  // batched fallback
 inline constexpr char kMethodTouch[] = "CliqueMap.Touch";      // access records
 inline constexpr char kMethodInfo[] = "CliqueMap.Info";        // RMA handshake
 inline constexpr char kMethodRepairPull[] = "CliqueMap.RepairPull";
@@ -91,6 +92,12 @@ enum Tag : uint16_t {
   // when the cell has tenants configured.
   kTagTenant = 60,          // u32 tenant id (absent / 0 = untenanted)
   kTagTenantRegistry = 61,  // bytes: EncodeTenantRegistry blob
+
+  // Batched MultiGet fallback: the request repeats kTagKey; the response
+  // repeats kTagResult, one nested frame per key in request order, each
+  // carrying kTagStatusCode plus (on OK) kTagValue and a version.
+  kTagResult = 70,      // bytes: nested per-key response frame
+  kTagStatusCode = 71,  // u32 StatusCode for that key
 };
 
 inline void PutVersion(rpc::WireWriter& w, const VersionNumber& v,

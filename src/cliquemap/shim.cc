@@ -124,9 +124,9 @@ sim::Task<Bytes> LanguageShim::HandleFrame(Bytes frame) {
       }
       keys.push_back(ToString(*k));
     }
-    auto results = co_await client_->MultiGet(std::move(keys));
+    auto batch = co_await client_->MultiGet(std::move(keys));
     out.PutU32(kTagStatus, static_cast<uint32_t>(StatusCode::kOk));
-    for (const auto& result : results) {
+    for (const auto& result : batch.results) {
       rpc::WireWriter sub;
       sub.PutU32(kTagStatus, static_cast<uint32_t>(result.status().code()));
       if (result.ok()) {
@@ -242,7 +242,11 @@ sim::Task<Status> LanguageShim::Erase(std::string key) {
 sim::Task<std::vector<StatusOr<GetResult>>> LanguageShim::MultiGet(
     std::vector<std::string> keys) {
   if (lang_ == ShimLanguage::kCpp) {
-    co_return co_await client_->MultiGet(std::move(keys));
+    // Thin compatibility wrapper: the shim's pipe protocol predates
+    // MultiGetResult and only carries per-key results, so the batch stats
+    // are dropped here — but the lookup itself rides the batched pipeline.
+    auto batch = co_await client_->MultiGet(std::move(keys));
+    co_return std::move(batch.results);
   }
   // The whole batch crosses the pipe as ONE frame (repeated key field): the
   // shim amortizes its per-message marshal + hop costs exactly like the

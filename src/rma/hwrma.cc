@@ -10,6 +10,8 @@ HwRmaTransport::HwRmaTransport(net::Fabric& fabric, RmaNetwork& rma_network,
       exports_(&fabric.metrics()) {
   const metrics::Labels l = {{"transport", "hw"}};
   exports_.ExportCounter("cm.rma.reads", l, &stats_.reads);
+  exports_.ExportCounter("cm.rma.vector_reads", l, &stats_.vector_reads);
+  exports_.ExportCounter("cm.rma.vector_entries", l, &stats_.vector_entries);
   exports_.ExportCounter("cm.rma.failed_ops", l, &stats_.failed_ops);
   exports_.ExportCounter("cm.rma.op_timeouts", l, &stats_.op_timeouts);
   exports_.ExportCounter("cm.rma.corrupt_deliveries", l,
@@ -101,6 +103,94 @@ sim::Task<StatusOr<BufferView>> HwRmaTransport::Read(net::HostId initiator,
 sim::Task<StatusOr<ScarResult>> HwRmaTransport::ScanAndRead(
     net::HostId, net::HostId, RegionId, uint64_t, uint32_t, uint64_t,
     uint64_t, trace::SpanId) {
+  ++stats_.failed_ops;
+  co_return UnimplementedError("hardware RMA offers no SCAR primitive");
+}
+
+sim::Task<StatusOr<std::vector<StatusOr<BufferView>>>> HwRmaTransport::ReadV(
+    net::HostId initiator, net::HostId target,
+    std::vector<ReadVEntry> entries, trace::SpanId parent) {
+  sim::Simulator& sim = fabric_.simulator();
+  trace::Tracer& tracer = fabric_.tracer();
+  const trace::SpanId span = tracer.Begin("rma_readv", parent, initiator);
+  const auto n = static_cast<int64_t>(entries.size());
+  ++stats_.vector_reads;
+  stats_.vector_entries += n;
+  if (entries.empty()) {
+    tracer.End(span, 0);
+    co_return std::vector<StatusOr<BufferView>>{};
+  }
+  const sim::Time hw_start = sim.now();
+
+  // One command carries the whole scatter list.
+  stats_.initiator_nic_ns += config_.nic_pipeline_latency;
+  co_await sim.Delay(config_.nic_pipeline_latency);
+  net::MessageFate cmd = co_await fabric_.TransferFaulty(
+      initiator, target,
+      config_.command_bytes + config_.vector_entry_bytes * (n - 1), span);
+  if (!cmd.delivered || cmd.corrupt) {
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
+    co_return DeadlineExceededError("rma readv command lost");
+  }
+
+  // One DMA reservation for the summed payload: the scatter engine streams
+  // all entries in a single PCIe occupancy window.
+  stats_.target_nic_ns += config_.nic_pipeline_latency;
+  int64_t total_len = 0;
+  for (const ReadVEntry& e : entries) total_len += e.length;
+  auto [dma_start, dma_end] =
+      pcie(target).Reserve(sim.now() + config_.pcie_base_latency, total_len);
+  (void)dma_start;
+  co_await sim.WaitUntil(dma_end + config_.nic_pipeline_latency);
+
+  RmaHostState* host_state = rma_network_.Find(target);
+  if (host_state == nullptr || host_state->registry == nullptr) {
+    ++stats_.failed_ops;
+    co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
+    tracer.End(span, -1);
+    co_return UnavailableError("no rma host state for target");
+  }
+  std::vector<StatusOr<BufferView>> out;
+  out.reserve(entries.size());
+  int64_t payload = 0;
+  for (const ReadVEntry& e : entries) {
+    StatusOr<BufferView> mem =
+        host_state->registry->ResolveView(e.region, e.offset, e.length);
+    if (mem.ok()) payload += static_cast<int64_t>(mem->size());
+    out.push_back(std::move(mem));
+  }
+
+  net::MessageFate resp = co_await fabric_.TransferFaulty(
+      target, initiator, config_.response_header_bytes + 4 * n + payload,
+      span);
+  if (!resp.delivered) {
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
+    co_return DeadlineExceededError("rma readv completion lost");
+  }
+  if (resp.corrupt && fabric_.faults() != nullptr) {
+    // One bit flip, one victim entry (first delivered payload).
+    ++stats_.corrupt_deliveries;
+    for (StatusOr<BufferView>& slot : out) {
+      if (slot.ok() && !slot->empty()) {
+        slot = fabric_.faults()->CorruptCow(*std::move(slot));
+        break;
+      }
+    }
+  }
+  hw_timestamps_.Record(sim.now() - hw_start);
+  tracer.End(span, payload);
+  co_return out;
+}
+
+sim::Task<StatusOr<std::vector<StatusOr<ScarResult>>>>
+HwRmaTransport::ScanAndReadV(net::HostId, net::HostId,
+                             std::vector<ScarVEntry>, trace::SpanId) {
   ++stats_.failed_ops;
   co_return UnimplementedError("hardware RMA offers no SCAR primitive");
 }

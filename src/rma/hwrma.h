@@ -27,6 +27,8 @@ struct HwRmaConfig {
   double pcie_gbps = 128.0;
   int64_t command_bytes = 64;
   int64_t response_header_bytes = 32;
+  // Per-entry descriptor bytes for vectored reads (hardware scatter list).
+  int64_t vector_entry_bytes = 16;
   // Completion timeout for commands/completions lost under fault injection.
   sim::Duration op_timeout = sim::Milliseconds(1);
 
@@ -55,6 +57,16 @@ class HwRmaTransport : public RmaTransport {
   sim::Task<StatusOr<ScarResult>> ScanAndRead(
       net::HostId, net::HostId, RegionId, uint64_t, uint32_t, uint64_t,
       uint64_t, trace::SpanId parent = trace::kNoSpan) override;
+
+  sim::Task<StatusOr<std::vector<StatusOr<BufferView>>>> ReadV(
+      net::HostId initiator, net::HostId target,
+      std::vector<ReadVEntry> entries,
+      trace::SpanId parent = trace::kNoSpan) override;
+
+  // Hardware offers no SCAR, vectored or not.
+  sim::Task<StatusOr<std::vector<StatusOr<ScarResult>>>> ScanAndReadV(
+      net::HostId, net::HostId, std::vector<ScarVEntry>,
+      trace::SpanId parent = trace::kNoSpan) override;
 
   const RmaStats& stats() const override { return stats_; }
 

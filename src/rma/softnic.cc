@@ -51,6 +51,9 @@ SoftNicTransport::SoftNicTransport(net::Fabric& fabric,
   exports_.ExportCounter("cm.rma.reads", l, &stats_.reads);
   exports_.ExportCounter("cm.rma.scars", l, &stats_.scars);
   exports_.ExportCounter("cm.rma.messages", l, &stats_.messages);
+  exports_.ExportCounter("cm.rma.vector_reads", l, &stats_.vector_reads);
+  exports_.ExportCounter("cm.rma.vector_scars", l, &stats_.vector_scars);
+  exports_.ExportCounter("cm.rma.vector_entries", l, &stats_.vector_entries);
   exports_.ExportCounter("cm.rma.failed_ops", l, &stats_.failed_ops);
   exports_.ExportCounter("cm.rma.op_timeouts", l, &stats_.op_timeouts);
   exports_.ExportCounter("cm.rma.corrupt_deliveries", l,
@@ -223,6 +226,195 @@ sim::Task<StatusOr<ScarResult>> SoftNicTransport::ScanAndRead(
   tracer.End(span,
              static_cast<int64_t>(result->bucket.size() + result->data.size()));
   co_return result;
+}
+
+sim::Task<StatusOr<std::vector<StatusOr<BufferView>>>>
+SoftNicTransport::ReadV(net::HostId initiator, net::HostId target,
+                        std::vector<ReadVEntry> entries,
+                        trace::SpanId parent) {
+  sim::Simulator& sim = fabric_.simulator();
+  trace::Tracer& tracer = fabric_.tracer();
+  const trace::SpanId span = tracer.Begin("rma_readv", parent, initiator);
+  const auto n = static_cast<int64_t>(entries.size());
+  ++stats_.vector_reads;
+  stats_.vector_entries += n;
+  if (entries.empty()) {
+    tracer.End(span, 0);
+    co_return std::vector<StatusOr<BufferView>>{};
+  }
+
+  // One doorbell for the whole vector; each extra entry rides along as a
+  // 16-byte descriptor rather than its own command.
+  stats_.initiator_nic_ns += config_.initiator_op_cost;
+  co_await sim.WaitUntil(engines(initiator).Reserve(config_.initiator_op_cost));
+  net::MessageFate cmd = co_await fabric_.TransferFaulty(
+      initiator, target,
+      config_.command_bytes + config_.vector_entry_bytes * (n - 1), span);
+  if (!cmd.delivered || cmd.corrupt) {
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
+    co_return DeadlineExceededError("rma readv command lost");
+  }
+
+  // Target engine: full service time for the first entry, incremental for
+  // the rest (no per-entry wake or command parse).
+  const sim::Duration cost =
+      config_.target_read_cost + config_.target_vector_entry_cost * (n - 1);
+  stats_.target_nic_ns += cost;
+  co_await sim.WaitUntil(engines(target).Reserve(cost));
+
+  RmaHostState* host_state = rma_network_.Find(target);
+  if (host_state == nullptr || host_state->registry == nullptr) {
+    ++stats_.failed_ops;
+    co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
+    tracer.End(span, -1);
+    co_return UnavailableError("no rma host state for target");
+  }
+
+  // Resolve every entry independently: a revoked window or bad pointer
+  // fails its own slot, never the vector.
+  std::vector<StatusOr<BufferView>> out;
+  out.reserve(entries.size());
+  int64_t payload = 0;
+  for (const ReadVEntry& e : entries) {
+    StatusOr<BufferView> mem =
+        host_state->registry->ResolveView(e.region, e.offset, e.length);
+    if (mem.ok()) payload += static_cast<int64_t>(mem->size());
+    out.push_back(std::move(mem));
+  }
+
+  net::MessageFate resp = co_await fabric_.TransferFaulty(
+      target, initiator,
+      config_.response_header_bytes + 4 * n + payload, span);
+  if (!resp.delivered) {
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
+    co_return DeadlineExceededError("rma readv completion lost");
+  }
+  if (resp.corrupt && fabric_.faults() != nullptr) {
+    // A bit flip hits one payload, not the whole frame: corrupt the first
+    // delivered entry (deterministic choice — no extra rng draw) so only
+    // that key's validation fails and retries.
+    ++stats_.corrupt_deliveries;
+    for (StatusOr<BufferView>& slot : out) {
+      if (slot.ok() && !slot->empty()) {
+        slot = fabric_.faults()->CorruptCow(*std::move(slot));
+        break;
+      }
+    }
+  }
+  stats_.initiator_nic_ns += config_.initiator_op_cost / 2;
+  co_await sim.WaitUntil(
+      engines(initiator).Reserve(config_.initiator_op_cost / 2));
+  tracer.End(span, payload);
+  co_return out;
+}
+
+sim::Task<StatusOr<std::vector<StatusOr<ScarResult>>>>
+SoftNicTransport::ScanAndReadV(net::HostId initiator, net::HostId target,
+                               std::vector<ScarVEntry> entries,
+                               trace::SpanId parent) {
+  sim::Simulator& sim = fabric_.simulator();
+  trace::Tracer& tracer = fabric_.tracer();
+  const trace::SpanId span = tracer.Begin("rma_scarv", parent, initiator);
+  const auto n = static_cast<int64_t>(entries.size());
+  ++stats_.vector_scars;
+  stats_.vector_entries += n;
+  if (entries.empty()) {
+    tracer.End(span, 0);
+    co_return std::vector<StatusOr<ScarResult>>{};
+  }
+
+  stats_.initiator_nic_ns += config_.initiator_op_cost;
+  co_await sim.WaitUntil(engines(initiator).Reserve(config_.initiator_op_cost));
+  net::MessageFate cmd = co_await fabric_.TransferFaulty(
+      initiator, target,
+      config_.command_bytes + config_.vector_entry_bytes * (n - 1), span);
+  if (!cmd.delivered || cmd.corrupt) {
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
+    co_return DeadlineExceededError("rma scarv command lost");
+  }
+
+  RmaHostState* host_state = rma_network_.Find(target);
+  if (host_state == nullptr || !host_state->scar) {
+    ++stats_.failed_ops;
+    co_await fabric_.Transfer(target, initiator, config_.response_header_bytes);
+    tracer.End(span, -1);
+    co_return UnimplementedError("target does not offer SCAR");
+  }
+
+  // Base dispatch once, then the per-bucket scan work of every entry plus
+  // the incremental vector overhead.
+  sim::Duration cost =
+      config_.target_scar_cost + config_.target_vector_entry_cost * (n - 1);
+  for (const ScarVEntry& e : entries) {
+    cost += config_.scar_per_entry_scan_cost * (e.bucket_len / 64);
+  }
+  stats_.target_nic_ns += cost;
+  co_await sim.WaitUntil(engines(target).Reserve(cost));
+
+  std::vector<StatusOr<ScarResult>> out;
+  out.reserve(entries.size());
+  int64_t payload = 0;
+  for (const ScarVEntry& e : entries) {
+    StatusOr<ScarResult> one = host_state->scar(
+        e.hash_hi, e.hash_lo, e.index_region, e.bucket_offset, e.bucket_len);
+    if (one.ok()) {
+      payload += static_cast<int64_t>(one->bucket.size() + one->data.size());
+    }
+    out.push_back(std::move(one));
+  }
+
+  net::MessageFate resp = co_await fabric_.TransferFaulty(
+      target, initiator,
+      config_.response_header_bytes + 4 * n + payload, span);
+  if (!resp.delivered) {
+    ++stats_.failed_ops;
+    ++stats_.op_timeouts;
+    co_await sim.Delay(config_.op_timeout);
+    tracer.End(span, -1);
+    co_return DeadlineExceededError("rma scarv completion lost");
+  }
+  if (resp.corrupt && fabric_.faults() != nullptr) {
+    // Flip one payload only: prefer a data slice (client validation catches
+    // it), else the first non-empty bucket.
+    ++stats_.corrupt_deliveries;
+    StatusOr<ScarResult>* victim = nullptr;
+    for (StatusOr<ScarResult>& slot : out) {
+      if (slot.ok() && !slot->data.empty()) {
+        victim = &slot;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      for (StatusOr<ScarResult>& slot : out) {
+        if (slot.ok() && !slot->bucket.empty()) {
+          victim = &slot;
+          break;
+        }
+      }
+    }
+    if (victim != nullptr) {
+      ScarResult& r = **victim;
+      if (!r.data.empty()) {
+        r.data = fabric_.faults()->CorruptCow(std::move(r.data));
+      } else {
+        r.bucket = fabric_.faults()->CorruptCow(std::move(r.bucket));
+      }
+    }
+  }
+  stats_.initiator_nic_ns += config_.initiator_op_cost / 2;
+  co_await sim.WaitUntil(
+      engines(initiator).Reserve(config_.initiator_op_cost / 2));
+  tracer.End(span, payload);
+  co_return out;
 }
 
 sim::Task<StatusOr<Bytes>> SoftNicTransport::Message(

@@ -36,6 +36,12 @@ struct SoftNicConfig {
   double scale_in_threshold = 0.25;    // to retire one
   int64_t command_bytes = 64;
   int64_t response_header_bytes = 32;
+
+  // Vectored ops (ReadV/ScanAndReadV): the doorbell and header are paid
+  // once; each additional entry adds only a descriptor on the wire and an
+  // incremental slice of engine time — the amortization MultiGet exploits.
+  int64_t vector_entry_bytes = 16;
+  sim::Duration target_vector_entry_cost = sim::Nanoseconds(120);
 };
 
 // Engine group for one host.
@@ -79,6 +85,16 @@ class SoftNicTransport : public RmaTransport {
       net::HostId initiator, net::HostId target, RegionId index_region,
       uint64_t bucket_offset, uint32_t bucket_len, uint64_t hash_hi,
       uint64_t hash_lo, trace::SpanId parent = trace::kNoSpan) override;
+
+  sim::Task<StatusOr<std::vector<StatusOr<BufferView>>>> ReadV(
+      net::HostId initiator, net::HostId target,
+      std::vector<ReadVEntry> entries,
+      trace::SpanId parent = trace::kNoSpan) override;
+
+  sim::Task<StatusOr<std::vector<StatusOr<ScarResult>>>> ScanAndReadV(
+      net::HostId initiator, net::HostId target,
+      std::vector<ScarVEntry> entries,
+      trace::SpanId parent = trace::kNoSpan) override;
 
   // Two-sided messaging lookup path (the MSG strategy of Fig 7): delivers a
   // request to a host-CPU handler after an engine + thread-wake cost.

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/buffer.h"
 #include "common/bytes.h"
@@ -67,10 +68,33 @@ class RmaNetwork {
   std::unordered_map<net::HostId, RmaHostState> hosts_;
 };
 
+// One entry of a vectored read: the initiator posts N of these behind a
+// single doorbell and the target NIC resolves each independently.
+struct ReadVEntry {
+  RegionId region = 0;
+  uint64_t offset = 0;
+  uint32_t length = 0;
+};
+
+// One entry of a vectored scan-and-read (the batched SCAR of a MultiGet
+// index phase): each entry names its own bucket window and key hash.
+struct ScarVEntry {
+  RegionId index_region = 0;
+  uint64_t bucket_offset = 0;
+  uint32_t bucket_len = 0;
+  uint64_t hash_hi = 0;
+  uint64_t hash_lo = 0;
+};
+
 struct RmaStats {
   int64_t reads = 0;
   int64_t scars = 0;
   int64_t messages = 0;
+  // Vectored ops (batched MultiGet): one doorbell/completion covering
+  // vector_entries individual reads or scans.
+  int64_t vector_reads = 0;
+  int64_t vector_scars = 0;
+  int64_t vector_entries = 0;
   int64_t failed_ops = 0;
   // Fault-injection visibility: ops whose command/completion was lost and
   // completed only by op_timeout, and payloads delivered with a bit flip
@@ -103,6 +127,23 @@ class RmaTransport {
       net::HostId initiator, net::HostId target, RegionId index_region,
       uint64_t bucket_offset, uint32_t bucket_len, uint64_t hash_hi,
       uint64_t hash_lo, trace::SpanId parent = trace::kNoSpan) = 0;
+
+  // Vectored one-sided read: one doorbell, one command, one completion for
+  // all entries on the same target. The outer status covers whole-op
+  // failures only (lost command/completion, no host state); a bad pointer
+  // or revoked window fails only its own slot, so one miss never fails its
+  // batch-mates. Result order matches `entries`.
+  virtual sim::Task<StatusOr<std::vector<StatusOr<BufferView>>>> ReadV(
+      net::HostId initiator, net::HostId target,
+      std::vector<ReadVEntry> entries,
+      trace::SpanId parent = trace::kNoSpan) = 0;
+
+  // Vectored SCAR with the same per-entry-status contract as ReadV; only
+  // valid when SupportsScar().
+  virtual sim::Task<StatusOr<std::vector<StatusOr<ScarResult>>>> ScanAndReadV(
+      net::HostId initiator, net::HostId target,
+      std::vector<ScarVEntry> entries,
+      trace::SpanId parent = trace::kNoSpan) = 0;
 
   virtual const RmaStats& stats() const = 0;
 };

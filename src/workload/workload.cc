@@ -237,8 +237,8 @@ sim::Task<void> LoadDriver::DoGet(uint64_t key_idx, uint32_t batch) {
     for (uint32_t i = 1; i < batch; ++i) {
       keys.push_back(profile_.KeyName(zipf_.Sample(rng_)));
     }
-    auto results = co_await client_.MultiGet(std::move(keys));
-    for (const auto& r : results) {
+    auto batch_result = co_await client_.MultiGet(std::move(keys));
+    for (const auto& r : batch_result.results) {
       if (!r.ok()) {
         (r.status().code() == StatusCode::kNotFound ? misses : errors)++;
       }

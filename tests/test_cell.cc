@@ -114,7 +114,8 @@ TEST_P(CellTest, MultiGetBatch) {
     keys.push_back("batch-" + std::to_string(i));
     ASSERT_TRUE(Set(keys.back(), "v" + std::to_string(i)).ok());
   }
-  auto results = RunOp(sim_, client_->MultiGet(keys));
+  auto batch = RunOp(sim_, client_->MultiGet(keys));
+  auto& results = batch.results;
   ASSERT_EQ(results.size(), keys.size());
   for (size_t i = 0; i < results.size(); ++i) {
     ASSERT_TRUE(results[i].ok()) << i;
