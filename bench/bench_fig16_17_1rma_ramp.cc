@@ -9,6 +9,7 @@
 //           because idle cores pay C-state wake penalties.
 #include "bench_util.h"
 
+#include "common/rng.h"
 #include "rma/hwrma.h"
 
 int main(int argc, char** argv) {
@@ -99,15 +100,108 @@ int main(int argc, char** argv) {
                 get_ns.Percentile(0.90) / 1000.0,
                 get_ns.Percentile(0.99) / 1000.0);
   }
+  // ---------------------------------------------------------------------
+  // 1-RMA hot path: hot-key Zipfian GETs, speculation off (pure 2xR quorum:
+  // bucket read + data read) vs on (location-cache hit = ONE direct data
+  // read). R1 on the hardware transport is where the location cache pays
+  // the most: the index RTT is a full half of every GET.
+  // ---------------------------------------------------------------------
+  constexpr int kHotKeys = 64;
+  constexpr int kGetsPerClient = 2500;
+  std::vector<Client*> hot_clients;
+  for (int c = 0; c < kClients; ++c) {
+    ClientConfig cc;
+    cc.client_id = uint32_t(100 + c);
+    // Read-mostly hot keys re-hit within milliseconds; stretch the
+    // freshness lease accordingly (staleness bound = 50ms, documented
+    // tradeoff — the default 200us is tuned for mixed read/write).
+    cc.loccache_ttl = sim::Milliseconds(50);
+    hot_clients.push_back(cell.AddClient(cc));
+    (void)RunOp(sim, hot_clients.back()->Connect());
+  }
+  Preload(sim, hot_clients[0], "hot-", kHotKeys, 4096);
+
+  auto rma_ops = [&cell] {
+    return cell.transport()->stats().reads + cell.transport()->stats().scars;
+  };
+  auto run_hot_phase = [&](bool speculate, Histogram* lat, int64_t* ok_gets) {
+    const int64_t ops_before = rma_ops();
+    std::vector<sim::Task<void>> tasks;
+    for (int c = 0; c < kClients; ++c) {
+      tasks.push_back([](sim::Simulator* sim, Client* cl, bool speculate,
+                         uint64_t seed, Histogram* lat,
+                         int64_t* ok) -> sim::Task<void> {
+        Rng rng(seed);
+        ZipfSampler zipf(kHotKeys, 0.99);
+        GetOptions opts;
+        opts.speculate = speculate;
+        for (int i = 0; i < kGetsPerClient; ++i) {
+          co_await sim->Delay(
+              sim::Microseconds(int64_t(10 + rng.NextBounded(20))));
+          const std::string key = "hot-" + std::to_string(zipf.Sample(rng));
+          const sim::Time t0 = sim->now();
+          auto r = co_await cl->Get(key, opts);
+          if (r.ok()) {
+            lat->Record(sim->now() - t0);
+            ++*ok;
+          }
+        }
+      }(&sim, hot_clients[c], speculate, 0x9E37 + uint64_t(c) * 131, lat,
+        ok_gets));
+    }
+    RunAll(sim, std::move(tasks));
+    return rma_ops() - ops_before;
+  };
+
+  Histogram quorum_lat, spec_lat;
+  int64_t quorum_gets = 0, spec_gets = 0;
+  const int64_t quorum_ops = run_hot_phase(false, &quorum_lat, &quorum_gets);
+  const int64_t spec_ops = run_hot_phase(true, &spec_lat, &spec_gets);
+
+  int64_t spec_reads = 0, spec_failures = 0;
+  for (const Client* c : hot_clients) {
+    spec_reads += c->stats().loccache_speculative_reads;
+    spec_failures += c->stats().loccache_speculative_failures;
+  }
+  const double quorum_p50 = quorum_lat.Percentile(0.50) / 1000.0;
+  const double spec_p50 = spec_lat.Percentile(0.50) / 1000.0;
+  const double p50_ratio = quorum_p50 > 0 ? spec_p50 / quorum_p50 : 1.0;
+  const double ops_per_get_quorum =
+      quorum_gets > 0 ? double(quorum_ops) / double(quorum_gets) : 0;
+  const double ops_per_get_spec =
+      spec_gets > 0 ? double(spec_ops) / double(spec_gets) : 0;
+  const double success_ratio =
+      spec_reads > 0
+          ? 100.0 * double(spec_reads - spec_failures) / double(spec_reads)
+          : 0;
+
+  report.AddScalar("fig16_17.speculative_p50_over_quorum_p50", p50_ratio);
+  report.AddScalar("fig16_17.quorum_hot_p50_us", quorum_p50);
+  report.AddScalar("fig16_17.speculative_hot_p50_us", spec_p50);
+  report.AddScalar("fig16_17.speculative_hot_p99_us",
+                   spec_lat.Percentile(0.99) / 1000.0);
+  report.AddScalar("loccache.rma_ops_per_hit_get", ops_per_get_spec);
+  report.AddScalar("loccache.rma_ops_per_get_quorum", ops_per_get_quorum);
+  report.AddScalar("loccache.speculation_success_ratio", success_ratio);
+
   if (report.enabled()) {
     report.AddSnapshot("final", cell.metrics().TakeSnapshot());
     report.Emit();
     return 0;
   }
   std::printf(
+      "\n1-RMA hot path (Zipf(%d, 0.99), %d GETs/client, lease 50ms):\n"
+      "  quorum-only: p50=%6.2fus  rma ops/GET=%5.2f\n"
+      "  speculative: p50=%6.2fus  rma ops/GET=%5.2f  success=%5.1f%%\n"
+      "  p50 ratio (spec/quorum) = %.2f  (< 0.67 means the >=1.5x win)\n",
+      kHotKeys, kGetsPerClient, quorum_p50, ops_per_get_quorum, spec_p50,
+      ops_per_get_spec, success_ratio, p50_ratio);
+  std::printf(
       "\nTakeaway check (16): fabric+PCIe latency rises only marginally with\n"
       "load. (17): end-to-end latency is flat-to-improving as load rises —\n"
       "the highest tail is at the LOWEST load (C-state wake penalties), and\n"
-      "no software bottleneck appears on the serving side.\n");
+      "no software bottleneck appears on the serving side. The hot-key\n"
+      "phase shows the 1-RMA fast path: a location-cache hit spends ONE\n"
+      "direct data read where the 2xR quorum spends two RTTs.\n");
   return 0;
 }

@@ -27,6 +27,9 @@ echo "== multi-tenant QoS: tenancy suite =="
 echo "== batched MultiGet: batch suite =="
 (cd build && ctest --output-on-failure -L batch)
 
+echo "== 1-RMA speculative path: loccache suite =="
+(cd build && ctest --output-on-failure -L loccache)
+
 echo "== observability: bench --json emits valid cm.bench.v1 =="
 JQ=/usr/bin/jq
 for bench in bench_micro bench_fig07_cpu_per_op; do
@@ -62,6 +65,13 @@ echo "== perf gate: batched MultiGet scalars vs baseline =="
 # to gate; the entries-per-op coalesce ratio is informational only.
 scripts/perf_gate.sh 'fig08_ads:^batchcmp\.(batched_over_naive_p99|rma_ops_per_key_batched)$'
 
+echo "== perf gate: 1-RMA speculative-path scalars vs baseline =="
+# Gates the three speculation outcomes: the hot-key p50 ratio spec/quorum
+# (must stay well under 1 — the 1-RMA latency win), RMA ops per hit-GET
+# (~1: one direct read, re-quorums amortized), and the speculation success
+# ratio (higher is better; a drop means cached pointers went mostly stale).
+scripts/perf_gate.sh 'fig16_17_1rma_ramp:^(fig16_17\.speculative_p50_over_quorum_p50|loccache\.(rma_ops_per_hit_get|speculation_success_ratio))$'
+
 if [[ "$FAST" == "1" ]]; then
   echo "== done (fast mode: sanitizer stage skipped) =="
   exit 0
@@ -71,7 +81,7 @@ echo "== sanitizer (ASan/UBSan): build =="
 cmake -B build-asan -S . -DCM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j
 
-echo "== sanitizer: chaos + resharding + health + tenancy + batch labels =="
-(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L 'chaos|resharding|health|tenancy|batch')
+echo "== sanitizer: chaos + resharding + health + tenancy + batch + loccache labels =="
+(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L 'chaos|resharding|health|tenancy|batch|loccache')
 
 echo "== all checks passed =="

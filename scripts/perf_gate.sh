@@ -3,8 +3,9 @@
 # cm.bench.v1 scalar against the committed BENCH_<name>.json baseline.
 #
 # Direction is inferred from the scalar name:
-#   *_per_sec / *per_second / *throughput*  -> higher is better
-#   everything else (…_ns, …_us, …_ms, …_per_byte, ratios)  -> lower is better
+#   *_per_sec / *per_second / *throughput* / *success_ratio*  -> higher is
+#   better; everything else (…_ns, …_us, …_ms, …_per_byte, ratios)  -> lower
+#   is better
 #
 # A scalar that regresses by more than WARN_RATIO prints a warning; more
 # than FAIL_RATIO fails the gate (exit 1). Improvements are reported
@@ -43,17 +44,24 @@ for spec in "${benches[@]}"; do
     continue
   fi
   echo "perf_gate: ${name}${filter:+ [scalars ~ ${filter}]} (warn >${WARN_RATIO}x, fail >${FAIL_RATIO}x)"
-  current="$("$bin" --json)"
-  echo "$current" | "$JQ" -e '.schema == "cm.bench.v1"' >/dev/null \
+  # Documents with full metric snapshots can exceed the kernel's per-argv
+  # limit, so the current run goes through a file (--slurpfile), not
+  # --argjson.
+  current="$(mktemp)"
+  trap 'rm -f "$current"' EXIT
+  "$bin" --json > "$current"
+  "$JQ" -e '.schema == "cm.bench.v1"' "$current" >/dev/null \
     || { echo "  ${bin} --json: bad schema"; exit 1; }
 
   # Emit "key old new" for every scalar present in both documents.
+  compared=0
   while read -r key old new; do
+    compared=$((compared + 1))
     verdict="$("$JQ" -rn \
       --arg key "$key" --argjson old "$old" --argjson new "$new" \
       --argjson warn "$WARN_RATIO" --argjson fail "$FAIL_RATIO" '
       def higher_better:
-        ($key | test("per_sec|per_second|throughput"));
+        ($key | test("per_sec|per_second|throughput|success_ratio"));
       # ratio > 1 means "worse by that factor".
       ( if $old == 0 or $new == 0 then 1
         elif higher_better then $old / $new
@@ -79,11 +87,17 @@ for spec in "${benches[@]}"; do
       *)
         printf '  ok   %-34s %14.4g -> %-14.4g\n' "$key" "$old" "$new" ;;
     esac
-  done < <("$JQ" -r --argjson cur "$current" --arg flt "$filter" '
+  done < <("$JQ" -r --slurpfile cur "$current" --arg flt "$filter" '
+      $cur[0].scalars as $curs |
       .scalars | to_entries[]
-      | select($cur.scalars[.key] != null)
+      | select($curs[.key] != null)
       | select($flt == "" or (.key | test($flt)))
-      | "\(.key) \(.value) \($cur.scalars[.key])"' "$baseline")
+      | "\(.key) \(.value) \($curs[.key])"' "$baseline")
+  rm -f "$current"
+  if [[ "$compared" == "0" ]]; then
+    echo "  FAIL: no scalars compared (stale baseline or bad filter?)"
+    fail=1
+  fi
 done
 
 if [[ "$fail" == "1" ]]; then

@@ -20,6 +20,10 @@ Client::Client(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
       config_(config),
       rng_(0x5eedC11E4DABull ^ (uint64_t{config.client_id} * 0x9E3779B97F4A7C15ull)),
       alive_(std::make_shared<bool>(true)),
+      loccache_(config.loccache_entries),
+      spec_governor_(SpeculationGovernor::Options{
+          config.spec_disable_failure_ratio, config.spec_min_samples,
+          config.spec_window_samples, config.spec_cooldown}),
       exports_(&fabric.metrics()) {
   const metrics::Labels l = {{"client", std::to_string(config_.client_id)}};
   exports_.ExportCounter("cm.client.gets", l, &stats_.gets);
@@ -84,6 +88,24 @@ Client::Client(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
                ? stats_.batch_vector_entries / stats_.batch_vector_ops
                : 0;
   });
+  LocCacheStats* lc = loccache_.mutable_stats();
+  exports_.ExportCounter("cm.client.loccache.hits", l, &lc->hits);
+  exports_.ExportCounter("cm.client.loccache.misses", l, &lc->misses);
+  exports_.ExportCounter("cm.client.loccache.invalidations", l,
+                         &lc->invalidations);
+  exports_.ExportCounter("cm.client.loccache.evictions", l, &lc->evictions);
+  exports_.ExportCounter("cm.client.loccache.speculative_reads", l,
+                         &stats_.loccache_speculative_reads);
+  exports_.ExportCounter("cm.client.loccache.speculative_failures", l,
+                         &stats_.loccache_speculative_failures);
+  exports_.ExportGauge("cm.client.loccache.entries", l,
+                       [this] { return static_cast<int64_t>(loccache_.size()); });
+  // Lifetime fraction of speculative reads that validated, in percent; the
+  // breaker's windowed view decides enable/disable, this gauge is the
+  // perf-gated health signal (near 100 on a stable cell).
+  exports_.ExportGauge("cm.client.loccache.success_ratio_pct", l, [this] {
+    return spec_governor_.success_ratio_pct();
+  });
   exports_.ExportCounter("cm.client.issue_cpu_ns", l, &stats_.issue_cpu_ns);
   exports_.ExportCounter("cm.client.validate_cpu_ns", l,
                          &stats_.validate_cpu_ns);
@@ -147,11 +169,36 @@ sim::Task<Status> Client::RefreshConfig() {
   conns_.resize(fresh.num_shards());
   for (uint32_t s = 0; s < fresh.num_shards(); ++s) {
     // Invalidate connections whose serving host or config id moved: the
-    // client just discovered a migration / spare promotion (§6.1).
+    // client just discovered a migration / spare promotion (§6.1). Cached
+    // data-entry locations on that shard die with the connection — the new
+    // serving task has its own regions and allocations.
     if (view_valid_ && s < view_.num_shards() &&
         (view_.shard_hosts[s] != fresh.shard_hosts[s] ||
          view_.shard_config_ids[s] != fresh.shard_config_ids[s])) {
       conns_[s] = Conn{};
+      loccache_.InvalidateShard(s);
+    }
+  }
+  // Cell-wide location-cache flushes: a generation bump or a resharding
+  // transition edge (opening or closing) re-homes keys across shards, so
+  // per-shard invalidation is not enough — every cached location is
+  // suspect.
+  if (view_valid_ && (fresh.generation != view_.generation ||
+                      fresh.num_shards() != view_.num_shards() ||
+                      fresh.transition != view_.transition)) {
+    loccache_.Flush();
+  }
+  // Membership epoch rides along with the view once lease churn happens
+  // (absent — and implicitly 0 — before then): an epoch move means a
+  // backend joined or left, possibly without a per-shard host diff this
+  // client can see (e.g. a spare absorbed a failover and back).
+  {
+    rpc::WireReader er(*resp);
+    const uint64_t epoch =
+        er.GetU64(proto::kTagMembershipEpoch).value_or(membership_epoch_);
+    if (epoch != membership_epoch_) {
+      membership_epoch_ = epoch;
+      loccache_.Flush();
     }
   }
   view_ = std::move(fresh);
@@ -255,12 +302,15 @@ Client::OpContext Client::MakeContext(const GetOptions& opts,
   ctx.span = span;
   ctx.strategy = opts.strategy.value_or(config_.strategy);
   ctx.hedge = opts.hedge_reads.value_or(config_.hedge_reads);
+  ctx.speculate =
+      opts.speculate.value_or(config_.speculate) && loccache_.capacity() > 0;
   ctx.tenant = opts.tenant != 0 ? opts.tenant : config_.tenant;
   return ctx;
 }
 
 sim::Task<StatusOr<GetResult>> Client::Get(std::string key, GetOptions opts) {
   const sim::Time start = sim_.now();
+  if (opts.loccache_entries) loccache_.SetCapacity(*opts.loccache_entries);
   OpContext ctx = MakeContext(opts, trace::kNoSpan);
   ++stats_.gets;
   // RMA-plane policing: one-sided reads bypass the backend CPU, so the
@@ -411,6 +461,7 @@ sim::Task<MultiGetResult> Client::MultiGet(std::vector<std::string> keys,
   MultiGetResult out;
   if (keys.empty()) co_return out;  // no ops, no traffic, no counters
   ++stats_.multigets;
+  if (opts.loccache_entries) loccache_.SetCapacity(*opts.loccache_entries);
   out.results.reserve(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
     out.results.emplace_back(InternalError("unresolved"));
@@ -599,8 +650,8 @@ sim::Task<void> Client::MultiGetBatched(const std::vector<std::string>& keys,
     }
   }
 
-  // --- Index phase: one vectored op per backend shard, covering every
-  // (key, replica) routed there, issued through the incast gate. ---
+  // One backend's share of a vectored op (speculative, index, or data
+  // phase).
   struct ShardBatch {
     uint32_t shard = 0;
     uint32_t ways = 0;
@@ -608,6 +659,121 @@ sim::Task<void> Client::MultiGetBatched(const std::vector<std::string>& keys,
     std::vector<StatusOr<BufferView>> buckets;     // 2xR
     std::vector<StatusOr<rma::ScarResult>> scars;  // SCAR
   };
+
+  // --- Speculative phase: location-cached keys are peeled out of the
+  // batch plan into one vectored direct read per backend. A validated hit
+  // resolves the key in a single RMA round; a failed speculation
+  // invalidates its entry and bounces the key back into the index plan
+  // below (an unresolved vector — lost op or deadline — bounces back
+  // without invalidating: the read never happened). ---
+  if (SpeculationEligible(ctx)) {
+    struct SpecTarget {
+      size_t ki = 0;        // index into ks
+      CachedLocation loc;   // snapshot of the cached entry
+    };
+    std::map<uint32_t, std::vector<SpecTarget>> spec_by_shard;
+    for (size_t i = 0; i < ks.size(); ++i) {
+      KeyState& k = ks[i];
+      if (k.phase != Phase::kIndex) continue;
+      const CachedLocation* hit = loccache_.Lookup(k.hash, sim_.now());
+      if (hit == nullptr) continue;
+      const CachedLocation loc = *hit;
+      if (loc.shard >= conns_.size() || loc.shard >= view_.num_shards()) {
+        loccache_.Invalidate(k.hash);
+        continue;
+      }
+      const Conn& conn = conns_[loc.shard];
+      if (!conn.connected || conn.config_id != loc.config_id ||
+          conn.config_id != view_.shard_config_ids[loc.shard] ||
+          conn.host != view_.shard_hosts[loc.shard]) {
+        loccache_.Invalidate(k.hash);
+        continue;
+      }
+      spec_by_shard[loc.shard].push_back({i, loc});
+    }
+    auto spec_results = std::make_shared<sim::Channel<ShardBatch>>(sim_);
+    int spec_ops = 0;
+    for (const auto& [shard, items] : spec_by_shard) {
+      const Conn conn = conns_[shard];  // copy: conns_ may be invalidated
+      std::vector<rma::ReadVEntry> entries;
+      entries.reserve(items.size());
+      for (const SpecTarget& t : items) {
+        entries.push_back(
+            {t.loc.pointer.region, t.loc.pointer.offset, t.loc.pointer.size});
+      }
+      stats_.loccache_speculative_reads += static_cast<int64_t>(items.size());
+      sim_.Spawn([](Client* self, uint32_t shard, net::HostId target,
+                    std::vector<rma::ReadVEntry> entries, trace::SpanId span,
+                    std::shared_ptr<sim::Channel<ShardBatch>> results)
+                     -> sim::Task<void> {
+        co_await self->AcquireIssueSlot(shard);
+        self->stats_.issue_cpu_ns += self->config_.issue_cpu;
+        co_await self->fabric_.host(self->host_).cpu().Run(
+            self->config_.issue_cpu);
+        ShardBatch b;
+        b.shard = shard;
+        ++self->stats_.batch_vector_ops;
+        self->stats_.batch_vector_entries +=
+            static_cast<int64_t>(entries.size());
+        auto r = co_await self->transport_->ReadV(self->host_, target,
+                                                  std::move(entries), span);
+        if (r.ok()) {
+          b.buckets = *std::move(r);
+        } else {
+          b.status = r.status();
+        }
+        self->ReleaseIssueSlot(shard);
+        results->Send(std::move(b));
+      }(this, shard, conn.host, std::move(entries), ctx.span, spec_results));
+      ++spec_ops;
+    }
+    out->stats.coalesced_reads += spec_ops;
+    int spec_pending = spec_ops;
+    while (spec_pending > 0) {
+      const sim::Duration remaining = ctx.deadline_at - sim_.now();
+      if (remaining <= 0) break;
+      auto b = co_await spec_results->RecvFor(remaining);
+      if (!b) break;
+      --spec_pending;
+      stats_.validate_cpu_ns += config_.validate_cpu;
+      co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
+      const auto& items = spec_by_shard[b->shard];
+      for (size_t j = 0; j < items.size(); ++j) {
+        KeyState& k = ks[items[j].ki];
+        StatusOr<GetResult> res = InternalError("speculation unresolved");
+        if (!b->status.ok()) {
+          res = b->status;
+        } else if (j >= b->buckets.size()) {
+          res = InternalError("short read vector");
+        } else if (!b->buckets[j].ok()) {
+          res = b->buckets[j].status();
+        } else {
+          res = ValidateSpeculative(*b->buckets[j], keys[k.slot], k.hash,
+                                    items[j].loc.version);
+        }
+        if (res.ok()) {
+          spec_governor_.Record(true, sim_.now());
+          loccache_.RaiseVersionFloor(k.hash, res->version);
+          out->results[k.slot] = std::move(res);
+          k.phase = Phase::kDone;
+          continue;
+        }
+        if (res.status().code() == StatusCode::kPermissionDenied) {
+          ++stats_.window_errors;
+          if (b->shard < conns_.size()) conns_[b->shard].connected = false;
+        } else if (res.status().code() == StatusCode::kDeadlineExceeded) {
+          ++stats_.op_timeouts;
+        }
+        ++stats_.loccache_speculative_failures;
+        spec_governor_.Record(false, sim_.now());
+        loccache_.Invalidate(k.hash);
+        // Phase stays kIndex: the key rejoins the quorum plan.
+      }
+    }
+  }
+
+  // --- Index phase: one vectored op per backend shard, covering every
+  // (key, replica) routed there, issued through the incast gate. ---
   // (key index in ks, replica ordinal) per shard, in key order.
   std::map<uint32_t, std::vector<std::pair<size_t, int>>> by_shard;
   for (size_t i = 0; i < ks.size(); ++i) {
@@ -705,6 +871,7 @@ sim::Task<void> Client::MultiGetBatched(const std::vector<std::string>& keys,
       ++k.absence;
       k.overflow |= vote.overflow;
       if (k.absence >= quorum) {
+        loccache_.Invalidate(k.hash);  // misses are never cached
         if (k.overflow && config_.follow_overflow_fallback) {
           k.phase = Phase::kRpc;  // bucket overflow: RPC-servable (§4.2)
         } else {
@@ -794,6 +961,7 @@ sim::Task<void> Client::MultiGetBatched(const std::vector<std::string>& keys,
       auto r = ValidateData(k.chosen.scar_data, keys[k.slot], k.hash,
                             k.chosen.entry.version);
       if (r.ok() || r.status().code() == StatusCode::kNotFound) {
+        if (r.ok()) CacheWinningVote(k.hash, k.chosen, ctx);
         out->results[k.slot] = std::move(r);
         k.phase = Phase::kDone;
       } else {
@@ -883,6 +1051,7 @@ sim::Task<void> Client::MultiGetBatched(const std::vector<std::string>& keys,
         auto r = ValidateData(*b->buckets[j], keys[k.slot], k.hash,
                               k.chosen.entry.version);
         if (r.ok() || r.status().code() == StatusCode::kNotFound) {
+          if (r.ok()) CacheWinningVote(k.hash, k.chosen, ctx);
           out->results[k.slot] = std::move(r);
           k.phase = Phase::kDone;
         } else {
@@ -1061,6 +1230,20 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
     use_scar = transport_->SupportsScar();
   }
 
+  // 1-RMA fast path: a location-cache hit answers with one direct data
+  // read, fully validated end-to-end; anything short of a validated hit
+  // falls through to the quorum protocol below (which re-populates the
+  // cache from the winning vote). A failed speculation has already
+  // invalidated its entry, so a retry attempt will not re-speculate.
+  if (SpeculationEligible(ctx)) {
+    if (auto fast = co_await SpeculativeGet(key, ctx)) {
+      co_return *std::move(fast);
+    }
+    if (sim_.now() >= ctx.deadline_at) {
+      co_return DeadlineExceededError("speculative read");
+    }
+  }
+
   // Select live replicas (immutable R=2 consults one; failover handles the
   // rest, §6.4).
   std::vector<uint32_t> targets;
@@ -1221,7 +1404,10 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
       ++absence_votes;
       absence_overflow |= vote.overflow;
       if (absence_votes >= quorum) {
-        // Miss quorum. The overflow bit may still route us to RPC (§4.2).
+        // Miss quorum: whatever the cache thought it knew about this key
+        // is gone from the index (misses are never cached).
+        loccache_.Invalidate(ctx.hash);
+        // The overflow bit may still route us to RPC (§4.2).
         if (absence_overflow && config_.follow_overflow_fallback) {
           co_return co_await GetViaRpc(key, vote.shard, ctx);
         }
@@ -1264,7 +1450,9 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
         co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
         fabric_.tracer().AddSpan("validate", ctx.span, v_start, sim_.now(),
                                  host_);
-        co_return ValidateData(source.scar_data, key, ctx.hash, v);
+        auto res = ValidateData(source.scar_data, key, ctx.hash, v);
+        if (res.ok()) CacheWinningVote(ctx.hash, source, ctx);
+        co_return res;
       }
       if (preferred_in_quorum && speculative_started) {
         const sim::Duration rem = ctx.deadline_at - sim_.now();
@@ -1276,7 +1464,10 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
           // read completes and is discarded — one-sided ops can't cancel).
           auto data = co_await speculative_data.WaitFor(
               std::min(rem, config_.hedge_delay));
-          if (data) co_return *std::move(data);
+          if (data) {
+            if (data->ok()) CacheWinningVote(ctx.hash, *preferred, ctx);
+            co_return *std::move(data);
+          }
           const sim::Duration rem2 = ctx.deadline_at - sim_.now();
           if (rem2 <= 0) co_return DeadlineExceededError("data wait");
           ++stats_.hedged_reads;
@@ -1300,15 +1491,24 @@ sim::Task<StatusOr<GetResult>> Client::GetOnce(const std::string& key,
           auto raced = co_await speculative_data.WaitFor(rem2);
           if (!raced) co_return DeadlineExceededError("data wait");
           if (*hedge_won) ++stats_.hedge_wins;
+          if (raced->ok()) {
+            // Cache whichever quorum member actually served the bytes.
+            CacheWinningVote(ctx.hash, *hedge_won ? alt : *preferred, ctx);
+          }
           co_return *std::move(raced);
         }
         auto data = co_await speculative_data.WaitFor(rem);
         if (!data) co_return DeadlineExceededError("data wait");
+        if (data->ok()) CacheWinningVote(ctx.hash, *preferred, ctx);
         co_return *std::move(data);
       }
       // Preferred not in quorum: fetch from a quorum member instead.
       ++stats_.preferred_mismatch;
-      co_return co_await FetchData(key, vc->vote.shard, vc->vote.entry, ctx);
+      {
+        auto res = co_await FetchData(key, vc->vote.shard, vc->vote.entry, ctx);
+        if (res.ok()) CacheWinningVote(ctx.hash, vc->vote, ctx);
+        co_return res;
+      }
     }
   }
 
@@ -1483,10 +1683,124 @@ StatusOr<GetResult> Client::ValidateData(const BufferView& blob,
   return GetResult{blob.SliceOf(view->value), view->version};
 }
 
+// ---------------------------------------------------------------------------
+// 1-RMA speculative fast path (location cache)
+// ---------------------------------------------------------------------------
+
+bool Client::SpeculationEligible(const OpContext& ctx) const {
+  // Forced off during the resharding dual-version window: keys are being
+  // re-homed and both topologies answer reads, so a cached pointer proves
+  // nothing about where the authoritative copy lives right now.
+  return ctx.speculate && transport_ != nullptr &&
+         ctx.strategy != LookupStrategy::kRpc && view_valid_ &&
+         !view_.transition && spec_governor_.Allowed(sim_.now());
+}
+
+StatusOr<GetResult> Client::ValidateSpeculative(const BufferView& blob,
+                                                const std::string& key,
+                                                const Hash128& hash,
+                                                const VersionNumber& floor) {
+  // Validation failures count as torn reads exactly like the quorum path's
+  // ValidateData: the read raced a mutation of the slot. The dedicated
+  // cm.client.loccache.speculative_failures counter carries the
+  // speculation-specific signal on top.
+  auto view = RevalidateDataEntry(blob, key, hash, floor);
+  if (!view.ok()) {
+    ++stats_.torn_reads;
+    return view.status();
+  }
+  return GetResult{blob.SliceOf(view->value), view->version};
+}
+
+void Client::CacheWinningVote(const Hash128& hash, const IndexVote& vote,
+                              const OpContext& ctx) {
+  // Never cached: overflow-flagged buckets (the RPC path may supersede the
+  // RMA-visible entry) and anything learned during a resharding window
+  // (it would only be flushed at the window edge anyway).
+  if (!ctx.speculate || loccache_.capacity() == 0) return;
+  if (!vote.has_entry || vote.overflow) return;
+  if (view_.transition) return;
+  if (vote.shard >= conns_.size() || !conns_[vote.shard].connected) return;
+  CachedLocation loc;
+  loc.shard = vote.shard;
+  loc.pointer = vote.entry.pointer;
+  loc.version = vote.entry.version;
+  loc.config_id = conns_[vote.shard].config_id;
+  loc.expires_at =
+      config_.loccache_ttl > 0 ? sim_.now() + config_.loccache_ttl : 0;
+  loccache_.Insert(hash, loc);
+}
+
+sim::Task<std::optional<GetResult>> Client::SpeculativeGet(
+    const std::string& key, const OpContext& ctx) {
+  const CachedLocation* hit = loccache_.Lookup(ctx.hash, sim_.now());
+  if (hit == nullptr) co_return std::nullopt;
+  const CachedLocation loc = *hit;  // copy out before any await
+  // The location is only servable over the connection it was learned on:
+  // same shard, same serving host, same config generation.
+  if (loc.shard >= conns_.size() || loc.shard >= view_.num_shards()) {
+    loccache_.Invalidate(ctx.hash);
+    co_return std::nullopt;
+  }
+  const Conn conn = conns_[loc.shard];
+  if (!conn.connected || conn.config_id != loc.config_id ||
+      conn.config_id != view_.shard_config_ids[loc.shard] ||
+      conn.host != view_.shard_hosts[loc.shard]) {
+    loccache_.Invalidate(ctx.hash);
+    co_return std::nullopt;
+  }
+
+  ++stats_.loccache_speculative_reads;
+  trace::Tracer& tracer = fabric_.tracer();
+  const trace::SpanId span = tracer.Begin("spec_read", ctx.span, host_);
+  stats_.issue_cpu_ns += config_.issue_cpu;
+  co_await fabric_.host(host_).cpu().Run(config_.issue_cpu);
+  auto r = co_await transport_->Read(host_, conn.host, loc.pointer.region,
+                                     loc.pointer.offset, loc.pointer.size,
+                                     span);
+  if (!r.ok()) {
+    // Same fault bookkeeping as FetchData; the quorum path (never a retry
+    // of the speculation itself) takes over.
+    if (r.status().code() == StatusCode::kPermissionDenied) {
+      ++stats_.window_errors;
+      if (loc.shard < conns_.size()) conns_[loc.shard].connected = false;
+    } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.op_timeouts;
+    }
+    ++stats_.loccache_speculative_failures;
+    spec_governor_.Record(false, sim_.now());
+    loccache_.Invalidate(ctx.hash);
+    tracer.End(span, -1);
+    co_return std::nullopt;
+  }
+  const sim::Time v_start = sim_.now();
+  stats_.validate_cpu_ns += config_.validate_cpu;
+  co_await fabric_.host(host_).cpu().Run(config_.validate_cpu);
+  tracer.AddSpan("validate", span, v_start, sim_.now(), host_);
+  auto res = ValidateSpeculative(*r, key, ctx.hash, loc.version);
+  if (!res.ok()) {
+    ++stats_.loccache_speculative_failures;
+    spec_governor_.Record(false, sim_.now());
+    loccache_.Invalidate(ctx.hash);
+    tracer.End(span, -1);
+    co_return std::nullopt;
+  }
+  spec_governor_.Record(true, sim_.now());
+  // The observed version becomes the new floor: this client can never be
+  // served anything older through this entry again.
+  loccache_.RaiseVersionFloor(ctx.hash, res->version);
+  tracer.End(span, static_cast<int64_t>(res->value.size()));
+  co_return *std::move(res);
+}
+
 sim::Task<StatusOr<GetResult>> Client::GetViaRpc(const std::string& key,
                                                  uint32_t shard,
                                                  const OpContext& ctx) {
   ++stats_.rpc_fallback_gets;
+  // An RPC-served GET yields no pointer to cache, and falling back at all
+  // means the RMA-visible index state was not servable for this key — drop
+  // whatever the cache believed.
+  loccache_.Invalidate(ctx.hash);
   if (shard >= view_.num_shards()) co_return UnavailableError("cell shrank");
   const sim::Duration remaining = ctx.deadline_at - sim_.now();
   if (remaining <= 0) co_return DeadlineExceededError("rpc get");
@@ -1509,6 +1823,9 @@ sim::Task<StatusOr<GetResult>> Client::GetViaRpc(const std::string& key,
 
 sim::Task<StatusOr<GetResult>> Client::PrevWindowGet(const std::string& key,
                                                      const OpContext& ctx) {
+  // Speculation never runs here: this path is RPC-only by construction (a
+  // previous-owner read has no RMA handshake), and the dual-version window
+  // it serves is exactly when cached pointers prove nothing.
   // Snapshot the view: it may refresh (and drop the prev topology) while we
   // are suspended in an RPC below.
   const CellView view = view_;
@@ -1627,6 +1944,9 @@ sim::Task<Status> Client::MutateAll(const char* method, const std::string& key,
     }
   }
   if (applied_out != nullptr) *applied_out = applied;
+  // Any mutation attempt — even a failed one — may have re-allocated the
+  // key's DataEntry on some replica, so the cached location is suspect.
+  loccache_.Invalidate(ctx.hash);
   if (ok >= quorum) co_return OkStatus();
   co_return last_error.ok() ? DeadlineExceededError("mutation acks")
                             : last_error;

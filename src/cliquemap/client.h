@@ -26,6 +26,7 @@
 #include "common/rng.h"
 #include "cliquemap/config_service.h"
 #include "cliquemap/layout.h"
+#include "cliquemap/loccache.h"
 #include "cliquemap/proto.h"
 #include "cliquemap/tenancy.h"
 #include "cliquemap/types.h"
@@ -114,6 +115,32 @@ struct ClientConfig {
   // this far apart, so a large batch does not burst-solicit one host.
   sim::Duration batch_issue_gap = sim::Microseconds(2);
 
+  // 1-RMA speculative GET path -----------------------------------------
+  // Location cache + speculative direct reads (on by default): a GET whose
+  // key was quorumed before issues ONE data read at the cached pointer and
+  // validates it end-to-end (CRC, full key, version >= the cached quorumed
+  // floor); any mismatch invalidates and falls through to the quorum path.
+  // Per-op override: GetOptions::speculate. Forced off inside the
+  // resharding dual-version window and the PrevWindowGet fallback.
+  bool speculate = true;
+  // Location-cache LRU entry cap; 0 disables the cache (and speculation).
+  size_t loccache_entries = 4096;
+  // Freshness lease on cached locations: a hit older than this re-quorums
+  // (and re-populates) instead of speculating. Bounds staleness — a freed
+  // DataEntry keeps its bytes until the slab recycles the chunk, so CRC +
+  // version-floor validation alone could serve a superseded value
+  // indefinitely. Only quorum-backed population renews the lease; raise it
+  // for read-mostly hot-key workloads where hits arrive faster than the
+  // lease expires. 0 = no expiry (trust validation alone).
+  sim::Duration loccache_ttl = sim::Microseconds(200);
+  // Adaptive breaker: when the recent speculation failure ratio crosses
+  // the threshold (heavy churn → cached pointers mostly stale, each miss
+  // costs one wasted RMA read), speculation pauses for the cooldown.
+  double spec_disable_failure_ratio = 0.5;
+  int spec_min_samples = 16;
+  int spec_window_samples = 64;
+  sim::Duration spec_cooldown = sim::Milliseconds(50);
+
   // Multi-tenant QoS ---------------------------------------------------
   // Tenant this client's ops belong to. 0 (the untenanted default) stamps
   // no tags and consults no buckets — byte streams stay identical to a
@@ -140,6 +167,8 @@ struct GetOptions {
   std::optional<LookupStrategy> strategy;  // GET index-fetch strategy
   std::optional<bool> hedge_reads;         // hedged data fetch (GET)
   std::optional<bool> batch;               // MultiGet: batched pipeline
+  std::optional<bool> speculate;           // 1-RMA speculative fast path
+  std::optional<size_t> loccache_entries;  // resize the location cache
 };
 using OpOptions = GetOptions;
 
@@ -192,6 +221,10 @@ struct ClientStats {
   // Multi-tenant QoS observability (RMA plane, client-side policing).
   int64_t tenant_shed = 0;       // GETs shed by the client's own buckets
   int64_t tenant_rma_bytes = 0;  // value bytes debited against the quota
+  // 1-RMA speculative path observability (cm.client.loccache.*; the
+  // hit/miss/invalidation/entries counters live in the cache itself).
+  int64_t loccache_speculative_reads = 0;     // direct reads issued
+  int64_t loccache_speculative_failures = 0;  // failed validation → quorum
   // Batched MultiGet observability (cm.client.batch.*).
   int64_t multigets = 0;             // MultiGet calls
   int64_t batch_keys = 0;            // unique keys entering the batched path
@@ -259,6 +292,10 @@ class Client {
   // metrics registry under cm.client.*{client=<id>} — use the registry
   // snapshot (or this accessor) to observe, never to poke.
   const ClientStats& stats() const { return stats_; }
+  // Read-only view of the location cache (cm.client.loccache.* holds the
+  // same counters; this exposes size/capacity for tests).
+  const LocationCache& loccache() const { return loccache_; }
+  const SpeculationGovernor& spec_governor() const { return spec_governor_; }
   net::HostId host() const { return host_; }
   const ClientConfig& config() const { return config_; }
   const CellView& view() const { return view_; }
@@ -303,6 +340,7 @@ class Client {
     trace::SpanId span = trace::kNoSpan;  // op root span
     LookupStrategy strategy = LookupStrategy::kAuto;
     bool hedge = false;
+    bool speculate = false;
     uint32_t tenant = 0;
   };
   OpContext MakeContext(const GetOptions& opts, trace::SpanId span) const;
@@ -336,6 +374,29 @@ class Client {
   StatusOr<GetResult> ValidateData(const BufferView& blob,
                                    const std::string& key, const Hash128& hash,
                                    const VersionNumber& quorum_version);
+
+  // 1-RMA speculative fast path ----------------------------------------
+  // Whether `ctx` may consult the location cache right now: speculation
+  // enabled, RMA available, no resharding dual-version window, breaker
+  // closed.
+  bool SpeculationEligible(const OpContext& ctx) const;
+  // One speculative direct read for a cached key. Engaged only on a fully
+  // validated hit; disengaged covers both "no usable cache state" (miss,
+  // stale conn/config, breaker open) and a failed speculation (the entry is
+  // invalidated) — either way the caller runs the ordinary quorum path.
+  sim::Task<std::optional<GetResult>> SpeculativeGet(const std::string& key,
+                                                     const OpContext& ctx);
+  // Validates a speculatively-read blob — no index quorum backing it, so
+  // acceptance is (CRC, full key, version >= cached floor) instead of
+  // version-equality with a quorumed IndexEntry.
+  StatusOr<GetResult> ValidateSpeculative(const BufferView& blob,
+                                          const std::string& key,
+                                          const Hash128& hash,
+                                          const VersionNumber& floor);
+  // Caches the location behind a successful quorumed GET (skips
+  // overflow-flagged buckets; no-op when speculation is off for the op).
+  void CacheWinningVote(const Hash128& hash, const IndexVote& vote,
+                        const OpContext& ctx);
 
   // Batched MultiGet pipeline ------------------------------------------
   // Decodes one bucket read into a vote (config-id check + way scan);
@@ -405,6 +466,12 @@ class Client {
   std::shared_ptr<bool> alive_;
 
   ClientStats stats_;
+  // 1-RMA fast path: location cache + adaptive speculation breaker, plus
+  // the last membership epoch seen from the config service (an epoch move
+  // means a backend joined/left → every cached pointer is suspect).
+  LocationCache loccache_;
+  SpeculationGovernor spec_governor_;
+  uint64_t membership_epoch_ = 0;
   // Mirrors every ClientStats field into the fabric registry under
   // cm.client.*{client=<id>} for the client's lifetime.
   metrics::ExportGroup exports_;

@@ -112,6 +112,16 @@ ConfigService::ConfigService(rpc::RpcNetwork& network, net::HostId host)
           const Bytes tail = std::move(w).Take();
           out.insert(out.end(), tail.begin(), tail.end());
         }
+        if (membership_epoch_ != 0) {
+          // Location-cache flush signal: clients drop speculative state
+          // when the membership epoch moves (a backend joined or left).
+          // Appended only once lease churn has actually happened, so cells
+          // that never start heartbeats keep byte-identical responses.
+          rpc::WireWriter w;
+          w.PutU64(proto::kTagMembershipEpoch, membership_epoch_);
+          const Bytes tail = std::move(w).Take();
+          out.insert(out.end(), tail.begin(), tail.end());
+        }
         co_return out;
       });
   server_.RegisterMethod(proto::kMethodHeartbeat,

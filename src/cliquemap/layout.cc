@@ -125,4 +125,18 @@ Status RewriteDataEntryVersion(MutableByteSpan entry,
   return OkStatus();
 }
 
+StatusOr<DataEntryView> RevalidateDataEntry(ByteSpan in, std::string_view key,
+                                            const Hash128& keyhash,
+                                            const VersionNumber& min_version) {
+  auto view = DecodeDataEntry(in);
+  if (!view.ok()) return view.status();
+  if (view->keyhash != keyhash || view->key != key) {
+    return AbortedError("speculative read: slot reused by another key");
+  }
+  if (view->version < min_version) {
+    return AbortedError("speculative read: version below quorumed floor");
+  }
+  return view;
+}
+
 }  // namespace cm::cliquemap

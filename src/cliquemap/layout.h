@@ -115,6 +115,17 @@ StatusOr<DataEntryView> DecodeDataEntry(ByteSpan in);
 Status RewriteDataEntryVersion(MutableByteSpan entry,
                                const VersionNumber& version);
 
+// Revalidates a speculatively-read DataEntry (location-cache direct read,
+// no index quorum backing it) against the cached expectations: checksum
+// intact (torn read / recycled slot), keyhash and full key match (slot
+// reused for another key), and version >= `min_version` — the cached
+// quorumed floor, so a stale replica can never roll a client back below
+// state it already observed. kAborted on checksum/key mismatch, kAborted
+// on version-below-floor; the caller invalidates and re-quorums either way.
+StatusOr<DataEntryView> RevalidateDataEntry(ByteSpan in, std::string_view key,
+                                            const Hash128& keyhash,
+                                            const VersionNumber& min_version);
+
 }  // namespace cm::cliquemap
 
 #endif  // CM_CLIQUEMAP_LAYOUT_H_

@@ -13,7 +13,7 @@ int Histogram::BucketFor(int64_t v) {
   if (v < kLinear) return static_cast<int>(v);
   const int log2 = 63 - std::countl_zero(static_cast<uint64_t>(v));
   // log2 >= 7 here. Sub-bucket index from the bits just below the MSB.
-  const int sub = static_cast<int>((v >> (log2 - 4)) & (kSubBuckets - 1));
+  const int sub = static_cast<int>((v >> (log2 - 6)) & (kSubBuckets - 1));
   int idx = kLinear + (log2 - 7) * kSubBuckets + sub;
   return std::min(idx, kNumBuckets - 1);
 }

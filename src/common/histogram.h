@@ -46,9 +46,15 @@ class Histogram {
   std::string Summary(double divisor, const std::string& unit) const;
 
  private:
-  // Buckets: 0..127 linear (1 each), then log2 ranges with 16 sub-buckets.
+  // Buckets: 0..127 linear (1 each), then log2 ranges with 64 sub-buckets
+  // (~1.6% relative resolution). The old 16-sub-bucket layout quantized to
+  // 6.25%, which collapsed tightly-clustered latency distributions into a
+  // single bucket and made p50 == p99 in committed baselines even when the
+  // samples differed (BENCH_fig07, see ISSUE 9). Serialized form is
+  // unchanged in shape — sparse (index, count) pairs — but indices from the
+  // old layout do not round-trip into this one; baselines were regenerated.
   static constexpr int kLinear = 128;
-  static constexpr int kSubBuckets = 16;
+  static constexpr int kSubBuckets = 64;
   static constexpr int kNumBuckets = kLinear + 64 * kSubBuckets;
 
   static int BucketFor(int64_t v);

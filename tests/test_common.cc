@@ -205,6 +205,25 @@ TEST(Histogram, LargeValues) {
   EXPECT_GT(h.Percentile(0.5), int64_t{1} << 39);
 }
 
+TEST(Histogram, ResolvesTightLatencyDistributions) {
+  // Regression for the fig07 percentile collapse: with 16 sub-buckets per
+  // log2 range (~6.25% resolution), every sample of a realistic CPU-per-op
+  // distribution clustered around ~11.5us landed in ONE bucket and
+  // p50 == p90 == p99. 64 sub-buckets (~1.6%) must keep the tail separated.
+  Histogram h;
+  for (int i = 0; i < 9000; ++i) h.Record(11200 + (i % 400));   // body
+  for (int i = 0; i < 800; ++i) h.Record(12400 + (i % 300));    // shoulder
+  for (int i = 0; i < 200; ++i) h.Record(14000 + (i * 5) % 1000);  // tail
+  const int64_t p50 = h.Percentile(0.5);
+  const int64_t p90 = h.Percentile(0.9);
+  const int64_t p99 = h.Percentile(0.99);
+  EXPECT_LT(p50, p90);
+  EXPECT_LT(p90, p99);
+  // Bucket midpoints stay within ~2% of the true sample quantiles.
+  EXPECT_NEAR(double(p50), 11400.0, 250.0);
+  EXPECT_NEAR(double(p99), 14500.0, 350.0);
+}
+
 TEST(Histogram, EmptyIsSafe) {
   Histogram h;
   EXPECT_EQ(h.Percentile(0.99), 0);
