@@ -7,6 +7,8 @@
 #include <optional>
 
 #include "cliquemap/cell.h"
+#include "cliquemap/doctor.h"
+#include "cliquemap/resharder.h"
 
 using namespace cm;
 using namespace cm::cliquemap;
@@ -22,10 +24,11 @@ T Run(sim::Simulator& sim, sim::Task<T> task) {
   return **out;
 }
 
-int HitCount(sim::Simulator& sim, Client* client, int n) {
+int HitCount(sim::Simulator& sim, Client* client, int n,
+             GetOptions opts = {}) {
   int hits = 0;
   for (int i = 0; i < n; ++i) {
-    if (Run(sim, client->Get("drill-" + std::to_string(i))).ok()) ++hits;
+    if (Run(sim, client->Get("drill-" + std::to_string(i), opts)).ok()) ++hits;
   }
   return hits;
 }
@@ -98,5 +101,83 @@ int main() {
               (long long)client->stats().retries,
               (long long)client->stats().config_refreshes,
               (long long)client->stats().get_errors);
+
+  // --- Correlated failure: a whole domain dies ----------------------------
+  std::printf("\n[4] domain-outage drill (fresh 6-backend cell, 3 racks)\n");
+  sim::Simulator dsim;
+  CellOptions dopt;
+  dopt.num_shards = 6;
+  dopt.mode = ReplicationMode::kR32;
+  // Racked adjacently — the spread-violating layout an operator inherits.
+  dopt.failure_domains = {"rackA", "rackA", "rackB", "rackB", "rackC",
+                          "rackC"};
+  Cell dcell(dsim, std::move(dopt));
+  dcell.Start();
+  Client* dclient = dcell.AddClient();
+  (void)Run(dsim, dclient->Connect());
+  for (int i = 0; i < kKeys; ++i) {
+    (void)Run(dsim, dclient->Set("drill-" + std::to_string(i),
+                                 Bytes(512, std::byte{9})));
+  }
+
+  ConfigService& dcfg = dcell.config_service();
+  std::printf("    spread violations in the inherited layout: %d\n",
+              DomainSpreadViolations(dcfg.view()));
+  Resharder dresharder(dcell);
+  Status rs = Run(dsim, dresharder.RebalanceDomains());
+  std::printf("    -> RebalanceDomains: %s; %lld slots moved, violations "
+              "now %d\n",
+              rs.ToString().c_str(),
+              static_cast<long long>(dresharder.stats().domain_slots_moved),
+              DomainSpreadViolations(dcfg.view()));
+
+  std::printf("    -> rackA loses power (every backend in it, at once)\n");
+  for (uint32_t s = 0; s < dcell.num_shards(); ++s) {
+    if (dcell.backend(s).config().failure_domain == "rackA") {
+      dcell.CrashShard(s);
+    }
+  }
+  std::printf("    hits on 2/3 quorums (spread placement, fail-fast): "
+              "%d/%d\n",
+              HitCount(dsim, dclient, kKeys), kKeys);
+
+  std::printf("    -> and one rackB backend dies too (beyond tolerance)\n");
+  for (uint32_t s = 0; s < dcell.num_shards(); ++s) {
+    if (dcell.backend(s).config().failure_domain == "rackB") {
+      dcell.CrashShard(s);
+      break;
+    }
+  }
+  const int fail_fast_hits = HitCount(dsim, dclient, kKeys);
+  const int degraded_hits =
+      HitCount(dsim, dclient, kKeys, {.degraded = true});
+  std::printf("    hits fail-fast: %d/%d   hits degraded (flagged, "
+              "best-effort): %d/%d\n",
+              fail_fast_hits, kKeys, degraded_hits, kKeys);
+
+  DoctorOptions docopt;
+  docopt.probe_interval = sim::Milliseconds(5);
+  docopt.probe_timeout = sim::Milliseconds(2);
+  docopt.suspect_after_misses = 2;
+  docopt.dead_after_misses = 4;
+  docopt.heartbeat_interval = sim::Milliseconds(5);
+  docopt.lease_duration = sim::Milliseconds(25);
+  docopt.max_concurrent_recoveries = 2;
+  CellDoctor ddoctor(dcell, docopt);
+  ddoctor.Start();
+  std::printf("    -> doctor started; rebuilding worst-exposed shards "
+              "first...\n");
+  const sim::Time limit = dsim.now() + sim::Seconds(30);
+  while (ddoctor.stats().recoveries_succeeded < 3 && dsim.now() < limit &&
+         !dsim.empty()) {
+    dsim.RunSteps(256);
+  }
+  std::printf("    -> recoveries=%lld domain_down_events=%lld (zero "
+              "operator calls)\n",
+              (long long)ddoctor.stats().recoveries_succeeded,
+              (long long)ddoctor.stats().domain_down_events);
+  std::printf("    hits after unattended heal: %d/%d\n",
+              HitCount(dsim, dclient, kKeys), kKeys);
+  ddoctor.Stop();
   return 0;
 }

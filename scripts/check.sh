@@ -30,6 +30,16 @@ echo "== batched MultiGet: batch suite =="
 echo "== 1-RMA speculative path: loccache suite =="
 (cd build && ctest --output-on-failure -L loccache)
 
+echo "== correlated-failure survival: disaster suite =="
+(cd build && ctest --output-on-failure -L disaster)
+
+echo "== examples: build + smoke-run the maintenance drill =="
+# Examples are part of the default target, but run one end-to-end so a
+# behavioral break (not just a compile break) can't silently rot them.
+cmake --build build -j --target quickstart maintenance_drill ads_serving >/dev/null
+./build/examples/maintenance_drill >/dev/null \
+  || { echo "maintenance_drill: non-zero exit"; exit 1; }
+
 echo "== observability: bench --json emits valid cm.bench.v1 =="
 JQ=/usr/bin/jq
 for bench in bench_micro bench_fig07_cpu_per_op; do
@@ -72,6 +82,13 @@ echo "== perf gate: 1-RMA speculative-path scalars vs baseline =="
 # ratio (higher is better; a drop means cached pointers went mostly stale).
 scripts/perf_gate.sh 'fig16_17_1rma_ramp:^(fig16_17\.speculative_p50_over_quorum_p50|loccache\.(rma_ops_per_hit_get|speculation_success_ratio))$'
 
+echo "== perf gate: domain-outage survival scalars vs baseline =="
+# Gates the two survival outcomes (both lower-is-better): the availability
+# dip with degraded reads on (deepest post-outage window vs pre-outage
+# median) and the time for the doctor to rebuild the lost domain back to
+# full quorum. The fail-fast/spread contrast scalars are informational.
+scripts/perf_gate.sh 'domain_outage:^(availability_dip_frac|time_to_quorum_ms)$'
+
 if [[ "$FAST" == "1" ]]; then
   echo "== done (fast mode: sanitizer stage skipped) =="
   exit 0
@@ -81,7 +98,7 @@ echo "== sanitizer (ASan/UBSan): build =="
 cmake -B build-asan -S . -DCM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j
 
-echo "== sanitizer: chaos + resharding + health + tenancy + batch + loccache labels =="
-(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L 'chaos|resharding|health|tenancy|batch|loccache')
+echo "== sanitizer: chaos + resharding + health + tenancy + batch + loccache + disaster labels =="
+(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L 'chaos|resharding|health|tenancy|batch|loccache|disaster')
 
 echo "== all checks passed =="

@@ -123,6 +123,8 @@ Backend::Backend(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
   exports_.ExportCounter("cm.backend.cas_applied", l, &stats_.cas_applied);
   exports_.ExportCounter("cm.backend.cas_failed", l, &stats_.cas_failed);
   exports_.ExportCounter("cm.backend.rpc_gets", l, &stats_.rpc_gets);
+  exports_.ExportCounter("cm.backend.degraded_gets_served", l,
+                         &stats_.degraded_gets_served);
   exports_.ExportCounter("cm.backend.rpc_multigets", l, &stats_.rpc_multigets);
   exports_.ExportCounter("cm.backend.rpc_multiget_keys", l,
                          &stats_.rpc_multiget_keys);
@@ -251,6 +253,8 @@ void Backend::Start(uint32_t config_id) {
                                 bind(&Backend::HandleErase));
     rpc_server_->RegisterMethod(proto::kMethodCas, bind(&Backend::HandleCas));
     rpc_server_->RegisterMethod(proto::kMethodGet, bind(&Backend::HandleGet));
+    rpc_server_->RegisterMethod(proto::kMethodDegradedGet,
+                                bind(&Backend::HandleDegradedGet));
     rpc_server_->RegisterMethod(proto::kMethodMultiGet,
                                 bind(&Backend::HandleMultiGet));
     rpc_server_->RegisterMethod(proto::kMethodTouch,
@@ -1004,6 +1008,32 @@ sim::Task<StatusOr<Bytes>> Backend::HandleGet(ByteSpan req) {
   rpc::WireWriter w;
   w.PutBytes(proto::kTagValue, hit.value);
   proto::PutVersion(w, hit.version);
+  co_return std::move(w).Take();
+}
+
+sim::Task<StatusOr<Bytes>> Backend::HandleDegradedGet(ByteSpan req) {
+  // Quorum-loss last resort: one replica's local verdict, always OK-bodied
+  // so an absence can carry this replica's exact tombstone version (the
+  // client must distinguish "never stored" from "quorum-committed ERASE").
+  // No admission: this path only runs while most of the cell is down — the
+  // disaster is not the moment to shed the few reads that still work.
+  co_await fabric_.host(host_).cpu().Run(config_.handler_base_cpu);
+  ++stats_.degraded_gets_served;
+  rpc::WireReader r(req);
+  auto key = r.GetBytes(proto::kTagKey);
+  if (!key) co_return InvalidArgumentError("DegradedGet: missing key");
+  const std::string k = ToString(*key);
+  LocalLookup hit = LookupLocal(k);
+  rpc::WireWriter w;
+  w.PutU32(proto::kTagStatusCode, static_cast<uint32_t>(hit.status.code()));
+  if (hit.status.ok()) {
+    w.PutBytes(proto::kTagValue, hit.value);
+    proto::PutVersion(w, hit.version);
+  } else if (const VersionNumber* t = tombstones_.Find(config_.hash_fn(k))) {
+    // Exact per-key tombstone only — the evicted-tombstone *summary* would
+    // fence every degraded read in the cell, not just erased keys.
+    proto::PutVersion(w, *t, proto::kTagTombstoneTt);
+  }
   co_return std::move(w).Take();
 }
 

@@ -70,6 +70,12 @@ struct BackendConfig {
   // agree across every client and backend of a cell.
   HashFn hash_fn = &HashKey;
 
+  // Failure domain (rack / power feed) this backend occupies. Empty =
+  // unlabeled: the cell behaves exactly as before domains existed. Labels
+  // are distributed to clients via the cell view (kTagShardDomain) and
+  // drive domain-spread placement + DOMAIN_DOWN classification.
+  std::string failure_domain;
+
   uint64_t seed = 1;
 };
 
@@ -80,6 +86,9 @@ struct BackendStats {
   int64_t cas_applied = 0;
   int64_t cas_failed = 0;
   int64_t rpc_gets = 0;
+  // Quorum-loss degraded reads: single-replica verdicts served (the
+  // client's last resort when no index quorum is reachable).
+  int64_t degraded_gets_served = 0;
   // Batched RPC fallback (MultiGet): calls served and keys they carried.
   int64_t rpc_multigets = 0;
   int64_t rpc_multiget_keys = 0;
@@ -246,6 +255,7 @@ class Backend {
   sim::Task<StatusOr<Bytes>> HandleErase(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleCas(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleGet(ByteSpan req);
+  sim::Task<StatusOr<Bytes>> HandleDegradedGet(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleMultiGet(ByteSpan req);
   sim::Task<StatusOr<Bytes>> HandleTouch(ByteSpan req);
 

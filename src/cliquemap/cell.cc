@@ -51,12 +51,20 @@ void Cell::Start() {
   view.mode = options_.mode;
   view.shard_hosts.resize(options_.num_shards);
   view.shard_config_ids.resize(options_.num_shards);
+  if (!options_.failure_domains.empty()) {
+    view.shard_domains.resize(options_.num_shards);
+  }
 
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     const net::HostId host = fabric_->AddHost(options_.backend_host);
     BackendConfig cfg = options_.backend;
     cfg.seed = options_.seed + s;
     cfg.hash_fn = options_.hash_fn;
+    if (!options_.failure_domains.empty()) {
+      cfg.failure_domain =
+          options_.failure_domains[s % options_.failure_domains.size()];
+      view.shard_domains[s] = cfg.failure_domain;
+    }
     backends_.push_back(std::make_unique<Backend>(
         *fabric_, *rpc_network_, *rma_network_, *truetime_, host,
         config_service_.get(), s, cfg));
@@ -126,6 +134,14 @@ Backend* Cell::AddBackendForShard(uint32_t shard, uint32_t config_id,
   BackendConfig cfg = config_override ? *config_override : options_.backend;
   cfg.seed = options_.seed + 50000 + ++elastic_seq_;
   cfg.hash_fn = options_.hash_fn;
+  if (!options_.failure_domains.empty() && cfg.failure_domain.empty()) {
+    // A replacement inherits its victim's domain (the rebuilt backend lands
+    // in the same rack); a growth slot continues the round-robin cycle.
+    cfg.failure_domain =
+        shard < backends_.size()
+            ? backends_[shard]->config().failure_domain
+            : options_.failure_domains[shard % options_.failure_domains.size()];
+  }
   auto fresh = std::make_unique<Backend>(*fabric_, *rpc_network_,
                                          *rma_network_, *truetime_, host,
                                          config_service_.get(), shard, cfg);
@@ -144,6 +160,19 @@ Backend* Cell::AddBackendForShard(uint32_t shard, uint32_t config_id,
     backends_.push_back(std::move(fresh));
   }
   return raw;
+}
+
+void Cell::ReassignShards(const std::vector<uint32_t>& order) {
+  assert(order.size() == backends_.size() &&
+         "reassignment must cover every live slot");
+  std::vector<std::unique_ptr<Backend>> next(backends_.size());
+  for (uint32_t s = 0; s < order.size(); ++s) {
+    assert(order[s] < backends_.size() && backends_[order[s]] &&
+           "reassignment order must be a permutation");
+    next[s] = std::move(backends_[order[s]]);
+    next[s]->SetShard(s);
+  }
+  backends_ = std::move(next);
 }
 
 std::vector<Backend*> Cell::RetireShardsAbove(uint32_t new_n) {
@@ -213,6 +242,9 @@ sim::Task<Status> Cell::PlannedMaintenance(uint32_t shard) {
   const uint32_t spare_config =
       config_service_->UpdateShard(shard, spare.host());
   spare.SetConfigId(spare_config);
+  // The slot's domain label follows the serving host: the warm spare sits
+  // in whatever domain its own config says (usually unlabeled).
+  config_service_->SetShardDomain(shard, spare.config().failure_domain);
 
   // 3. The primary exits for its binary upgrade, then restarts.
   primary.Stop();
@@ -228,6 +260,7 @@ sim::Task<Status> Cell::PlannedMaintenance(uint32_t shard) {
   const uint32_t new_config =
       config_service_->UpdateShard(shard, primary.host());
   primary.SetConfigId(new_config);
+  config_service_->SetShardDomain(shard, primary.config().failure_domain);
 
   // 5. Recycle the spare: restart clears its (stale) copy.
   spare.Stop();
@@ -277,6 +310,7 @@ BackendStats Cell::AggregateBackendStats() const {
     agg.cas_applied += s.cas_applied;
     agg.cas_failed += s.cas_failed;
     agg.rpc_gets += s.rpc_gets;
+    agg.degraded_gets_served += s.degraded_gets_served;
     agg.touches_ingested += s.touches_ingested;
     agg.evictions_capacity += s.evictions_capacity;
     agg.evictions_assoc += s.evictions_assoc;

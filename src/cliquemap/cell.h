@@ -47,6 +47,13 @@ struct CellOptions {
   // recorded before tenancy existed still hold.
   TenantRegistry tenants;
   AdmissionQueue::Options admission;
+  // Correlated-failure survival: failure-domain labels cycled across the
+  // backend slots at Start (slot s gets failure_domains[s % size]). Empty =
+  // domains unconfigured — byte-identical views and behavior, so pre-domain
+  // determinism fingerprints hold. Replacements inherit their victim's
+  // domain (a rebuilt rack member lands in the same rack) unless a
+  // config_override says otherwise.
+  std::vector<std::string> failure_domains;
 };
 
 class Cell {
@@ -101,6 +108,12 @@ class Cell {
   const std::vector<std::unique_ptr<Backend>>& retired() const {
     return retired_;
   }
+  // Domain-spread rebalancing support: permutes which live backend serves
+  // which shard slot. `order[s]` names the *current* slot of the backend
+  // that should serve slot `s` after the move. Pure pointer surgery — no
+  // record movement, no config-service update; the resharder drives both
+  // through its dual-version window. Backend* pointers stay stable.
+  void ReassignShards(const std::vector<uint32_t>& order);
 
   // Accessors -------------------------------------------------------------
   sim::Simulator& simulator() { return sim_; }

@@ -62,6 +62,15 @@ Client::Client(net::Fabric& fabric, rpc::RpcNetwork& rpc_network,
   exports_.ExportCounter("cm.client.hedge_wins", l, &stats_.hedge_wins);
   exports_.ExportCounter("cm.client.slow_ejections", l,
                          &stats_.slow_ejections);
+  exports_.ExportCounter("cm.client.degraded.attempts", l,
+                         &stats_.degraded_attempts);
+  exports_.ExportCounter("cm.client.degraded.hits", l, &stats_.degraded_hits);
+  exports_.ExportCounter("cm.client.degraded.misses", l,
+                         &stats_.degraded_misses);
+  exports_.ExportCounter("cm.client.degraded.rollback_refused", l,
+                         &stats_.degraded_rollback_refused);
+  exports_.ExportCounter("cm.client.degraded.unreachable", l,
+                         &stats_.degraded_unreachable);
   if (config_.tenant != kDefaultTenant) {
     metrics::Labels tl = l;
     tl.emplace_back("tenant", std::to_string(config_.tenant));
@@ -304,6 +313,7 @@ Client::OpContext Client::MakeContext(const GetOptions& opts,
   ctx.hedge = opts.hedge_reads.value_or(config_.hedge_reads);
   ctx.speculate =
       opts.speculate.value_or(config_.speculate) && loccache_.capacity() > 0;
+  ctx.degraded = opts.degraded.value_or(config_.degraded_reads);
   ctx.tenant = opts.tenant != 0 ? opts.tenant : config_.tenant;
   return ctx;
 }
@@ -414,6 +424,23 @@ sim::Task<StatusOr<GetResult>> Client::Get(std::string key, GetOptions opts) {
     if (prev.ok()) {
       ++stats_.prev_window_gets;
       result = std::move(prev);
+    }
+  }
+
+  // Quorum-loss degraded pass (opt-in): the quorum path failed in a way
+  // that may still leave live sub-quorum replicas — unreachable cohort
+  // members, inquorate votes, a deadline burned against a dying cohort.
+  // A clean NotFound is an *authoritative* absence quorum and is never
+  // second-guessed here. On an unreachable cell the original error is
+  // preserved (fail-fast semantics, degraded or not).
+  if (!result.ok() && ctx.degraded && view_valid_) {
+    const StatusCode c = result.status().code();
+    if (c == StatusCode::kUnavailable || c == StatusCode::kDeadlineExceeded ||
+        c == StatusCode::kAborted) {
+      auto deg = co_await DegradedGet(key, ctx);
+      if (deg.ok() || deg.status().code() == StatusCode::kNotFound) {
+        result = std::move(deg);
+      }
     }
   }
 
@@ -1864,6 +1891,88 @@ sim::Task<StatusOr<GetResult>> Client::PrevWindowGet(const std::string& key,
   co_return last.code() == StatusCode::kNotFound
       ? NotFoundError("absent at previous owners")
       : last;
+}
+
+sim::Task<StatusOr<GetResult>> Client::DegradedGet(const std::string& key,
+                                                   const OpContext& ctx) {
+  ++stats_.degraded_attempts;
+  // Snapshot the view — it may refresh while we are suspended in an RPC.
+  const CellView view = view_;
+  const uint32_t n = view.num_shards();
+  if (n == 0) {
+    ++stats_.degraded_unreachable;
+    co_return UnavailableError("degraded: no cell view");
+  }
+  const int replicas = ReplicaCount(view.mode);
+  const uint32_t primary = PrimaryShard(ctx.hash, n);
+
+  rpc::WireWriter w;
+  w.PutString(proto::kTagKey, key);
+  const Bytes request = std::move(w).Take();
+
+  // Probe every replica once. The backends answer DegradedGet even while
+  // draining (disaster path); replicas that are dead, fenced, or partitioned
+  // simply don't answer — that's the condition this path exists for.
+  std::optional<GetResult> best;
+  std::optional<VersionNumber> best_tomb;
+  int reachable = 0;
+  for (int r = 0; r < replicas; ++r) {
+    const uint32_t shard = ReplicaShard(primary, r, n);
+    // The main attempt usually arrives here with the op deadline already
+    // spent; grant each probe a small grace budget.
+    const sim::Duration remaining = std::max<sim::Duration>(
+        ctx.deadline_at - sim_.now(), config_.degraded_probe_grace);
+    rpc::RpcChannel ch(rpc_network_, host_, view.shard_hosts[shard]);
+    auto resp =
+        co_await ch.Call(proto::kMethodDegradedGet, request, remaining,
+                         ctx.span);
+    if (!resp.ok()) continue;
+    ++reachable;
+    rpc::WireReader rr(*resp);
+    const auto code = rr.GetU32(proto::kTagStatusCode);
+    if (!code) continue;
+    if (static_cast<StatusCode>(*code) == StatusCode::kOk) {
+      auto value = rr.GetBytes(proto::kTagValue);
+      auto version = proto::GetVersion(rr);
+      if (!value || !version) continue;
+      if (!best || *version > best->version) {
+        best = GetResult{Bytes(value->begin(), value->end()), *version};
+      }
+    } else if (auto tomb = proto::GetVersion(rr, proto::kTagTombstoneTt)) {
+      // The replica is live but the key is absent *with a remembered erase
+      // version*: a quorum-committed ERASE must win over any stale copy a
+      // lagging replica still serves.
+      if (!best_tomb || *tomb > *best_tomb) best_tomb = *tomb;
+    }
+  }
+
+  if (reachable == 0) {
+    ++stats_.degraded_unreachable;
+    co_return UnavailableError("degraded: no replica reachable");
+  }
+  if (best && best_tomb && !(best->version > *best_tomb)) {
+    // Tombstone-aware absence: the newest thing any live replica knows
+    // about this key is its erasure.
+    best.reset();
+  }
+  if (!best) {
+    ++stats_.degraded_misses;
+    co_return NotFoundError("degraded absence (sub-quorum)");
+  }
+  // Version-floor guard: never report a version this client's own quorumed
+  // history already superseded. The location cache's floor is exactly that
+  // history; Peek leaves the cache untouched (a degraded answer must not
+  // perturb MRU order, leases, or stats — it is not quorum-backed).
+  if (const CachedLocation* loc = loccache_.Peek(ctx.hash)) {
+    if (best->version < loc->version) {
+      ++stats_.degraded_rollback_refused;
+      co_return UnavailableError(
+          "degraded answer below the quorumed version floor");
+    }
+  }
+  ++stats_.degraded_hits;
+  best->degraded = true;
+  co_return std::move(*best);
 }
 
 // ---------------------------------------------------------------------------

@@ -103,6 +103,18 @@ struct ClientConfig {
   // falls back to the previous owners (records may not have streamed yet).
   bool prev_fallback = true;
 
+  // Quorum-loss degraded reads (correlated failures) -------------------
+  // When a GET cannot form a quorum (replicas unreachable, inquorate votes,
+  // deadline burned against a dying cohort), an opt-in degraded pass probes
+  // every replica once over RPC and returns the best sub-quorum answer,
+  // flagged GetResult::degraded. A degraded answer never populates the
+  // location cache, never renews anything, and is version-floored: it is
+  // refused rather than roll back a version this client already quorumed.
+  // Default off — fail-fast is the correct default for a cache.
+  bool degraded_reads = false;
+  // Per-replica probe budget when the op deadline is already spent.
+  sim::Duration degraded_probe_grace = sim::Milliseconds(1);
+
   // Batched MultiGet (incast-aware pipeline) ---------------------------
   // Coalesce a batch's index and data reads into one vectored RMA op per
   // backend instead of fanning out independent Gets. Off (or unavailable:
@@ -156,6 +168,10 @@ struct GetResult {
   // adopted RPC-response vector); exposes a Bytes-like read surface.
   BufferView value;
   VersionNumber version;
+  // True when this answer came from the sub-quorum degraded pass: it is the
+  // best available, not quorum-certain. Callers that need certainty must
+  // treat it as a miss.
+  bool degraded = false;
 };
 
 // Per-op overrides threaded through Get/MultiGet/Set/Erase/Cas: the options
@@ -169,6 +185,7 @@ struct GetOptions {
   std::optional<bool> batch;               // MultiGet: batched pipeline
   std::optional<bool> speculate;           // 1-RMA speculative fast path
   std::optional<size_t> loccache_entries;  // resize the location cache
+  std::optional<bool> degraded;            // sub-quorum degraded reads (GET)
 };
 using OpOptions = GetOptions;
 
@@ -233,6 +250,12 @@ struct ClientStats {
   int64_t batch_rpc_fallbacks = 0;   // batched fallback RPCs issued
   int64_t batch_slowpath_keys = 0;   // keys bounced to the single-key path
   int64_t batch_inflight_waits = 0;  // issues blocked by the incast gate
+  // Quorum-loss degraded reads (cm.client.degraded.*).
+  int64_t degraded_attempts = 0;          // degraded passes entered
+  int64_t degraded_hits = 0;              // best-effort values returned
+  int64_t degraded_misses = 0;            // sub-quorum absence (tombstone-led)
+  int64_t degraded_rollback_refused = 0;  // answers below the quorumed floor
+  int64_t degraded_unreachable = 0;       // no replica answered at all
   // Client-library CPU attribution (Figs 6b/7): time charged to the host CPU
   // issuing RMA ops and validating responses.
   int64_t issue_cpu_ns = 0;
@@ -341,6 +364,7 @@ class Client {
     LookupStrategy strategy = LookupStrategy::kAuto;
     bool hedge = false;
     bool speculate = false;
+    bool degraded = false;
     uint32_t tenant = 0;
   };
   OpContext MakeContext(const GetOptions& opts, trace::SpanId span) const;
@@ -359,6 +383,11 @@ class Client {
   // the key (the record may not have streamed to the new owners yet).
   sim::Task<StatusOr<GetResult>> PrevWindowGet(const std::string& key,
                                                const OpContext& ctx);
+  // Quorum-loss fallback: probes every replica once over RPC and returns
+  // the best sub-quorum answer (tombstone-aware, version-floored), flagged
+  // degraded. Never touches the location cache.
+  sim::Task<StatusOr<GetResult>> DegradedGet(const std::string& key,
+                                             const OpContext& ctx);
 
   // Issues an index (bucket or SCAR) fetch against one replica, delivering
   // the vote into `votes`. Emits a quorum_fetch child span under ctx.span.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 
 namespace cm::cliquemap {
 
@@ -21,6 +22,22 @@ Bytes EncodeCellView(const CellView& view) {
     for (uint32_t i = 0; i < view.prev_num_shards(); ++i) {
       w.PutU32(proto::kTagPrevShardHost, view.prev_shard_hosts[i]);
       w.PutU32(proto::kTagPrevShardConfigId, view.prev_shard_config_ids[i]);
+    }
+  }
+  // Failure domains ride at the tail, and only when at least one label is
+  // set: domain-unset cells keep byte-identical views (append-only TLV, same
+  // convention as the tenant-registry and membership-epoch tails). Every
+  // slot is emitted — empty labels included — to preserve slot indexing.
+  bool any_domain = false;
+  for (const std::string& d : view.shard_domains) {
+    if (!d.empty()) {
+      any_domain = true;
+      break;
+    }
+  }
+  if (any_domain && view.shard_domains.size() == view.num_shards()) {
+    for (const std::string& d : view.shard_domains) {
+      w.PutString(proto::kTagShardDomain, d);
     }
   }
   return std::move(w).Take();
@@ -67,11 +84,18 @@ StatusOr<CellView> DecodeCellView(ByteSpan data) {
         view.prev_shard_config_ids.push_back(v);
       }
     }
+    if (type == rpc::WireType::kBytes && tag == proto::kTagShardDomain) {
+      view.shard_domains.emplace_back(
+          reinterpret_cast<const char*>(data.data() + pos + 4), len - 4);
+    }
     pos += len;
   }
   if (view.shard_hosts.size() != *num ||
       view.shard_config_ids.size() != *num) {
     return InvalidArgumentError("shard list size mismatch");
+  }
+  if (!view.shard_domains.empty() && view.shard_domains.size() != *num) {
+    return InvalidArgumentError("shard domain list size mismatch");
   }
   // Transition fields are optional: payloads from before the dual-version
   // window decode with transition=false (unknown-tag forward compatibility).
@@ -92,6 +116,37 @@ StatusOr<CellView> DecodeCellView(ByteSpan data) {
     view.prev_shard_config_ids.clear();
   }
   return view;
+}
+
+int DomainSpreadViolations(const CellView& view) {
+  const uint32_t n = view.num_shards();
+  const int r = ReplicaCount(view.mode);
+  if (r <= 1 || n == 0 || view.shard_domains.size() != n) return 0;
+  // Distinct non-empty labels cell-wide; unlabeled slots are wildcards that
+  // never cause (or excuse) a violation by themselves.
+  std::set<std::string> all;
+  for (const std::string& d : view.shard_domains) {
+    if (!d.empty()) all.insert(d);
+  }
+  if (all.size() <= 1) return 0;
+  const int achievable = std::min(r, static_cast<int>(all.size()));
+  int violations = 0;
+  for (uint32_t p = 0; p < n; ++p) {
+    std::set<std::string> window;
+    int wildcards = 0;
+    for (int i = 0; i < r; ++i) {
+      const std::string& d = view.shard_domains[ReplicaShard(p, i, n)];
+      if (d.empty()) {
+        ++wildcards;
+      } else {
+        window.insert(d);
+      }
+    }
+    if (static_cast<int>(window.size()) + wildcards < achievable) {
+      ++violations;
+    }
+  }
+  return violations;
 }
 
 ConfigService::ConfigService(rpc::RpcNetwork& network, net::HostId host)
@@ -138,6 +193,17 @@ ConfigService::ConfigService(rpc::RpcNetwork& network, net::HostId host)
   exports_.ExportGauge("cm.config.generation", {}, [this] {
     return static_cast<int64_t>(view_.generation);
   });
+  // Placement-invariant health: replica sets whose slots share a failure
+  // domain when they could spread. 0 on domain-unset cells.
+  exports_.ExportGauge("cm.config.domain_spread_violations", {}, [this] {
+    return static_cast<int64_t>(DomainSpreadViolations(view_));
+  });
+}
+
+void ConfigService::SetShardDomain(uint32_t shard, std::string domain) {
+  if (view_.shard_domains.size() != view_.num_shards()) return;
+  if (shard >= view_.shard_domains.size()) return;
+  view_.shard_domains[shard] = std::move(domain);
 }
 
 uint32_t ConfigService::AllocateConfigId(uint32_t shard) {

@@ -32,6 +32,11 @@ struct CellView {
   ReplicationMode mode = ReplicationMode::kR1;
   std::vector<net::HostId> shard_hosts;    // shard -> serving host
   std::vector<uint32_t> shard_config_ids;  // shard -> config id in buckets
+  // Failure-domain labels, one per shard slot ("" = unlabeled). Either empty
+  // (domains unconfigured — the pre-domain encoding, byte-identical) or
+  // sized num_shards(). Replica sets should span distinct domains when
+  // possible; DomainSpreadViolations() counts the ones that don't.
+  std::vector<std::string> shard_domains;
 
   // Dual-version window (valid only while `transition` is true).
   bool transition = false;
@@ -50,6 +55,13 @@ struct CellView {
 Bytes EncodeCellView(const CellView& view);
 StatusOr<CellView> DecodeCellView(ByteSpan data);
 
+// Placement-invariant check: the number of primaries whose replica window
+// {ReplicaShard(p, 0..R-1, n)} spans fewer distinct failure domains than it
+// could (min(R, total distinct domains) when every slot is labeled). Zero
+// when domains are unconfigured, R == 1, or only one domain exists — those
+// cells have nothing to spread.
+int DomainSpreadViolations(const CellView& view);
+
 class ConfigService {
  public:
   ConfigService(rpc::RpcNetwork& network, net::HostId host);
@@ -59,6 +71,10 @@ class ConfigService {
   // Points `shard` at `host` with a fresh per-shard config id; bumps the
   // cell generation. Returns the new shard config id.
   uint32_t UpdateShard(uint32_t shard, net::HostId host);
+
+  // Relabels one shard slot's failure domain (maintenance handoff to a host
+  // in a different domain). No-op when domains are unconfigured.
+  void SetShardDomain(uint32_t shard, std::string domain);
 
   // Mints a fresh config id for `shard` without installing it anywhere —
   // the resharder stamps new backends / rewritten buckets with these.

@@ -40,8 +40,19 @@ CellDoctor::CellDoctor(Cell& cell, DoctorOptions options)
                          &stats_.flap_suppressed);
   exports_.ExportCounter("cm.doctor.down_replications", {},
                          &stats_.down_replications);
+  exports_.ExportCounter("cm.doctor.domain_down_events", {},
+                         &stats_.domain_down_events);
+  exports_.ExportCounter("cm.doctor.domain_down_cleared", {},
+                         &stats_.domain_down_cleared);
+  exports_.ExportCounter("cm.doctor.majority_dead_holds", {},
+                         &stats_.majority_dead_holds);
+  exports_.ExportCounter("cm.doctor.recoveries_deferred", {},
+                         &stats_.recoveries_deferred);
   exports_.ExportGauge("cm.doctor.active_recoveries", {}, [this] {
     return static_cast<int64_t>(active_recoveries_);
+  });
+  exports_.ExportGauge("cm.doctor.majority_hold", {}, [this] {
+    return static_cast<int64_t>(majority_hold_ ? 1 : 0);
   });
   exports_.ExportHistogram("cm.doctor.mttr_ns", {}, &mttr_ns_);
   exports_.ExportHistogram("cm.doctor.detect_ns", {}, &detect_ns_);
@@ -57,6 +68,35 @@ void CellDoctor::Start() {
   shards_.assign(cell_.num_shards(), ShardState{});
   for (uint32_t s = 0; s < cell_.num_shards(); ++s) {
     cell_.backend(s).StartHeartbeats(options_.heartbeat_interval);
+  }
+  // Per-domain liveness gauges (healthy + slow members), exported once per
+  // doctor even across Stop/Start cycles. Domains ride the backends, so the
+  // count stays right through slot permutations and replacements.
+  if (!domain_gauges_exported_) {
+    std::map<std::string, bool> seen;
+    for (uint32_t s = 0; s < cell_.num_shards(); ++s) {
+      const std::string& d = cell_.backend(s).config().failure_domain;
+      if (d.empty() || seen[d]) continue;
+      seen[d] = true;
+      domain_gauges_exported_ = true;
+      exports_.ExportGauge("cm.doctor.domain_alive", {{"domain", d}},
+                           [this, d] {
+                             int64_t alive = 0;
+                             for (uint32_t s = 0; s < shards_.size(); ++s) {
+                               if (s >= cell_.num_shards()) break;
+                               if (cell_.backend(s).config().failure_domain !=
+                                   d) {
+                                 continue;
+                               }
+                               const BackendHealth h = shards_[s].health;
+                               if (h == BackendHealth::kHealthy ||
+                                   h == BackendHealth::kSlow) {
+                                 ++alive;
+                               }
+                             }
+                             return alive;
+                           });
+    }
   }
   sim_.Spawn(ControlLoop(alive_));
 }
@@ -194,15 +234,65 @@ void CellDoctor::Classify() {
     }
     st.health = next;
   }
+
+  // Correlated-failure roll-up: a failure domain whose every member reads
+  // SUSPECT/DEAD is one DOMAIN_DOWN event, not N independent losses. Only
+  // domains big enough for "all of them at once" to be signal (threshold)
+  // are classified.
+  std::map<std::string, std::pair<int, int>> domains;  // domain -> {members, bad}
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (s >= cell_.num_shards()) break;
+    const std::string& d = cell_.backend(s).config().failure_domain;
+    if (d.empty()) continue;
+    auto& [members, bad] = domains[d];
+    ++members;
+    const BackendHealth h = shards_[s].health;
+    if (h == BackendHealth::kSuspect || h == BackendHealth::kDead) ++bad;
+  }
+  for (const auto& [d, counts] : domains) {
+    const bool down = counts.second == counts.first &&
+                      counts.first >= options_.domain_down_threshold;
+    bool& was_down = domain_down_[d];
+    if (down && !was_down) ++stats_.domain_down_events;
+    if (!down && was_down) ++stats_.domain_down_cleared;
+    was_down = down;
+  }
 }
 
 void CellDoctor::MaybeRecover() {
   const sim::Time now = sim_.now();
-  for (uint32_t s = 0; s < shards_.size(); ++s) {
+  const uint32_t n = static_cast<uint32_t>(shards_.size());
+
+  // Majority-dead brake: when most of the cell reads DEAD at once, the far
+  // likelier explanation is that *we* are partitioned from it — mass
+  // rebuilds here would shred a healthy cell. Hold all reconfiguration
+  // until the verdict share drops below a majority.
+  int dead = 0;
+  for (const ShardState& st : shards_) {
+    if (st.health == BackendHealth::kDead) ++dead;
+  }
+  if (options_.majority_brake && n >= 3 && 2 * dead > static_cast<int>(n)) {
+    if (!majority_hold_) {
+      majority_hold_ = true;
+      ++stats_.majority_dead_holds;
+    }
+    return;
+  }
+  majority_hold_ = false;
+
+  // Gather the actionable dead shards, then heal the most exposed first:
+  // a shard whose worst replica set is down to quorum-1 live members is one
+  // more loss from unavailability, so it outranks shards with healthier
+  // cohorts. The recovery budget (max_concurrent_recoveries) bounds the
+  // blast radius of a mass failure — no replacement storms.
+  struct Candidate {
+    int worst_live;
+    uint32_t shard;
+  };
+  std::vector<Candidate> queue;
+  for (uint32_t s = 0; s < n; ++s) {
     ShardState& st = shards_[s];
     if (st.health != BackendHealth::kDead || st.recovering) continue;
-    if (active_recoveries_ >= options_.max_concurrent_recoveries) return;
-    if (resharder_.in_progress()) return;
     if (st.ever_recovered && now - st.last_recovery < options_.cooldown) {
       // Anti-flap: this shard was already rebuilt inside the cooldown
       // window. Count the episode once and wait it out.
@@ -221,6 +311,32 @@ void CellDoctor::MaybeRecover() {
       }
       continue;
     }
+    // Worst-case live count over every replica set containing this shard.
+    const int r = ReplicaCount(cell_.config_service().view().mode);
+    int worst = std::numeric_limits<int>::max();
+    for (int i = 0; i < r; ++i) {
+      const uint32_t p = (s + n - static_cast<uint32_t>(i)) % n;
+      int live = 0;
+      for (int j = 0; j < r; ++j) {
+        const uint32_t m = ReplicaShard(p, j, n);
+        if (shards_[m].health != BackendHealth::kDead) ++live;
+      }
+      worst = std::min(worst, live);
+    }
+    queue.push_back({worst, s});
+  }
+  std::sort(queue.begin(), queue.end(), [](const Candidate& a,
+                                           const Candidate& b) {
+    return a.worst_live != b.worst_live ? a.worst_live < b.worst_live
+                                        : a.shard < b.shard;
+  });
+
+  for (const Candidate& c : queue) {
+    if (active_recoveries_ >= options_.max_concurrent_recoveries) {
+      ++stats_.recoveries_deferred;
+      continue;  // stays DEAD; re-queued next tick with a fresh ordering
+    }
+    ShardState& st = shards_[c.shard];
     st.recovering = true;
     st.suppression_counted = false;
     st.down_replicated = false;
@@ -228,7 +344,7 @@ void CellDoctor::MaybeRecover() {
     st.ever_recovered = true;
     ++active_recoveries_;
     ++stats_.recoveries_started;
-    sim_.Spawn(Recover(s, alive_));
+    sim_.Spawn(Recover(c.shard, alive_));
   }
 }
 
@@ -238,6 +354,15 @@ sim::Task<void> CellDoctor::Recover(uint32_t shard,
   rec.shard = shard;
   rec.last_ok = shards_[shard].last_ok;
   rec.detected_at = shards_[shard].detected_dead_at;
+
+  // One resharder per cell: admissions beyond the first (budget > 1, or an
+  // operator-driven reconfiguration already in flight) wait their turn here
+  // instead of bouncing off FailedPrecondition, burning their cooldown, and
+  // flapping — the replacement-storm fix.
+  while (*alive && resharder_.in_progress()) {
+    co_await sim_.Delay(options_.probe_interval);
+  }
+  if (!*alive) co_return;
 
   Status s = co_await resharder_.ReplaceBackend(shard);
   if (!*alive) co_return;

@@ -41,7 +41,9 @@
 #define CM_CLIQUEMAP_DOCTOR_H_
 
 #include <limits>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cliquemap/cell.h"
@@ -79,6 +81,15 @@ struct DoctorOptions {
   bool allow_replacement = true;
   sim::Duration cooldown = sim::Seconds(5);  // per-shard, anti-flap
   int max_concurrent_recoveries = 1;
+  // Correlated-failure handling. A failure domain whose every member is
+  // SUSPECT/DEAD (and has at least this many members) is declared DOMAIN_DOWN
+  // — one event, not N independent ones.
+  int domain_down_threshold = 2;
+  // Majority-dead brake: when more than half the cell reads DEAD the far
+  // likelier explanation is a partitioned observer (this doctor), not mass
+  // hardware loss. Hold all reconfiguration until the verdict share drops.
+  // Only engages in cells of >= 3 shards, where "majority" means something.
+  bool majority_brake = true;
   ResharderOptions resharder;
 };
 
@@ -94,6 +105,10 @@ struct DoctorStats {
   int64_t recoveries_failed = 0;
   int64_t flap_suppressed = 0;     // dead verdicts ignored inside a cooldown
   int64_t down_replications = 0;   // dead shards left to the surviving cohort
+  int64_t domain_down_events = 0;  // whole failure domain lost (one per episode)
+  int64_t domain_down_cleared = 0;
+  int64_t majority_dead_holds = 0;   // majority-brake engagements (per episode)
+  int64_t recoveries_deferred = 0;   // actionable shards queued behind budget
 };
 
 // One automated recovery, for MTTR accounting: `last_ok` is the final
@@ -127,6 +142,13 @@ class CellDoctor {
   void SetAllowReplacement(bool allowed) { options_.allow_replacement = allowed; }
 
   BackendHealth health(uint32_t shard) const;
+  // Correlated-failure observability: is the majority-dead brake engaged /
+  // is this failure domain currently classified DOMAIN_DOWN?
+  bool majority_hold() const { return majority_hold_; }
+  bool domain_down(const std::string& domain) const {
+    auto it = domain_down_.find(domain);
+    return it != domain_down_.end() && it->second;
+  }
   const DoctorStats& stats() const { return stats_; }
   const std::vector<RecoveryRecord>& recoveries() const { return recoveries_; }
   const Resharder& resharder() const { return resharder_; }
@@ -159,6 +181,9 @@ class CellDoctor {
   Resharder resharder_;
   bool running_ = false;
   int active_recoveries_ = 0;
+  bool majority_hold_ = false;
+  std::map<std::string, bool> domain_down_;
+  bool domain_gauges_exported_ = false;
   sim::Time started_at_ = 0;
   std::vector<ShardState> shards_;
   std::vector<RecoveryRecord> recoveries_;

@@ -75,6 +75,15 @@ class LocationCache {
   // any mutating call — copy out before awaiting.
   const CachedLocation* Lookup(const Hash128& key, sim::Time now);
 
+  // Side-effect-free probe: no MRU bump, no expiry drop, no stats. Used by
+  // the degraded-read path, which must consult the quorumed version floor
+  // without perturbing the cache (a degraded answer is never quorum-backed,
+  // so it must leave no trace here).
+  const CachedLocation* Peek(const Hash128& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second->loc;
+  }
+
   // Inserts or overwrites `key`'s entry (MRU position); evicts the LRU
   // entry past capacity. A capacity of 0 disables the cache entirely.
   void Insert(const Hash128& key, const CachedLocation& loc);

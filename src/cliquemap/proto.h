@@ -32,6 +32,12 @@ inline constexpr char kMethodInstallBulk[] = "CliqueMap.InstallBulk";
 // distinguishes "partitioned from the membership service" (suspect) from
 // "actually gone" (dead).
 inline constexpr char kMethodPing[] = "CliqueMap.Ping";
+// Quorum-loss degraded read (opt-in, correlated-failure survival): asks one
+// replica for its local verdict on a key. The response is always OK-bodied
+// and carries a status code, so an *absence* verdict can ride along with the
+// replica's exact tombstone version — the client needs it to distinguish
+// "never stored here" from "quorum-committed ERASE" at sub-quorum.
+inline constexpr char kMethodDegradedGet[] = "CliqueMap.DegradedGet";
 
 // Config service.
 inline constexpr char kMethodGetCellView[] = "Config.GetCellView";
@@ -98,6 +104,19 @@ enum Tag : uint16_t {
   // carrying kTagStatusCode plus (on OK) kTagValue and a version.
   kTagResult = 70,      // bytes: nested per-key response frame
   kTagStatusCode = 71,  // u32 StatusCode for that key
+
+  // Degraded reads: the replica's exact tombstone version for an absent key
+  // (a version triple, encoded via PutVersion with kTagTombstoneTt as the
+  // base tag). Absent when the replica holds no cached tombstone.
+  kTagTombstoneTt = 72,
+  kTagTombstoneClient = 73,
+  kTagTombstoneSeq = 74,
+
+  // Failure domains: one kBytes entry per shard slot (in slot order) naming
+  // the slot's failure domain. Appended to the cell view only when at least
+  // one domain label is non-empty, so domain-unset cells keep byte-identical
+  // views (same convention as kTagTenantRegistry / kTagMembershipEpoch).
+  kTagShardDomain = 80,  // repeated bytes, one per shard
 };
 
 inline void PutVersion(rpc::WireWriter& w, const VersionNumber& v,

@@ -40,10 +40,16 @@ sim::Task<Status> Resharder::Resize(uint32_t new_num_shards,
       ++stats_.backends_added;
       t.next.shard_hosts.push_back(fresh->host());
       t.next.shard_config_ids.push_back(id);
+      if (!t.next.shard_domains.empty()) {
+        t.next.shard_domains.push_back(fresh->config().failure_domain);
+      }
     }
   } else {
     t.next.shard_hosts.resize(new_num_shards);
     t.next.shard_config_ids.resize(new_num_shards);
+    if (!t.next.shard_domains.empty()) {
+      t.next.shard_domains.resize(new_num_shards);
+    }
     // Retirees leave the live slot vector but keep serving (dual-version
     // reads) until Run() drains and stops them.
     for (Backend* b : cell_.RetireShardsAbove(new_num_shards)) {
@@ -113,6 +119,9 @@ sim::Task<Status> Resharder::ReplaceBackend(
   ++stats_.backends_added;
   t.next.shard_hosts[shard] = fresh->host();
   t.next.shard_config_ids[shard] = id;
+  if (!t.next.shard_domains.empty()) {
+    t.next.shard_domains[shard] = fresh->config().failure_domain;
+  }
   // The incumbent holds exactly the copies placed on `shard` (its own
   // primaries plus the replicas of its neighbors), so it is the sole
   // stream source and the sole dest shard is its slot.
@@ -124,6 +133,83 @@ sim::Task<Status> Resharder::ReplaceBackend(
   t.dest_shards.push_back(shard);
   t.stream_records = true;
   t.post_repair = ReplicaCount(cur.mode) >= 2;
+  co_return co_await Run(std::move(t));
+}
+
+sim::Task<Status> Resharder::RebalanceDomains() {
+  ConfigService& cfg = cell_.config_service();
+  if (in_progress_ || cfg.in_transition()) {
+    co_return FailedPreconditionError("reconfiguration already in flight");
+  }
+  const CellView cur = cfg.view();
+  const uint32_t n = cur.num_shards();
+  if (cur.shard_domains.size() != n) co_return OkStatus();  // unconfigured
+  const int before = DomainSpreadViolations(cur);
+  if (before == 0) co_return OkStatus();
+  const int r = ReplicaCount(cur.mode);
+
+  // Greedy slot permutation: walk the ring assigning each slot a backend
+  // whose domain differs from the r-1 slots before it, preferring the
+  // current occupant so already-spread stretches don't move. The ring wraps,
+  // so greedy can leave a seam; the violation recount below only commits an
+  // actual improvement.
+  std::vector<uint32_t> order(n);
+  std::vector<bool> used(n, false);
+  std::vector<std::string> assigned(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    auto conflicts = [&](const std::string& d) {
+      if (d.empty()) return false;  // unlabeled backends are wildcards
+      for (uint32_t i = 1; i < static_cast<uint32_t>(r) && i <= s; ++i) {
+        if (assigned[s - i] == d) return true;
+      }
+      return false;
+    };
+    uint32_t pick = n;
+    if (!used[s] && !conflicts(cur.shard_domains[s])) pick = s;
+    for (uint32_t c = 0; pick == n && c < n; ++c) {
+      if (!used[c] && !conflicts(cur.shard_domains[c])) pick = c;
+    }
+    if (pick == n) {  // no conflict-free backend left: keep/take any
+      if (!used[s]) pick = s;
+      for (uint32_t c = 0; pick == n && c < n; ++c) {
+        if (!used[c]) pick = c;
+      }
+    }
+    order[s] = pick;
+    used[pick] = true;
+    assigned[s] = cur.shard_domains[pick];
+  }
+
+  Transition t;
+  t.next = cur;
+  std::vector<uint32_t> moved;
+  for (uint32_t s = 0; s < n; ++s) {
+    t.next.shard_hosts[s] = cur.shard_hosts[order[s]];
+    t.next.shard_config_ids[s] = cur.shard_config_ids[order[s]];
+    t.next.shard_domains[s] = cur.shard_domains[order[s]];
+    if (order[s] != s) moved.push_back(s);
+  }
+  if (moved.empty() || DomainSpreadViolations(t.next) >= before) {
+    co_return FailedPreconditionError("no improving domain rebalance found");
+  }
+
+  // Nobody retires — every backend keeps serving from its new slot. The
+  // records a moved slot must hold live on that slot's *old* occupant (key
+  // placement depends only on the slot index, which is unchanged), so the
+  // old occupant is the stream source for each moved slot.
+  for (uint32_t s = 0; s < n; ++s) t.continuing.push_back(&cell_.backend(s));
+  for (uint32_t s : moved) {
+    t.sources.push_back(&cell_.backend(s));
+    t.dest_shards.push_back(s);
+  }
+  t.stream_records = true;
+  t.post_repair = r >= 2;
+  t.bump_and_gc = true;  // moved slots change owners: hard-fail stale readers
+  ++stats_.domain_rebalances;
+  stats_.domain_slots_moved += static_cast<int64_t>(moved.size());
+  // Physical slot reassignment and Run's BeginTransition execute with no
+  // awaits between them, so no op can observe the half-applied topology.
+  cell_.ReassignShards(order);
   co_return co_await Run(std::move(t));
 }
 

@@ -59,6 +59,9 @@ struct ResharderStats {
   int64_t batch_retries = 0;
   int64_t repair_passes = 0;
   int64_t entries_dropped = 0;
+  // Domain-spread rebalancing: passes committed and slots they moved.
+  int64_t domain_rebalances = 0;
+  int64_t domain_slots_moved = 0;
 };
 
 class Resharder {
@@ -85,6 +88,14 @@ class Resharder {
   // (records streamed from the incumbent), the incumbent drains and stops.
   sim::Task<Status> ReplaceBackend(
       uint32_t shard, const BackendConfig* config_override = nullptr);
+
+  // Failure-domain spread repair: permutes which backend serves which shard
+  // slot so that every replica set spans as many distinct failure domains as
+  // the cell allows, then streams records through the standard dual-version
+  // window (no capacity change, no restarts). No-op when domains are
+  // unconfigured or placement is already spread; FailedPrecondition when a
+  // violation exists but no improving permutation was found.
+  sim::Task<Status> RebalanceDomains();
 
   bool in_progress() const { return in_progress_; }
   const ResharderStats& stats() const { return stats_; }

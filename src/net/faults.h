@@ -81,6 +81,19 @@ struct CrashEvent {
   sim::Duration downtime = 0;
 };
 
+// A scheduled correlated failure: every shard in one failure domain goes
+// down at once (rack power event, ToR switch death). Like CrashEvent the
+// plan only records the schedule; the chaos harness maps the domain to
+// backends and performs the crashes (or, with `partition` set, severs the
+// hosts instead of killing them).
+struct DomainOutageEvent {
+  std::string domain;           // label, for logs/metrics
+  std::vector<uint32_t> shards; // every shard slot in the domain at schedule time
+  sim::Time at = 0;
+  sim::Duration downtime = 0;   // 0 = no scheduled restart
+  bool partition = false;       // sever instead of crash (observer-side view)
+};
+
 class FaultPlan {
  public:
   explicit FaultPlan(uint64_t seed);
@@ -108,6 +121,14 @@ class FaultPlan {
   void ScheduleCrash(uint32_t shard, sim::Time at, sim::Duration downtime);
   const std::vector<CrashEvent>& crash_schedule() const {
     return crash_schedule_;
+  }
+  // Domain-outage schedule (consumed by the chaos harness, same contract
+  // as the crash schedule).
+  void ScheduleDomainOutage(DomainOutageEvent ev) {
+    domain_outage_schedule_.push_back(std::move(ev));
+  }
+  const std::vector<DomainOutageEvent>& domain_outage_schedule() const {
+    return domain_outage_schedule_;
   }
 
   // Probabilistic faults fire only while now is in [from, until); until = 0
@@ -172,6 +193,7 @@ class FaultPlan {
   std::vector<Partition> partitions_;
   std::vector<Pause> pauses_;
   std::vector<CrashEvent> crash_schedule_;
+  std::vector<DomainOutageEvent> domain_outage_schedule_;
   sim::Time active_from_ = 0;
   sim::Time active_until_ = 0;  // 0 = no end
 
